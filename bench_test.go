@@ -1,0 +1,380 @@
+// Benchmark harness: one benchmark per table and figure of Ho & Johnsson
+// (ICPP 1986). Each benchmark regenerates the corresponding rows/series
+// and logs them (go test -bench=. -benchmem -v to see the rows), reporting
+// a headline custom metric so regressions in the reproduced shapes are
+// visible in benchmark diffs.
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1PropagationDelays regenerates paper Table 1 on the
+// simulator. Metric: simulated MSBT all-ports delay (log N + 1).
+func BenchmarkTable1PropagationDelays(b *testing.B) {
+	const n = 5
+	var rows []exp.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table1(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	var headline float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-6s %-12s paper=%-4d simulated=%-4d", r.Alg, r.Port, r.Predicted, r.Simulated)
+		if r.Alg == model.MSBT && r.Port == model.AllPorts {
+			headline = float64(r.Simulated)
+		}
+	}
+	b.Log(sb.String())
+	b.ReportMetric(headline, "msbt-allport-steps")
+}
+
+// BenchmarkTable2CyclesPerPacket regenerates paper Table 2. Metric:
+// simulated MSBT full-duplex cycles per packet (paper: 1).
+func BenchmarkTable2CyclesPerPacket(b *testing.B) {
+	const n = 5
+	var rows []exp.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table2(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	var headline float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-6s %-12s paper=%-6.3f simulated=%-6.3f", r.Alg, r.Port, r.Predicted, r.Simulated)
+		if r.Alg == model.MSBT && r.Port == model.OneSendAndRecv {
+			headline = r.Simulated
+		}
+	}
+	b.Log(sb.String())
+	b.ReportMetric(headline, "msbt-duplex-cycles/packet")
+}
+
+// BenchmarkTable3BroadcastComplexity evaluates and simulates every Table 3
+// row. Metric: simulated/analytic ratio for the MSBT full-duplex row.
+func BenchmarkTable3BroadcastComplexity(b *testing.B) {
+	p := model.Params{N: 6, M: 4096, B: 256, Tau: 100, Tc: 1}
+	var rows []exp.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	var headline float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-6s %-12s T=%-10.1f Bopt=%-8.1f Tmin=%-10.1f sim=%-10.1f",
+			r.Alg, r.Port, r.T, r.Bopt, r.Tmin, r.Simulated)
+		if r.Alg == model.MSBT && r.Port == model.OneSendAndRecv {
+			headline = r.Simulated / r.T
+		}
+	}
+	b.Log(sb.String())
+	b.ReportMetric(headline, "msbt-sim/model")
+}
+
+// BenchmarkTable4RelativeComplexity regenerates the SBT/MSBT and TCBT/MSBT
+// ratios. Metric: measured streaming SBT/MSBT ratio under full duplex
+// (asymptotically log N).
+func BenchmarkTable4RelativeComplexity(b *testing.B) {
+	const n = 5
+	var rows []exp.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table4(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	var headline float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-6s %-12s %-26s paper=%-6.2f sim=%-6.2f",
+			r.Alg, r.Port, r.Regime, r.Predicted, r.Simulated)
+		if r.Alg == model.SBT && r.Port == model.OneSendAndRecv && r.Regime == model.RegimeManyPackets {
+			headline = r.Simulated
+		}
+	}
+	b.Log(sb.String())
+	b.ReportMetric(headline, "sbt/msbt-streaming")
+}
+
+// BenchmarkTable5BSTSubtrees regenerates the BST maximum-subtree-size
+// table up to n = 16 (n = 20 in the golden test; 16 keeps the benchmark
+// loop fast). Metric: the n = 16 BST(max), paper value 4115.
+func BenchmarkTable5BSTSubtrees(b *testing.B) {
+	var rows []exp.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table5(2, 16)
+	}
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\nn=%-3d BST(max)=%-6d ideal=%-9.2f ratio=%.2f", r.N, r.BSTMax, r.Ideal, r.Ratio)
+	}
+	b.Log(sb.String())
+	b.ReportMetric(float64(rows[len(rows)-1].BSTMax), "bstmax-n16")
+}
+
+// BenchmarkTable6ScatterComplexity evaluates and simulates Table 6.
+// Metric: simulated all-port SBT/BST scatter speedup (paper: ~ log N / 2).
+func BenchmarkTable6ScatterComplexity(b *testing.B) {
+	p := model.Params{N: 6, M: 16, Tau: 10, Tc: 1}
+	var rows []exp.Table6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = exp.Table6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	bySim := map[string]float64{}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "\n%-6s %-12s Tmin=%-10.1f sim=%-10.1f", r.Alg, r.Port, r.Tmin, r.Simulated)
+		bySim[r.Alg.String()+"/"+r.Port.String()] = r.Simulated
+	}
+	b.Log(sb.String())
+	b.ReportMetric(bySim["SBT/all ports"]/bySim["BST/all ports"], "sbt/bst-allport-scatter")
+}
+
+// BenchmarkFigure5SBTPacketSize regenerates Figure 5: SBT broadcast time
+// vs external packet size. Metric: d=7 time at B = 1 KB.
+func BenchmarkFigure5SBTPacketSize(b *testing.B) {
+	sizes := []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	var series []trace.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = exp.Figure5([]int{2, 3, 4, 5, 6, 7}, 60*1024, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("\n")
+	if err := trace.Table(&sb, "B", series...); err != nil {
+		b.Fatal(err)
+	}
+	b.Log(sb.String())
+	last := series[len(series)-1]
+	for i, x := range last.X {
+		if x == 1024 {
+			b.ReportMetric(last.Y[i], "d7-ms-at-1KB")
+		}
+	}
+}
+
+// BenchmarkFigure6BroadcastTimes regenerates Figure 6: SBT vs MSBT
+// broadcast of 60 KB. Metric: MSBT time at d = 6.
+func BenchmarkFigure6BroadcastTimes(b *testing.B) {
+	var sbtS, msbtS trace.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		sbtS, msbtS, err = exp.Figure6([]int{2, 3, 4, 5, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("\n")
+	if err := trace.Table(&sb, "d", sbtS, msbtS); err != nil {
+		b.Fatal(err)
+	}
+	b.Log(sb.String())
+	b.ReportMetric(msbtS.Y[len(msbtS.Y)-1], "msbt-d6-ms")
+}
+
+// BenchmarkFigure7Speedup regenerates Figure 7: the MSBT/SBT broadcast
+// speedup, expected to track log N. Metric: the speedup at d = 6.
+func BenchmarkFigure7Speedup(b *testing.B) {
+	var s trace.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = exp.Figure7([]int{2, 3, 4, 5, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	for i := range s.X {
+		fmt.Fprintf(&sb, "\nd=%d speedup=%.2f (log N = %d)", int(s.X[i]), s.Y[i], int(s.X[i]))
+	}
+	b.Log(sb.String())
+	b.ReportMetric(s.Y[len(s.Y)-1], "speedup-d6")
+}
+
+// BenchmarkFigure8Personalized regenerates Figure 8: SBT vs BST
+// personalized communication on one-port hardware with 20% overlap.
+// Metric: SBT/BST time ratio at d = 7 (> 1 means BST wins, as measured on
+// the iPSC).
+func BenchmarkFigure8Personalized(b *testing.B) {
+	var sbtS, bstS trace.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		sbtS, bstS, err = exp.Figure8([]int{2, 3, 4, 5, 6, 7}, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("\n")
+	if err := trace.Table(&sb, "d", sbtS, bstS); err != nil {
+		b.Fatal(err)
+	}
+	b.Log(sb.String())
+	last := len(sbtS.Y) - 1
+	b.ReportMetric(sbtS.Y[last]/bstS.Y[last], "sbt/bst-d7")
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblateMSBTLabels measures the routing-step cost of replacing
+// the paper's f-labelled MSBT schedule with naive tree-major streaming.
+func BenchmarkAblateMSBTLabels(b *testing.B) {
+	var r exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.AblateMSBTLabels(6, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("%s", r)
+	b.ReportMetric(r.Gain(), "naive/labelled")
+}
+
+// BenchmarkAblateScatterOrder compares DF vs RBF destination orders for
+// the BST scatter.
+func BenchmarkAblateScatterOrder(b *testing.B) {
+	var r exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = exp.AblateScatterOrder(6, 4, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("%s", r)
+	b.ReportMetric(r.Gain(), "rbf/df")
+}
+
+// BenchmarkAblateBalance reports the root-link load ratio of SBT vs BST
+// subtrees (the structural source of the scatter speedup).
+func BenchmarkAblateBalance(b *testing.B) {
+	var r exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblateBalance(10)
+	}
+	b.Logf("%s", r)
+	b.ReportMetric(r.Gain(), "sbt/bst-load")
+}
+
+// BenchmarkAblatePacketSize validates the closed-form B_opt against a
+// simulated sweep.
+func BenchmarkAblatePacketSize(b *testing.B) {
+	var measured, formula float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		measured, formula, err = exp.AblatePacketSize(5, 4096, 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("measured B_opt %.0f vs formula %.1f", measured, formula)
+	b.ReportMetric(measured/formula, "measured/formula")
+}
+
+// --- Engine microbenchmarks (not tied to a specific table) ---
+
+// BenchmarkSimulatorMSBTStream measures the discrete-event simulator's
+// throughput on the densest schedule in the repository: a 7-cube MSBT
+// broadcast stream (8001 transmissions).
+func BenchmarkSimulatorMSBTStream(b *testing.B) {
+	xs, err := sched.BroadcastMSBT(7, 0, 9, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{Dim: 7, Model: model.OneSendAndRecv, Tau: 1, Tc: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "xmits")
+}
+
+// BenchmarkRuntimeMSBTBroadcast measures the goroutine/channel runtime
+// moving real bytes: a 64 KB MSBT broadcast on a 7-cube (128 goroutines).
+func BenchmarkRuntimeMSBTBroadcast(b *testing.B) {
+	data := make([]byte, 64*1024)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BroadcastMSBT(7, 0, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommAllReduce measures the MPI-style communicator doing a full
+// job: 128 ranks, ten 1 KB all-reduces each.
+func BenchmarkCommAllReduce(b *testing.B) {
+	op := func(x, y []byte) []byte {
+		for i := range x {
+			x[i] += y[i]
+		}
+		return x
+	}
+	payload := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		err := comm.Run(7, func(c *comm.Comm) error {
+			for round := 0; round < 10; round++ {
+				if _, err := c.AllReduce(payload, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(10*128, "allreduce-rank-ops/op")
+}
+
+// BenchmarkRuntimeBSTScatter measures a personalized scatter of 1 KB per
+// node over a 7-cube on the runtime.
+func BenchmarkRuntimeBSTScatter(b *testing.B) {
+	const n = 7
+	N := 1 << n
+	data := make([][]byte, N)
+	for i := range data {
+		data[i] = make([]byte, 1024)
+	}
+	topo := core.BSTTopology(n, 0)
+	b.SetBytes(int64(N * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Scatter(topo, data, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

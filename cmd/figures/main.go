@@ -1,0 +1,188 @@
+// Command figures regenerates the measurement figures of Ho & Johnsson
+// (ICPP 1986) on the simulated iPSC-like machine: Figure 5 (SBT broadcast
+// vs packet size), Figure 6 (SBT vs MSBT broadcast), Figure 7 (MSBT/SBT
+// speedup) and Figure 8 (SBT vs BST personalized communication). Series
+// are printed as aligned columns and, with -chart, as ASCII plots.
+//
+// Usage:
+//
+//	figures                # all figures
+//	figures -fig 7         # one figure
+//	figures -chart         # also render ASCII charts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bst"
+	"repro/internal/exp"
+	"repro/internal/msbt"
+	"repro/internal/sbt"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/vis"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-8 (0 = all; 1-4 are structure diagrams)")
+	chart := flag.Bool("chart", false, "render ASCII charts")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT for figures 1-4 instead of ASCII trees")
+	maxDim := flag.Int("maxdim", 7, "largest cube dimension")
+	flag.Parse()
+
+	run := func(id int, f func() error) {
+		if *fig != 0 && *fig != id {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %d: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	run(1, func() error { return figure1(*dot) })
+	run(2, func() error { return figure2(*dot) })
+	run(3, func() error { return figure3(*dot) })
+	run(4, func() error { return figure4(*dot) })
+	run(5, func() error { return figure5(*chart, *maxDim) })
+	run(6, func() error { return figure6(*chart, *maxDim) })
+	run(7, func() error { return figure7(*chart, *maxDim) })
+	run(8, func() error { return figure8(*chart, *maxDim) })
+}
+
+func figure1(dot bool) error {
+	fmt.Println("Figure 1: the spanning binomial tree in a 4-cube (root 0000)")
+	t, err := sbt.New(4, 0)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(vis.DOT("sbt4", []*tree.Tree{t}, nil))
+	} else {
+		fmt.Print(vis.ASCIITree(t, nil))
+	}
+	return nil
+}
+
+func figure2(dot bool) error {
+	fmt.Println("Figure 2: three edge-disjoint directed spanning trees (ERSBTs) in a 3-cube")
+	trees, err := msbt.Trees(3, 0)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(vis.DOT("msbt3", trees, nil))
+		return nil
+	}
+	for j, t := range trees {
+		fmt.Printf("-- ERSBT %d --\n%s", j, vis.ASCIITree(t, nil))
+	}
+	return nil
+}
+
+func figure3(dot bool) error {
+	fmt.Println("Figure 3: MSBT routing in a 3-cube, edges labelled by the cycle function f")
+	trees, err := msbt.Trees(3, 0)
+	if err != nil {
+		return err
+	}
+	labelers := make([]vis.EdgeLabeler, len(trees))
+	for j := range trees {
+		labelers[j] = vis.MSBTLabeler(3, j, 0)
+	}
+	if dot {
+		fmt.Print(vis.DOT("msbt3f", trees, labelers))
+		return nil
+	}
+	for j, t := range trees {
+		fmt.Printf("-- ERSBT %d (input-edge cycle in brackets) --\n%s", j, vis.ASCIITree(t, labelers[j]))
+	}
+	return nil
+}
+
+func figure4(dot bool) error {
+	fmt.Println("Figure 4: the balanced spanning tree in a 5-cube (root 00000)")
+	t, err := bst.New(5, 0)
+	if err != nil {
+		return err
+	}
+	if dot {
+		fmt.Print(vis.DOT("bst5", []*tree.Tree{t}, nil))
+	} else {
+		fmt.Print(vis.ASCIITree(t, nil))
+		fmt.Println()
+		fmt.Print(vis.SubtreeSummary(t))
+	}
+	return nil
+}
+
+func dimsTo(max int) []int {
+	var out []int
+	for n := 2; n <= max; n++ {
+		out = append(out, n)
+	}
+	return out
+}
+
+func figure5(chart bool, maxDim int) error {
+	fmt.Println("Figure 5: SBT broadcast time (ms) vs external packet size (bytes), M = 60 KB")
+	sizes := []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	series, err := exp.Figure5(dimsTo(maxDim), 60*1024, sizes)
+	if err != nil {
+		return err
+	}
+	if err := trace.Table(os.Stdout, "B", series...); err != nil {
+		return err
+	}
+	if chart {
+		fmt.Print(trace.Chart(series, 64, 16))
+	}
+	return nil
+}
+
+func figure6(chart bool, maxDim int) error {
+	fmt.Println("Figure 6: broadcast time (ms) of 60 KB in 1 KB packets vs cube dimension")
+	sbtS, msbtS, err := exp.Figure6(dimsTo(maxDim))
+	if err != nil {
+		return err
+	}
+	if err := trace.Table(os.Stdout, "d", sbtS, msbtS); err != nil {
+		return err
+	}
+	if chart {
+		fmt.Print(trace.Chart([]trace.Series{sbtS, msbtS}, 48, 14))
+	}
+	return nil
+}
+
+func figure7(chart bool, maxDim int) error {
+	fmt.Println("Figure 7: speedup of MSBT- over SBT-based broadcasting (expected ~ log N)")
+	s, err := exp.Figure7(dimsTo(maxDim))
+	if err != nil {
+		return err
+	}
+	if err := trace.Table(os.Stdout, "d", s); err != nil {
+		return err
+	}
+	if chart {
+		fmt.Print(trace.Chart([]trace.Series{s}, 48, 12))
+	}
+	return nil
+}
+
+func figure8(chart bool, maxDim int) error {
+	fmt.Println("Figure 8: personalized communication time (ms), 1 KB per node, one-port with 20% overlap")
+	sbtS, bstS, err := exp.Figure8(dimsTo(maxDim), 1024)
+	if err != nil {
+		return err
+	}
+	if err := trace.Table(os.Stdout, "d", sbtS, bstS); err != nil {
+		return err
+	}
+	if chart {
+		fmt.Print(trace.Chart([]trace.Series{sbtS, bstS}, 48, 14))
+	}
+	return nil
+}

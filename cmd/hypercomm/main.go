@@ -1,0 +1,381 @@
+// Command hypercomm is the umbrella CLI for the hypercube collective
+// communication library: simulate timed broadcasts and scatters under any
+// port model, inspect spanning-structure geometry, and verify the
+// distributed implementations end to end on the goroutine runtime.
+//
+// Subcommands:
+//
+//	broadcast -alg {hp|sbt|tcbt|msbt} -n DIM -m ELEMS -b PACKET -port {half|duplex|all} [-gantt]
+//	scatter   -alg {sbt|bst|tcbt} -n DIM -m ELEMS -b PACKET -order {desc|df|rbf} -rr
+//	tree      -alg {hp|sbt|bst|tcbt} -n DIM -s SOURCE [-render ascii|dot|hist]
+//	verify    -n DIM -s SOURCE
+//	ablate    -n DIM
+//	route     -n DIM -perm {bitrev|transpose|random}
+//
+// Example:
+//
+//	hypercomm broadcast -alg msbt -n 7 -m 61440 -b 1024 -port duplex
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/route"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tree"
+	"repro/internal/vis"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "broadcast":
+		err = cmdBroadcast(os.Args[2:])
+	case "scatter":
+		err = cmdScatter(os.Args[2:])
+	case "tree":
+		err = cmdTree(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "ablate":
+		err = cmdAblate(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hypercomm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route> [flags]
+run "hypercomm <subcommand> -h" for flags`)
+}
+
+func parseAlg(s string) (model.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "hp":
+		return model.HP, nil
+	case "sbt":
+		return model.SBT, nil
+	case "tcbt":
+		return model.TCBT, nil
+	case "msbt":
+		return model.MSBT, nil
+	case "bst":
+		return model.BST, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parsePort(s string) (model.PortModel, error) {
+	switch strings.ToLower(s) {
+	case "half":
+		return model.OneSendOrRecv, nil
+	case "duplex":
+		return model.OneSendAndRecv, nil
+	case "all":
+		return model.AllPorts, nil
+	}
+	return 0, fmt.Errorf("unknown port model %q (want half|duplex|all)", s)
+}
+
+func cmdBroadcast(args []string) error {
+	fs := flag.NewFlagSet("broadcast", flag.ExitOnError)
+	alg := fs.String("alg", "msbt", "algorithm: hp|sbt|tcbt|msbt")
+	n := fs.Int("n", 7, "cube dimension")
+	m := fs.Float64("m", 60*1024, "message size in elements")
+	b := fs.Float64("b", 1024, "external packet size in elements")
+	port := fs.String("port", "duplex", "port model: half|duplex|all")
+	tau := fs.Float64("tau", exp.IPSC.Tau, "start-up time")
+	tc := fs.Float64("tc", exp.IPSC.Tc, "per-element transfer time")
+	ip := fs.Float64("ip", exp.IPSC.InternalPacket, "internal packet size (0 = unlimited)")
+	src := fs.Int("s", 0, "source node")
+	gantt := fs.Bool("gantt", false, "render a per-link Gantt timeline of the busiest links")
+	fs.Parse(args)
+
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pm, err := parsePort(*port)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{Dim: *n, Model: pm, Tau: *tau, Tc: *tc, InternalPacket: *ip}
+	res, err := core.SimBroadcast(a, cube.NodeID(*src), *m, *b, cfg)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(res)
+	fmt.Printf("%v broadcast on %d-cube (%v): %s\n", a, *n, pm, s)
+	if *gantt {
+		xs, err := core.BroadcastSchedule(a, cube.NodeID(*src), *m, *b, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.Gantt(xs, res, 72, 16))
+	}
+	p := model.Params{N: *n, M: *m, B: *b, Tau: *tau, Tc: *tc}
+	fmt.Printf("model: T=%.2f  B_opt=%.1f  T_min=%.2f\n",
+		model.BroadcastTime(a, pm, p), model.BroadcastBopt(a, pm, p), model.BroadcastTmin(a, pm, p))
+	return nil
+}
+
+func cmdScatter(args []string) error {
+	fs := flag.NewFlagSet("scatter", flag.ExitOnError)
+	alg := fs.String("alg", "bst", "algorithm: sbt|bst|tcbt")
+	n := fs.Int("n", 7, "cube dimension")
+	m := fs.Float64("m", 1024, "elements per destination")
+	b := fs.Float64("b", 1024, "packet size in elements")
+	port := fs.String("port", "half", "port model: half|duplex|all")
+	orderS := fs.String("order", "df", "destination order: desc|df|rbf")
+	rr := fs.Bool("rr", true, "round-robin across subtrees (false = port-oriented)")
+	overlap := fs.Float64("overlap", 0.2, "send/receive overlap fraction")
+	src := fs.Int("s", 0, "source node")
+	fs.Parse(args)
+
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	pm, err := parsePort(*port)
+	if err != nil {
+		return err
+	}
+	var order sched.Order
+	switch strings.ToLower(*orderS) {
+	case "desc":
+		order = sched.OrderDescending
+	case "df":
+		order = sched.OrderDF
+	case "rbf":
+		order = sched.OrderRBF
+	default:
+		return fmt.Errorf("unknown order %q", *orderS)
+	}
+	il := sched.PortOriented
+	if *rr {
+		il = sched.RoundRobin
+	}
+	cfg := sim.Config{
+		Dim: *n, Model: pm, Tau: exp.IPSC.Tau, Tc: exp.IPSC.Tc,
+		Overlap: *overlap, InternalPacket: exp.IPSC.InternalPacket,
+	}
+	res, err := core.SimScatter(a, cube.NodeID(*src), *m, *b, order, il, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v scatter on %d-cube (%v, %v, %v): %s\n",
+		a, *n, pm, order, il, trace.Summarize(res))
+	return nil
+}
+
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	alg := fs.String("alg", "bst", "structure: hp|sbt|bst|tcbt")
+	n := fs.Int("n", 5, "cube dimension")
+	src := fs.Int("s", 0, "root node")
+	render := fs.String("render", "", "render mode: ascii|dot|hist (default: stats only)")
+	fs.Parse(args)
+
+	a, err := parseAlg(*alg)
+	if err != nil {
+		return err
+	}
+	topo, err := core.TopologyFor(a, *n, cube.NodeID(*src))
+	if err != nil {
+		return err
+	}
+	t, err := topo.Tree()
+	if err != nil {
+		return err
+	}
+	maxFan, _ := t.MaxFanout()
+	fmt.Printf("%v spanning structure of the %d-cube rooted at %d\n", a, *n, *src)
+	fmt.Printf("nodes=%d height=%d max fanout=%d\n", t.Size(), t.Height(), maxFan)
+	fmt.Printf("level populations: %v\n", t.LevelCounts())
+	fmt.Printf("root subtree sizes: %v\n", t.RootSubtreeSizes())
+	switch *render {
+	case "":
+	case "ascii":
+		fmt.Print(vis.ASCIITree(t, nil))
+	case "dot":
+		fmt.Print(vis.DOT(topo.Name, []*tree.Tree{t}, nil))
+	case "hist":
+		fmt.Print(vis.LevelHistogram(t))
+	default:
+		return fmt.Errorf("unknown render mode %q", *render)
+	}
+	return nil
+}
+
+func cmdAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	n := fs.Int("n", 6, "cube dimension")
+	fs.Parse(args)
+
+	a, err := exp.AblateMSBTLabels(*n, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Println(a)
+	b, err := exp.AblateScatterOrder(*n, 4, 16)
+	if err != nil {
+		return err
+	}
+	fmt.Println(b)
+	c, err := exp.AblateSBTScatterInterleave(*n, 32, 0.2)
+	if err != nil {
+		return err
+	}
+	fmt.Println(c)
+	fmt.Println(exp.AblateBalance(*n))
+	measured, formula, err := exp.AblatePacketSize(*n, 4096, 100, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s measured=%-9.0f formula=%-9.1f (MSBT broadcast B_opt)\n",
+		"packet-size sweep vs closed form", measured, formula)
+	delays, err := exp.AblateTreeChoiceBroadcast(*n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s SBT=%d TCBT=%d MSBT=%d HP=%d (one-packet delay, steps)\n",
+		"tree choice for broadcast", delays["SBT"], delays["TCBT"], delays["MSBT"], delays["HP"])
+	if err := exp.EdgeDisjointnessCheck(*n, 0); err != nil {
+		return err
+	}
+	fmt.Printf("%-34s verified for n=%d\n", "ERSBT edge-disjointness", *n)
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	n := fs.Int("n", 10, "cube dimension (even for transpose/bit-reversal symmetry)")
+	m := fs.Float64("m", 8, "message size in elements")
+	permS := fs.String("perm", "bitrev", "permutation: bitrev|transpose|random")
+	seed := fs.Int64("seed", 1, "random seed for Valiant intermediates / random permutation")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var p route.Permutation
+	switch strings.ToLower(*permS) {
+	case "bitrev":
+		p = route.BitReversal(*n)
+	case "transpose":
+		var err error
+		p, err = route.Transpose(*n)
+		if err != nil {
+			return err
+		}
+	case "random":
+		p = route.Random(*n, rng)
+	default:
+		return fmt.Errorf("unknown permutation %q", *permS)
+	}
+	cfg := sim.Config{Dim: *n, Model: model.AllPorts, Tau: 0.01, Tc: 1}
+	xe, err := route.ECube(*n, p, *m)
+	if err != nil {
+		return err
+	}
+	te, ce, err := route.Measure(cfg, xe)
+	if err != nil {
+		return err
+	}
+	xv, err := route.Valiant(*n, p, *m, rng)
+	if err != nil {
+		return err
+	}
+	tv, cv, err := route.Measure(cfg, xv)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s permutation on %d-cube, %g elements/message:\n", *permS, *n, *m)
+	fmt.Printf("  e-cube : congestion=%-4d makespan=%.2f\n", ce, te)
+	fmt.Printf("  valiant: congestion=%-4d makespan=%.2f\n", cv, tv)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	n := fs.Int("n", 5, "cube dimension")
+	src := fs.Int("s", 0, "source node")
+	fs.Parse(args)
+
+	N := 1 << uint(*n)
+	s := cube.NodeID(*src)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+
+	check := func(name string, got [][]byte, want func(i int) []byte) error {
+		for i, g := range got {
+			if !bytes.Equal(g, want(i)) {
+				return fmt.Errorf("%s: node %d holds wrong data", name, i)
+			}
+		}
+		fmt.Printf("ok  %-14s all %d nodes verified\n", name, N)
+		return nil
+	}
+
+	for _, a := range []model.Algorithm{model.HP, model.SBT, model.BST, model.TCBT} {
+		topo, err := core.TopologyFor(a, *n, s)
+		if err != nil {
+			return err
+		}
+		got, err := core.Broadcast(topo, data)
+		if err != nil {
+			return err
+		}
+		if err := check("broadcast/"+a.String(), got, func(int) []byte { return data }); err != nil {
+			return err
+		}
+	}
+	got, err := core.BroadcastMSBT(*n, s, data)
+	if err != nil {
+		return err
+	}
+	if err := check("broadcast/MSBT", got, func(int) []byte { return data }); err != nil {
+		return err
+	}
+
+	personal := make([][]byte, N)
+	for i := range personal {
+		personal[i] = []byte(fmt.Sprintf("payload-%d", i))
+	}
+	for _, a := range []model.Algorithm{model.SBT, model.BST} {
+		topo, err := core.TopologyFor(a, *n, s)
+		if err != nil {
+			return err
+		}
+		got, err := core.Scatter(topo, personal, 4)
+		if err != nil {
+			return err
+		}
+		if err := check("scatter/"+a.String(), got, func(i int) []byte { return personal[i] }); err != nil {
+			return err
+		}
+	}
+	fmt.Println("all distributed collectives verified")
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command tables regenerates the six tables of Ho & Johnsson (ICPP 1986).
+//
+// Usage:
+//
+//	tables              # print all tables
+//	tables -table 5     # print one table
+//	tables -n 7         # cube dimension for tables 1, 2, 4 (default 5)
+//	tables -m 4096 -b 256 -tau 100 -tc 1   # cost parameters for tables 3, 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/model"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number 1-6 (0 = all)")
+	n := flag.Int("n", 5, "cube dimension for tables 1, 2, 4")
+	m := flag.Float64("m", 4096, "elements per destination (tables 3, 6)")
+	b := flag.Float64("b", 256, "maximum packet size in elements (table 3)")
+	tau := flag.Float64("tau", 100, "start-up time")
+	tc := flag.Float64("tc", 1, "transfer time per element")
+	t5max := flag.Int("t5max", 20, "largest dimension for table 5")
+	flag.Parse()
+
+	p := model.Params{N: *n, M: *m, B: *b, Tau: *tau, Tc: *tc}
+	run := func(id int, f func() error) {
+		if *table != 0 && *table != id {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "table %d: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run(1, func() error { return table1(*n) })
+	run(2, func() error { return table2(*n) })
+	run(3, func() error { return table3(p) })
+	run(4, func() error { return table4(*n) })
+	run(5, func() error { table5(*t5max); return nil })
+	run(6, func() error { return table6(p) })
+}
+
+func table1(n int) error {
+	rows, err := exp.Table1(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 1: propagation delays (routing steps), n = %d\n", n)
+	fmt.Printf("%-6s %-12s %10s %10s\n", "alg", "port model", "paper", "simulated")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-12s %10d %10d\n", r.Alg, r.Port, r.Predicted, r.Simulated)
+	}
+	return nil
+}
+
+func table2(n int) error {
+	rows, err := exp.Table2(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 2: cycles per distinct packet, n = %d\n", n)
+	fmt.Printf("%-6s %-12s %10s %10s\n", "alg", "port model", "paper", "simulated")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-12s %10.3f %10.3f\n", r.Alg, r.Port, r.Predicted, r.Simulated)
+	}
+	return nil
+}
+
+func table3(p model.Params) error {
+	rows, err := exp.Table3(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 3: broadcast complexity at n=%d M=%.0f B=%.0f tau=%.0f tc=%.2f\n",
+		p.N, p.M, p.B, p.Tau, p.Tc)
+	fmt.Printf("%-6s %-12s %12s %12s %12s %12s\n", "alg", "port model", "T(B)", "B_opt", "T_min", "simulated")
+	for _, r := range rows {
+		simCol := "-"
+		if !math.IsNaN(r.Simulated) {
+			simCol = fmt.Sprintf("%.1f", r.Simulated)
+		}
+		fmt.Printf("%-6s %-12s %12.1f %12.1f %12.1f %12s\n", r.Alg, r.Port, r.T, r.Bopt, r.Tmin, simCol)
+	}
+	return nil
+}
+
+func table4(n int) error {
+	rows, err := exp.Table4(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 4: broadcast complexity relative to MSBT, n = %d\n", n)
+	fmt.Printf("%-6s %-12s %-26s %10s %10s\n", "alg", "port model", "regime", "paper", "simulated")
+	for _, r := range rows {
+		simCol := "-"
+		if !math.IsNaN(r.Simulated) {
+			simCol = fmt.Sprintf("%.2f", r.Simulated)
+		}
+		fmt.Printf("%-6s %-12s %-26s %10.2f %10s\n", r.Alg, r.Port, r.Regime, r.Predicted, simCol)
+	}
+	return nil
+}
+
+func table5(max int) {
+	fmt.Println("Table 5: BST maximum subtree sizes vs (N-1)/log N")
+	fmt.Printf("%3s %10s %12s %7s %10s %9s\n", "n", "BST(max)", "(N-1)/logN", "ratio", "BST(min)", "cyclics")
+	for _, r := range exp.Table5(2, max) {
+		fmt.Printf("%3d %10d %12.2f %7.2f %10d %9d\n", r.N, r.BSTMax, r.Ideal, r.Ratio, r.BSTMin, r.Cyclics)
+	}
+}
+
+func table6(p model.Params) error {
+	rows, err := exp.Table6(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 6: personalized communication at n=%d M=%.0f tau=%.0f tc=%.2f\n",
+		p.N, p.M, p.Tau, p.Tc)
+	fmt.Printf("%-6s %-12s %12s %12s\n", "alg", "port model", "T_min", "simulated")
+	for _, r := range rows {
+		simCol := "-"
+		if !math.IsNaN(r.Simulated) {
+			simCol = fmt.Sprintf("%.1f", r.Simulated)
+		}
+		fmt.Printf("%-6s %-12s %12.1f %12s\n", r.Alg, r.Port, r.Tmin, simCol)
+	}
+	return nil
+}

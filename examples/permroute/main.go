@@ -1,0 +1,62 @@
+// Permutation routing: dimension-ordered (e-cube) versus Valiant's
+// two-phase randomized routing — the related work the paper cites as [20]
+// ("efficient routing using randomization for arbitrary permutations has
+// been suggested by Valiant").
+//
+// The program routes the bit-reversal permutation (the classic adversary
+// that funnels Theta(sqrt N) deterministic paths through single links) and
+// a random permutation on a 10-cube, measuring link congestion and
+// simulated completion time for both routers. Randomization flattens the
+// adversary at the cost of doubled path lengths.
+//
+// Run with: go run ./examples/permroute
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+const dim = 10 // 1024 nodes
+
+func main() {
+	cfg := sim.Config{Dim: dim, Model: model.AllPorts, Tau: 0.01, Tc: 1}
+	rng := rand.New(rand.NewSource(2026))
+
+	perms := []struct {
+		name string
+		p    route.Permutation
+	}{
+		{"bit-reversal (adversary)", route.BitReversal(dim)},
+		{"random", route.Random(dim, rng)},
+	}
+
+	for _, pc := range perms {
+		xe, err := route.ECube(dim, pc.p, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		te, ce, err := route.Measure(cfg, xe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := route.MeasureValiantMany(cfg, dim, pc.p, 8, 5, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s on the %d-cube (%d messages of 8 elements):\n", pc.name, dim, 1<<dim)
+		fmt.Printf("  e-cube : congestion %3d        makespan %8.2f\n", ce, te)
+		fmt.Printf("  valiant: congestion %3.0f (mean)  makespan %8.2f (mean of %d trials)\n",
+			stats.MeanCongestion, stats.MeanMakespan, stats.Trials)
+		if pc.name == "bit-reversal (adversary)" && stats.MeanMakespan >= te {
+			log.Fatal("expected randomization to beat the adversary at this scale")
+		}
+		fmt.Println()
+	}
+	fmt.Println("randomized routing flattens the adversarial permutation, as Valiant predicted")
+}

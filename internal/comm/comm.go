@@ -1,0 +1,469 @@
+// Package comm is an MPI-style communicator for the Boolean-cube
+// runtime: user code runs as one program per node and calls collective
+// operations from inside, exactly as it would against a message-passing
+// library on the iPSC. The collectives are the paper's: binomial-tree
+// broadcast (SBT), multi-tree broadcast (MSBT), balanced-tree
+// personalized communication (BST scatter/gather), plus tree reduction,
+// dimension-exchange all-reduce, prefix scan, and all-gather/all-to-all
+// over N concurrent balanced trees.
+//
+// Collective calls must be made by every node in the same order (the MPI
+// rule); each call is sequence-stamped, and a mismatched message is
+// reported as corruption rather than mis-delivered. Every node drains its
+// inbox through a pump goroutine into an unbounded tag-matched mailbox, so
+// a slow participant can never deadlock a fast neighbor.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bst"
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/msbt"
+	"repro/internal/sbt"
+)
+
+// Comm is the per-node communicator handle.
+type Comm struct {
+	nd  *mpx.Node
+	n   int
+	seq int // collective sequence number; all nodes advance in lockstep
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	mailbox map[int][]mpx.Envelope // tag -> queued envelopes
+	stopped bool
+}
+
+// Rank returns this node's address.
+func (c *Comm) Rank() cube.NodeID { return c.nd.ID }
+
+// Dim returns the cube dimension.
+func (c *Comm) Dim() int { return c.n }
+
+// Size returns the number of nodes.
+func (c *Comm) Size() int { return 1 << uint(c.n) }
+
+// Run executes program on every node of an n-cube and waits for all
+// programs to finish, returning the first error. Inbox pump goroutines
+// are released when the machine shuts down.
+func Run(n int, program func(c *Comm) error) error {
+	m := mpx.New(n, 4)
+	defer m.Shutdown() // release pumps still blocked in Recv
+	return m.Run(func(nd *mpx.Node) error {
+		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}}
+		c.cond = sync.NewCond(&c.mu)
+		go c.pump()
+		defer c.stop()
+		err := program(c)
+		if err != nil {
+			// MPI semantics: an erroring rank aborts the job, releasing
+			// ranks blocked in collectives instead of deadlocking them.
+			m.Shutdown()
+		}
+		return err
+	})
+}
+
+// pump moves inbox messages into the tag-matched mailbox until stopped.
+func (c *Comm) pump() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The machine shut down (a peer finished or panicked) while
+			// we were blocked in Recv; that is a normal exit for the pump.
+			err = nil
+		}
+		c.mu.Lock()
+		c.stopped = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
+	for {
+		env := c.nd.Recv()
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return nil
+		}
+		c.mailbox[env.Tag] = append(c.mailbox[env.Tag], env)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+func (c *Comm) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// recvTag blocks until a message with the given tag is available.
+func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if q := c.mailbox[tag]; len(q) > 0 {
+			env := q[0]
+			if len(q) == 1 {
+				delete(c.mailbox, tag)
+			} else {
+				c.mailbox[tag] = q[1:]
+			}
+			return env, nil
+		}
+		if c.stopped {
+			return mpx.Envelope{}, fmt.Errorf("comm: node %d: machine stopped while waiting for tag %d", c.nd.ID, tag)
+		}
+		c.cond.Wait()
+	}
+}
+
+// tagFor builds a unique message tag for (collective sequence, subtag).
+// Subtags are small (tree index or dimension); 1<<16 of headroom is ample.
+func (c *Comm) tagFor(sub int) int { return c.seq<<16 | sub }
+
+// next advances the collective sequence (call exactly once per collective,
+// on every node).
+func (c *Comm) next() { c.seq++ }
+
+// send wraps SendTo with the current collective's tag.
+func (c *Comm) send(to cube.NodeID, sub int, parts []mpx.Part) {
+	c.nd.SendTo(to, mpx.Message{Tag: c.tagFor(sub), Parts: parts})
+}
+
+// Bcast distributes data from root to every node along the spanning
+// binomial tree; every rank returns the payload (the root passes its own
+// data, other ranks pass nil).
+func (c *Comm) Bcast(root cube.NodeID, data []byte) ([]byte, error) {
+	defer c.next()
+	if c.Rank() != root {
+		env, err := c.recvTag(c.tagFor(0))
+		if err != nil {
+			return nil, err
+		}
+		data = env.Parts[0].Data
+	}
+	for _, ch := range sbt.Children(c.n, c.Rank(), root) {
+		c.send(ch, 0, []mpx.Part{{Dest: root, Data: data}})
+	}
+	return data, nil
+}
+
+// BcastMSBT distributes data from root down the n edge-disjoint ERSBTs
+// (chunk j through tree j), reassembling at every rank.
+func (c *Comm) BcastMSBT(root cube.NodeID, data []byte) ([]byte, error) {
+	defer c.next()
+	if c.Rank() == root {
+		bounds := chunkBounds(len(data), c.n)
+		for j := 0; j < c.n; j++ {
+			c.send(msbt.RootOf(j, root), j+1,
+				[]mpx.Part{{Dest: root, Offset: bounds[j], Data: data[bounds[j]:bounds[j+1]]}})
+		}
+		return data, nil
+	}
+	// Length is unknown off-root; collect all n chunks first.
+	type chunk struct {
+		off  int
+		data []byte
+	}
+	chunks := make([]chunk, c.n)
+	total := 0
+	for j := 0; j < c.n; j++ {
+		env, err := c.recvTag(c.tagFor(j + 1))
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := msbt.Parent(c.n, j, c.Rank(), root); !ok || env.From != p {
+			return nil, fmt.Errorf("comm: bcastmsbt chunk %d from %d, want tree parent", j, env.From)
+		}
+		pt := env.Parts[0]
+		chunks[j] = chunk{pt.Offset, pt.Data}
+		total += len(pt.Data)
+		for _, ch := range msbt.Children(c.n, j, c.Rank(), root) {
+			c.send(ch, j+1, env.Parts)
+		}
+	}
+	out := make([]byte, total)
+	for _, ck := range chunks {
+		copy(out[ck.off:], ck.data)
+	}
+	return out, nil
+}
+
+// chunkBounds splits length l into n nearly equal contiguous chunks.
+func chunkBounds(l, n int) []int {
+	out := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		out[j] = j * l / n
+	}
+	return out
+}
+
+// Scatter delivers data[i] from root to rank i along the balanced
+// spanning tree (the paper's personalized communication). Only the root's
+// data argument is consulted; every rank returns its own payload.
+func (c *Comm) Scatter(root cube.NodeID, data [][]byte) ([]byte, error) {
+	defer c.next()
+	me := c.Rank()
+	if me == root {
+		if len(data) != c.Size() {
+			return nil, fmt.Errorf("comm: scatter needs %d payloads, got %d", c.Size(), len(data))
+		}
+		for _, ch := range bst.Children(c.n, me, root) {
+			var parts []mpx.Part
+			for _, d := range subtreeBST(c.n, ch, root) {
+				parts = append(parts, mpx.Part{Dest: d, Data: data[d]})
+			}
+			c.send(ch, 0, parts)
+		}
+		return data[me], nil
+	}
+	env, err := c.recvTag(c.tagFor(0))
+	if err != nil {
+		return nil, err
+	}
+	var mine []byte
+	found := false
+	perChild := map[cube.NodeID][]mpx.Part{}
+	childOf := map[cube.NodeID]cube.NodeID{}
+	children := bst.Children(c.n, me, root)
+	for _, ch := range children {
+		for _, d := range subtreeBST(c.n, ch, root) {
+			childOf[d] = ch
+		}
+	}
+	for _, pt := range env.Parts {
+		if pt.Dest == me {
+			mine, found = pt.Data, true
+			continue
+		}
+		ch, ok := childOf[pt.Dest]
+		if !ok {
+			return nil, fmt.Errorf("comm: scatter part for %d outside %d's subtree", pt.Dest, me)
+		}
+		perChild[ch] = append(perChild[ch], pt)
+	}
+	for _, ch := range children {
+		if parts := perChild[ch]; len(parts) > 0 {
+			c.send(ch, 0, parts)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("comm: rank %d missing from scatter bundle", me)
+	}
+	return mine, nil
+}
+
+// subtreeBST enumerates the BST subtree below node v (inclusive) in
+// depth-first order, computed locally.
+func subtreeBST(n int, v, root cube.NodeID) []cube.NodeID {
+	out := []cube.NodeID{v}
+	for _, ch := range bst.Children(n, v, root) {
+		out = append(out, subtreeBST(n, ch, root)...)
+	}
+	return out
+}
+
+// Gather collects every rank's payload at root along the balanced
+// spanning tree; the root returns all payloads indexed by rank, others
+// return nil.
+func (c *Comm) Gather(root cube.NodeID, mine []byte) ([][]byte, error) {
+	defer c.next()
+	me := c.Rank()
+	parts := []mpx.Part{{Dest: me, Data: mine}}
+	for range bst.Children(c.n, me, root) {
+		env, err := c.recvTag(c.tagFor(0))
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, env.Parts...)
+	}
+	if p, ok := bst.Parent(c.n, me, root); ok {
+		c.send(p, 0, parts)
+		return nil, nil
+	}
+	out := make([][]byte, c.Size())
+	for _, pt := range parts {
+		out[pt.Dest] = pt.Data
+	}
+	return out, nil
+}
+
+// Reduce folds every rank's contribution to the root along the spanning
+// binomial tree with the associative op; the root returns the result,
+// others return nil.
+func (c *Comm) Reduce(root cube.NodeID, mine []byte, op func(a, b []byte) []byte) ([]byte, error) {
+	defer c.next()
+	me := c.Rank()
+	acc := append([]byte(nil), mine...)
+	for range sbt.Children(c.n, me, root) {
+		env, err := c.recvTag(c.tagFor(0))
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, env.Parts[0].Data)
+	}
+	if p, ok := sbt.Parent(c.n, me, root); ok {
+		c.send(p, 0, []mpx.Part{{Dest: root, Data: acc}})
+		return nil, nil
+	}
+	return acc, nil
+}
+
+// AllReduce folds every rank's contribution and returns the result on
+// every rank, by dimension exchange in log N full-duplex steps. op must
+// be associative and commutative.
+func (c *Comm) AllReduce(mine []byte, op func(a, b []byte) []byte) ([]byte, error) {
+	defer c.next()
+	acc := append([]byte(nil), mine...)
+	for d := 0; d < c.n; d++ {
+		snap := append([]byte(nil), acc...)
+		c.nd.Send(d, mpx.Message{Tag: c.tagFor(d), Parts: []mpx.Part{{Dest: c.Rank(), Data: snap}}})
+		env, err := c.recvTag(c.tagFor(d))
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, env.Parts[0].Data)
+	}
+	return acc, nil
+}
+
+// Scan returns the inclusive prefix combine(x_0, ..., x_rank) on every
+// rank. op must be associative (need not be commutative).
+func (c *Comm) Scan(mine []byte, op func(a, b []byte) []byte) ([]byte, error) {
+	defer c.next()
+	prefix := append([]byte(nil), mine...)
+	total := append([]byte(nil), mine...)
+	for d := 0; d < c.n; d++ {
+		snap := append([]byte(nil), total...)
+		c.nd.Send(d, mpx.Message{Tag: c.tagFor(d), Parts: []mpx.Part{{Dest: c.Rank(), Data: snap}}})
+		env, err := c.recvTag(c.tagFor(d))
+		if err != nil {
+			return nil, err
+		}
+		other := env.Parts[0].Data
+		if c.Rank()&(1<<uint(d)) != 0 {
+			prefix = op(append([]byte(nil), other...), prefix)
+			total = op(append([]byte(nil), other...), total)
+		} else {
+			total = op(total, other)
+		}
+	}
+	return prefix, nil
+}
+
+// Barrier blocks until every rank has entered it (an AllReduce of empty
+// payloads).
+func (c *Comm) Barrier() error {
+	_, err := c.AllReduce([]byte{}, func(a, b []byte) []byte { return a })
+	return err
+}
+
+// AllGather returns every rank's payload on every rank, running N
+// concurrent balanced-spanning-tree broadcasts (one rooted at each rank).
+func (c *Comm) AllGather(mine []byte) ([][]byte, error) {
+	defer c.next()
+	me := c.Rank()
+	out := make([][]byte, c.Size())
+	out[me] = mine
+	for _, ch := range bst.Children(c.n, me, me) {
+		c.send(ch, int(me)+1, []mpx.Part{{Dest: me, Data: mine}})
+	}
+	for seen := 0; seen < c.Size()-1; seen++ {
+		env, err := c.recvTagAnyRoot()
+		if err != nil {
+			return nil, err
+		}
+		r := cube.NodeID(env.Tag&0xffff - 1)
+		if out[r] != nil {
+			return nil, fmt.Errorf("comm: duplicate allgather payload from %d", r)
+		}
+		out[r] = env.Parts[0].Data
+		for _, ch := range bst.Children(c.n, me, r) {
+			c.send(ch, int(r)+1, env.Parts)
+		}
+	}
+	return out, nil
+}
+
+// recvTagAnyRoot receives the next message belonging to the CURRENT
+// collective sequence regardless of subtag — used by the all-node
+// collectives, whose messages arrive from all N trees in any order.
+func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for tag, q := range c.mailbox {
+			if tag>>16 == c.seq && len(q) > 0 {
+				env := q[0]
+				if len(q) == 1 {
+					delete(c.mailbox, tag)
+				} else {
+					c.mailbox[tag] = q[1:]
+				}
+				return env, nil
+			}
+		}
+		if c.stopped {
+			return mpx.Envelope{}, fmt.Errorf("comm: node %d: machine stopped during all-node collective", c.nd.ID)
+		}
+		c.cond.Wait()
+	}
+}
+
+// AllToAll delivers mine[d] to rank d for every pair, over N concurrent
+// balanced-tree scatters. Returns got[r] = payload received from rank r.
+func (c *Comm) AllToAll(mine [][]byte) ([][]byte, error) {
+	defer c.next()
+	me := c.Rank()
+	if len(mine) != c.Size() {
+		return nil, fmt.Errorf("comm: alltoall needs %d payloads, got %d", c.Size(), len(mine))
+	}
+	out := make([][]byte, c.Size())
+	out[me] = mine[me]
+	for _, ch := range bst.Children(c.n, me, me) {
+		var parts []mpx.Part
+		for _, d := range subtreeBST(c.n, ch, me) {
+			parts = append(parts, mpx.Part{Dest: d, Data: mine[d]})
+		}
+		c.send(ch, int(me)+1, parts)
+	}
+	for seen := 0; seen < c.Size()-1; seen++ {
+		env, err := c.recvTagAnyRoot()
+		if err != nil {
+			return nil, err
+		}
+		r := cube.NodeID(env.Tag&0xffff - 1)
+		perChild := map[cube.NodeID][]mpx.Part{}
+		childOf := map[cube.NodeID]cube.NodeID{}
+		children := bst.Children(c.n, me, r)
+		for _, ch := range children {
+			for _, d := range subtreeBST(c.n, ch, r) {
+				childOf[d] = ch
+			}
+		}
+		for _, pt := range env.Parts {
+			if pt.Dest == me {
+				if out[r] != nil {
+					return nil, fmt.Errorf("comm: duplicate alltoall payload from %d", r)
+				}
+				out[r] = pt.Data
+				continue
+			}
+			ch, ok := childOf[pt.Dest]
+			if !ok {
+				return nil, fmt.Errorf("comm: alltoall part for %d outside subtree (tree %d)", pt.Dest, r)
+			}
+			perChild[ch] = append(perChild[ch], pt)
+		}
+		for _, ch := range children {
+			if parts := perChild[ch]; len(parts) > 0 {
+				c.send(ch, int(r)+1, parts)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// AllGather broadcasts every node's data to every other node by running N
+// spanning-tree broadcasts concurrently, one tree rooted at each node
+// (the all-to-all extension sketched in §1: "lower bound algorithms for
+// broadcasting from every node to every other node ... can be attained by
+// using N BST's rooted at each node concurrently"). treeAt(r) supplies the
+// tree rooted at r — use BSTTopology for the balanced variant or
+// SBTTopology for the binomial one.
+//
+// Returns got[v][r] = the data node v holds from origin r.
+func AllGather(n int, data [][]byte, treeAt func(r cube.NodeID) Topology) ([][][]byte, error) {
+	N := 1 << uint(n)
+	if len(data) != N {
+		return nil, fmt.Errorf("core: allgather needs %d payloads, got %d", N, len(data))
+	}
+	// Per-root topologies are captured once; nodes consult them via their
+	// locally evaluable Parent/Children closures.
+	topos := make([]Topology, N)
+	for r := 0; r < N; r++ {
+		topos[r] = treeAt(cube.NodeID(r))
+		if topos[r].Dim != n {
+			return nil, fmt.Errorf("core: treeAt(%d) has dim %d", r, topos[r].Dim)
+		}
+		if topos[r].Root != cube.NodeID(r) {
+			return nil, fmt.Errorf("core: treeAt(%d) rooted at %d", r, topos[r].Root)
+		}
+	}
+	// Every node receives exactly one message per foreign root.
+	m := mpx.New(n, N)
+	got := make([][][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		mine := make([][]byte, N)
+		mine[nd.ID] = data[nd.ID]
+		// Start the broadcast rooted here.
+		for _, c := range topos[nd.ID].Children(nd.ID) {
+			nd.SendTo(c, mpx.Message{
+				Tag:   int(nd.ID),
+				Parts: []mpx.Part{{Dest: nd.ID, Data: data[nd.ID]}},
+			})
+		}
+		for seen := 0; seen < N-1; seen++ {
+			env := nd.Recv()
+			r := cube.NodeID(env.Tag)
+			if p, ok := topos[r].Parent(nd.ID); !ok || env.From != p {
+				return fmt.Errorf("allgather: tree %d message from %d, want parent", r, env.From)
+			}
+			if mine[r] != nil {
+				return fmt.Errorf("allgather: duplicate data from root %d", r)
+			}
+			mine[r] = env.Parts[0].Data
+			for _, c := range topos[r].Children(nd.ID) {
+				nd.SendTo(c, mpx.Message{Tag: env.Tag, Parts: env.Parts})
+			}
+		}
+		got[nd.ID] = mine
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// AllToAll performs all-to-all personalized communication (the
+// matrix-transposition pattern of §1): data[r][d] travels from node r to
+// node d, via N concurrent tree scatters, one rooted at each node, with
+// unbounded packet merging (each tree edge carries exactly one bundle).
+//
+// Returns got[v][r] = the payload node v received from origin r.
+func AllToAll(n int, data [][][]byte, treeAt func(r cube.NodeID) Topology) ([][][]byte, error) {
+	N := 1 << uint(n)
+	if len(data) != N {
+		return nil, fmt.Errorf("core: alltoall needs %d payload rows, got %d", N, len(data))
+	}
+	for r := range data {
+		if len(data[r]) != N {
+			return nil, fmt.Errorf("core: alltoall row %d has %d payloads", r, len(data[r]))
+		}
+	}
+	topos := make([]Topology, N)
+	for r := 0; r < N; r++ {
+		topos[r] = treeAt(cube.NodeID(r))
+		if topos[r].Dim != n || topos[r].Root != cube.NodeID(r) {
+			return nil, fmt.Errorf("core: treeAt(%d) malformed", r)
+		}
+	}
+	// In each tree a node receives exactly one bundle, so depth N covers
+	// all incoming traffic.
+	m := mpx.New(n, N)
+	got := make([][][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		mine := make([][]byte, N)
+		mine[nd.ID] = data[nd.ID][nd.ID]
+		// Root role: one bundle per child subtree.
+		for _, c := range topos[nd.ID].Children(nd.ID) {
+			dests := subtreeDF(topos[nd.ID], c)
+			parts := make([]mpx.Part, 0, len(dests))
+			for _, d := range dests {
+				parts = append(parts, mpx.Part{Dest: d, Data: data[nd.ID][d]})
+			}
+			nd.SendTo(c, mpx.Message{Tag: int(nd.ID), Parts: parts})
+		}
+		// Relay role: exactly one bundle arrives per foreign root.
+		for seen := 0; seen < N-1; seen++ {
+			env := nd.Recv()
+			r := cube.NodeID(env.Tag)
+			if p, ok := topos[r].Parent(nd.ID); !ok || env.From != p {
+				return fmt.Errorf("alltoall: tree %d message from %d, want parent", r, env.From)
+			}
+			perChild := map[cube.NodeID][]mpx.Part{}
+			childOf := map[cube.NodeID]cube.NodeID{}
+			children := topos[r].Children(nd.ID)
+			for _, c := range children {
+				for _, d := range subtreeDF(topos[r], c) {
+					childOf[d] = c
+				}
+			}
+			for _, pt := range env.Parts {
+				if pt.Dest == nd.ID {
+					if mine[r] != nil {
+						return fmt.Errorf("alltoall: duplicate payload from %d", r)
+					}
+					mine[r] = pt.Data
+					continue
+				}
+				c, ok := childOf[pt.Dest]
+				if !ok {
+					return fmt.Errorf("alltoall: node %d got part for %d outside subtree (tree %d)", nd.ID, pt.Dest, r)
+				}
+				perChild[c] = append(perChild[c], pt)
+			}
+			for _, c := range children {
+				if parts := perChild[c]; len(parts) > 0 {
+					nd.SendTo(c, mpx.Message{Tag: env.Tag, Parts: parts})
+				}
+			}
+		}
+		got[nd.ID] = mine
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}

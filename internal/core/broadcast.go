@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/msbt"
+)
+
+// Broadcast distributes data from topo.Root to every node along the given
+// spanning tree, on a freshly created message-passing machine. It returns
+// what each node received (the root's slot holds the original data).
+// Every node runs the same program: receive once from the parent, forward
+// to all children.
+//
+// Inbox sizing: each node receives exactly one message, so depth 1 is
+// deadlock-free.
+func Broadcast(topo Topology, data []byte) ([][]byte, error) {
+	m := mpx.New(topo.Dim, 1)
+	got := make([][]byte, m.Cube().Nodes())
+	err := m.Run(func(nd *mpx.Node) error {
+		var payload []byte
+		if nd.ID == topo.Root {
+			payload = data
+		} else {
+			env := nd.Recv()
+			if p, ok := topo.Parent(nd.ID); !ok || env.From != p {
+				return fmt.Errorf("broadcast: got message from %d, want parent", env.From)
+			}
+			if len(env.Parts) != 1 {
+				return fmt.Errorf("broadcast: %d parts", len(env.Parts))
+			}
+			payload = env.Parts[0].Data
+		}
+		got[nd.ID] = payload
+		msg := mpx.Message{Parts: []mpx.Part{{Dest: topo.Root, Data: payload}}}
+		for _, c := range topo.Children(nd.ID) {
+			nd.SendTo(c, msg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// BroadcastMSBT distributes data from src to every node of the n-cube
+// using the n edge-disjoint ERSBTs: the data is cut into n nearly equal
+// chunks and chunk j streams down the j-th ERSBT. Each node receives
+// exactly n tagged chunks (one per tree), reassembling the full message;
+// it forwards chunk j to its children in tree j, computed locally from its
+// own address. Returns each node's reassembled data.
+//
+// Inbox sizing: every node receives exactly n messages, so depth n makes
+// senders non-blocking and the run deadlock-free.
+func BroadcastMSBT(n int, src cube.NodeID, data []byte) ([][]byte, error) {
+	m := mpx.New(n, n)
+	got := make([][]byte, m.Cube().Nodes())
+	bounds := chunkBounds(len(data), n)
+	err := m.Run(func(nd *mpx.Node) error {
+		if nd.ID == src {
+			got[nd.ID] = data
+			for j := 0; j < n; j++ {
+				chunk := data[bounds[j]:bounds[j+1]]
+				nd.SendTo(msbt.RootOf(j, src), mpx.Message{
+					Tag:   j,
+					Parts: []mpx.Part{{Dest: src, Data: chunk}},
+				})
+			}
+			return nil
+		}
+		buf := make([]byte, len(data))
+		for seen := 0; seen < n; seen++ {
+			env := nd.Recv()
+			j := env.Tag
+			if j < 0 || j >= n {
+				return fmt.Errorf("msbt broadcast: bad tag %d", j)
+			}
+			if p, ok := msbt.Parent(n, j, nd.ID, src); !ok || env.From != p {
+				return fmt.Errorf("msbt broadcast: chunk %d arrived from %d, want tree parent", j, env.From)
+			}
+			chunk := env.Parts[0].Data
+			if len(chunk) != bounds[j+1]-bounds[j] {
+				return fmt.Errorf("msbt broadcast: chunk %d has %d bytes", j, len(chunk))
+			}
+			copy(buf[bounds[j]:], chunk)
+			for _, c := range msbt.Children(n, j, nd.ID, src) {
+				nd.SendTo(c, mpx.Message{Tag: j, Parts: env.Parts})
+			}
+		}
+		got[nd.ID] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// chunkBounds splits length l into n nearly equal contiguous chunks and
+// returns the n+1 boundary offsets.
+func chunkBounds(l, n int) []int {
+	out := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		out[j] = j * l / n
+	}
+	return out
+}
+
+// Reduce combines per-node contributions up the tree: each node waits for
+// all of its children's partial results, combines them with its own using
+// the associative function combine, and forwards the partial to its
+// parent. The final result lands at topo.Root and is returned.
+//
+// Inbox sizing: a node receives one message per child (at most dim), so
+// depth dim suffices.
+func Reduce(topo Topology, contribution func(cube.NodeID) []byte,
+	combine func(a, b []byte) []byte) ([]byte, error) {
+
+	m := mpx.New(topo.Dim, topo.Dim)
+	var result []byte
+	err := m.Run(func(nd *mpx.Node) error {
+		acc := contribution(nd.ID)
+		need := len(topo.Children(nd.ID))
+		for k := 0; k < need; k++ {
+			env := nd.Recv()
+			acc = combine(acc, env.Parts[0].Data)
+		}
+		if p, ok := topo.Parent(nd.ID); ok {
+			nd.SendTo(p, mpx.Message{Parts: []mpx.Part{{Dest: topo.Root, Data: acc}}})
+		} else {
+			result = acc
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func payload(seed, size int) []byte {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	out := make([]byte, size)
+	rng.Read(out)
+	return out
+}
+
+func topologies(t *testing.T, n int, s cube.NodeID) map[string]Topology {
+	t.Helper()
+	tc, err := TCBTTopology(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Topology{
+		"sbt":  SBTTopology(n, s),
+		"bst":  BSTTopology(n, s),
+		"hp":   HPTopology(n, s),
+		"tcbt": tc,
+	}
+}
+
+func TestBroadcastAllTrees(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		N := 1 << uint(n)
+		for _, s := range []cube.NodeID{0, cube.NodeID(N - 1), cube.NodeID(N / 3)} {
+			data := payload(n*100+int(s), 257)
+			for name, topo := range topologies(t, n, s) {
+				got, err := Broadcast(topo, data)
+				if err != nil {
+					t.Fatalf("n=%d s=%d %s: %v", n, s, name, err)
+				}
+				for i, g := range got {
+					if !bytes.Equal(g, data) {
+						t.Fatalf("n=%d s=%d %s: node %d got wrong data", n, s, name, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastMSBT(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		N := 1 << uint(n)
+		for _, s := range []cube.NodeID{0, cube.NodeID(N - 1), cube.NodeID(N / 3)} {
+			// A size not divisible by n exercises the chunk boundaries.
+			data := payload(n, 1009)
+			got, err := BroadcastMSBT(n, s, data)
+			if err != nil {
+				t.Fatalf("n=%d s=%d: %v", n, s, err)
+			}
+			for i, g := range got {
+				if !bytes.Equal(g, data) {
+					t.Fatalf("n=%d s=%d: node %d reassembled wrong data", n, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastMSBTTinyData(t *testing.T) {
+	// Data smaller than n bytes leaves some chunks empty; every node must
+	// still reassemble it.
+	got, err := BroadcastMSBT(5, 0, []byte{42, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, []byte{42, 7}) {
+			t.Fatalf("node %d got %v", i, g)
+		}
+	}
+}
+
+func TestScatterAllTrees(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		N := 1 << uint(n)
+		for _, s := range []cube.NodeID{0, cube.NodeID(N - 1)} {
+			data := make([][]byte, N)
+			for i := range data {
+				data[i] = payload(i, 64)
+			}
+			for name, topo := range topologies(t, n, s) {
+				for _, per := range []int{0, 1, 3, N} {
+					got, err := Scatter(topo, data, per)
+					if err != nil {
+						t.Fatalf("n=%d s=%d %s per=%d: %v", n, s, name, per, err)
+					}
+					for i := range got {
+						if !bytes.Equal(got[i], data[i]) {
+							t.Fatalf("n=%d s=%d %s per=%d: node %d wrong payload", n, s, name, per, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatterRejectsBadInput(t *testing.T) {
+	topo := SBTTopology(3, 0)
+	if _, err := Scatter(topo, make([][]byte, 4), 0); err == nil {
+		t.Error("wrong payload count accepted")
+	}
+	if _, err := AllGather(3, make([][]byte, 4), func(r cube.NodeID) Topology { return SBTTopology(3, r) }); err == nil {
+		t.Error("allgather wrong count accepted")
+	}
+	if _, err := AllToAll(2, make([][][]byte, 3), func(r cube.NodeID) Topology { return BSTTopology(2, r) }); err == nil {
+		t.Error("alltoall wrong count accepted")
+	}
+}
+
+func TestGatherAllTrees(t *testing.T) {
+	n := 5
+	N := 1 << uint(n)
+	for _, s := range []cube.NodeID{0, 17} {
+		for name, topo := range topologies(t, n, s) {
+			got, err := Gather(topo, func(i cube.NodeID) []byte { return payload(int(i), 32) })
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := 0; i < N; i++ {
+				if !bytes.Equal(got[i], payload(i, 32)) {
+					t.Fatalf("%s: root has wrong data for node %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	// Sum of node IDs over every tree: must equal N(N-1)/2.
+	n := 5
+	N := 1 << uint(n)
+	sum := func(a, b []byte) []byte {
+		va := int(a[0]) | int(a[1])<<8
+		vb := int(b[0]) | int(b[1])<<8
+		v := va + vb
+		return []byte{byte(v), byte(v >> 8)}
+	}
+	for name, topo := range topologies(t, n, 9) {
+		res, err := Reduce(topo, func(i cube.NodeID) []byte {
+			return []byte{byte(i), byte(i >> 8)}
+		}, sum)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := int(res[0]) | int(res[1])<<8
+		if want := N * (N - 1) / 2; got != want {
+			t.Fatalf("%s: reduce sum %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		N := 1 << uint(n)
+		data := make([][]byte, N)
+		for i := range data {
+			data[i] = payload(1000+i, 16)
+		}
+		for _, family := range []struct {
+			name string
+			at   func(r cube.NodeID) Topology
+		}{
+			{"bst", func(r cube.NodeID) Topology { return BSTTopology(n, r) }},
+			{"sbt", func(r cube.NodeID) Topology { return SBTTopology(n, r) }},
+		} {
+			got, err := AllGather(n, data, family.at)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, family.name, err)
+			}
+			for v := 0; v < N; v++ {
+				for r := 0; r < N; r++ {
+					if !bytes.Equal(got[v][r], data[r]) {
+						t.Fatalf("n=%d %s: node %d has wrong data from %d", n, family.name, v, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllToAllTranspose(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		N := 1 << uint(n)
+		data := make([][][]byte, N)
+		for r := range data {
+			data[r] = make([][]byte, N)
+			for d := range data[r] {
+				data[r][d] = []byte(fmt.Sprintf("from-%d-to-%d", r, d))
+			}
+		}
+		got, err := AllToAll(n, data, func(r cube.NodeID) Topology { return BSTTopology(n, r) })
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for v := 0; v < N; v++ {
+			for r := 0; r < N; r++ {
+				if want := fmt.Sprintf("from-%d-to-%d", r, v); string(got[v][r]) != want {
+					t.Fatalf("n=%d: node %d from %d: %q want %q", n, v, r, got[v][r], want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyForErrors(t *testing.T) {
+	if _, err := TopologyFor(model.MSBT, 3, 0); err == nil {
+		t.Error("MSBT must not yield a tree topology")
+	}
+	if _, err := TopologyFor(model.SBT, 3, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopologiesMaterialize(t *testing.T) {
+	// Every topology's closures define a valid spanning tree.
+	for n := 1; n <= 6; n++ {
+		for name, topo := range topologies(t, n, cube.NodeID(n%2)) {
+			tr, err := topo.Tree()
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			if !tr.Spanning() {
+				t.Fatalf("n=%d %s: not spanning", n, name)
+			}
+			if err := tr.VerifyChildrenFunc(topo.Children); err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+		}
+	}
+}
+
+// --- Simulated (timed) collectives ---
+
+func TestSimBroadcastMatchesModel(t *testing.T) {
+	// The simulator must reproduce the Table 3 T formulas for the
+	// schedules the paper prescribes (up to packet-rounding).
+	for _, n := range []int{4, 6} {
+		p := model.Params{N: n, M: 4096, B: 256, Tau: 100, Tc: 1}
+		cases := []struct {
+			a  model.Algorithm
+			pm model.PortModel
+		}{
+			{model.SBT, model.OneSendOrRecv},
+			{model.SBT, model.AllPorts},
+			{model.MSBT, model.OneSendAndRecv},
+			{model.TCBT, model.AllPorts},
+		}
+		for _, c := range cases {
+			cfg := simConfig(n, c.pm, p)
+			res, err := SimBroadcast(c.a, 0, p.M, p.B, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", c.a, c.pm, err)
+			}
+			want := model.BroadcastTime(c.a, c.pm, p)
+			if ratio := res.Makespan / want; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("n=%d %v/%v: simulated %f, model %f (ratio %f)",
+					n, c.a, c.pm, res.Makespan, want, ratio)
+			}
+		}
+	}
+}
+
+func simConfig(n int, pm model.PortModel, p model.Params) sim.Config {
+	return sim.Config{Dim: n, Model: pm, Tau: p.Tau, Tc: p.Tc}
+}
+
+func TestSimScatterShape(t *testing.T) {
+	// All-port scatter: BST beats SBT by about n/2 (Table 6 shape).
+	n := 6
+	N := float64(int(1) << uint(n))
+	m := 4.0
+	cfg := sim.Config{Dim: n, Model: model.AllPorts, Tau: 2, Tc: 1}
+	resS, err := SimScatter(model.SBT, 0, m, N*m, sched.OrderRBF, sched.PortOriented, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := SimScatter(model.BST, 0, m, m*N/float64(n), sched.OrderRBF, sched.RoundRobin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := resS.Makespan / resB.Makespan
+	if speedup < float64(n)/2*0.6 || speedup > float64(n)/2*1.8 {
+		t.Errorf("BST scatter speedup %f, want ~%f", speedup, float64(n)/2)
+	}
+}
+
+func TestSimGatherRuns(t *testing.T) {
+	cfg := sim.Config{Dim: 4, Model: model.OneSendAndRecv, Tau: 1, Tc: 1}
+	res, err := SimGather(model.SBT, 0, 4, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("gather produced no work")
+	}
+}
+
+func TestSimBroadcastRejectsBadInput(t *testing.T) {
+	cfg := sim.Config{Dim: 3, Model: model.AllPorts, Tau: 1, Tc: 1}
+	if _, err := SimBroadcast(model.SBT, 0, 0, 8, cfg); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := SimBroadcast(model.BST, 0, 8, 8, cfg); err == nil {
+		t.Error("BST broadcast schedule should not exist")
+	}
+}

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+)
+
+// Broadcasting the same message to all 16 nodes of a 4-cube along the
+// spanning binomial tree.
+func ExampleBroadcast() {
+	got, err := core.Broadcast(core.SBTTopology(4, 0), []byte("hi"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ok := 0
+	for _, g := range got {
+		if string(g) == "hi" {
+			ok++
+		}
+	}
+	fmt.Printf("%d/16 nodes received the message\n", ok)
+	// Output: 16/16 nodes received the message
+}
+
+// The MSBT broadcast splits the message into n chunks, one per
+// edge-disjoint tree; every node reassembles the full message.
+func ExampleBroadcastMSBT() {
+	got, err := core.BroadcastMSBT(3, 5, []byte("hypercube"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("node 0 got %q, node 7 got %q\n", got[0], got[7])
+	// Output: node 0 got "hypercube", node 7 got "hypercube"
+}
+
+// Personalized communication: each node receives its own payload through
+// the balanced spanning tree, with up to 4 destinations merged per packet.
+func ExampleScatter() {
+	n := 3
+	N := 1 << uint(n)
+	data := make([][]byte, N)
+	for i := range data {
+		data[i] = []byte{byte(i) * 10}
+	}
+	got, err := core.Scatter(core.BSTTopology(n, 0), data, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(got[3][0], got[6][0])
+	// Output: 30 60
+}
+
+// Reduction: summing one number per node up the tree to the root.
+func ExampleReduce() {
+	sum := func(a, b []byte) []byte { return []byte{a[0] + b[0]} }
+	res, err := core.Reduce(core.SBTTopology(3, 0),
+		func(i cube.NodeID) []byte { return []byte{byte(i)} }, sum)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res[0]) // 0+1+...+7
+	// Output: 28
+}
+
+// AllReduce leaves the combined value on every node after log N
+// dimension-exchange steps.
+func ExampleAllReduce() {
+	add := func(a, b []byte) []byte {
+		s := binary.LittleEndian.Uint64(a) + binary.LittleEndian.Uint64(b)
+		return binary.LittleEndian.AppendUint64(nil, s)
+	}
+	got, err := core.AllReduce(4, func(i cube.NodeID) []byte {
+		return binary.LittleEndian.AppendUint64(nil, uint64(i))
+	}, add)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(binary.LittleEndian.Uint64(got[0]), binary.LittleEndian.Uint64(got[15]))
+	// Output: 120 120
+}
+
+// Scan computes an inclusive prefix over the node order; concatenation
+// shows the strict index ordering.
+func ExampleScan() {
+	concat := func(a, b []byte) []byte { return append(append([]byte(nil), a...), b...) }
+	got, err := core.Scan(2, func(i cube.NodeID) []byte {
+		return []byte{byte('a' + i)}
+	}, concat)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s %s %s %s\n", got[0], got[1], got[2], got[3])
+	// Output: a ab abc abcd
+}
+
+// All-to-all personalized exchange over N concurrent balanced spanning
+// trees: the transpose pattern.
+func ExampleAllToAll() {
+	n := 2
+	N := 1 << uint(n)
+	data := make([][][]byte, N)
+	for r := range data {
+		data[r] = make([][]byte, N)
+		for d := range data[r] {
+			data[r][d] = []byte{byte(10*r + d)}
+		}
+	}
+	got, err := core.AllToAll(n, data, func(r cube.NodeID) core.Topology {
+		return core.BSTTopology(n, r)
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Node 3 received from node 2 the payload 10*2+3.
+	fmt.Println(got[3][2][0])
+	// Output: 23
+}

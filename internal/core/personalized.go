@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// endTag marks the per-link sentinel that terminates a scatter stream.
+const endTag = -1
+
+// Scatter performs single-source personalized communication on the given
+// spanning tree: data[i] travels from topo.Root to node i, with the data
+// of up to destsPerPacket destinations merged into each message (the
+// paper's B >= M packet merging; destsPerPacket <= 0 means unbounded).
+// The root serves its subtrees cyclically (round-robin), the BST routing
+// of §4.2.2. Each internal node keeps its own part and splits the rest of
+// every bundle among its children's subtrees. Returns what each node
+// received (the root's slot holds data[root]).
+func Scatter(topo Topology, data [][]byte, destsPerPacket int) ([][]byte, error) {
+	N := 1 << uint(topo.Dim)
+	if len(data) != N {
+		return nil, fmt.Errorf("core: scatter needs %d payloads, got %d", N, len(data))
+	}
+	// A node can receive at most one bundle per destination below it plus
+	// the sentinel; depth N+1 makes every send non-blocking.
+	m := mpx.New(topo.Dim, N+1)
+	got := make([][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		if nd.ID == topo.Root {
+			got[nd.ID] = data[nd.ID]
+			return scatterRoot(nd, topo, data, destsPerPacket)
+		}
+		return scatterRelay(nd, topo, got)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// scatterRoot enumerates each subtree's destinations (depth-first), chunks
+// them into bundles, and emits bundles round-robin across the subtrees,
+// ending each stream with a sentinel.
+func scatterRoot(nd *mpx.Node, topo Topology, data [][]byte, destsPerPacket int) error {
+	children := topo.Children(nd.ID)
+	bundles := make([][]mpx.Message, len(children))
+	for k, c := range children {
+		dests := subtreeDF(topo, c)
+		if destsPerPacket <= 0 {
+			destsPerPacket = len(dests)
+		}
+		for start := 0; start < len(dests); start += destsPerPacket {
+			end := start + destsPerPacket
+			if end > len(dests) {
+				end = len(dests)
+			}
+			parts := make([]mpx.Part, 0, end-start)
+			for _, d := range dests[start:end] {
+				parts = append(parts, mpx.Part{Dest: d, Data: data[d]})
+			}
+			bundles[k] = append(bundles[k], mpx.Message{Parts: parts})
+		}
+	}
+	for round := 0; ; round++ {
+		any := false
+		for k, c := range children {
+			if round < len(bundles[k]) {
+				any = true
+				nd.SendTo(c, bundles[k][round])
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	for _, c := range children {
+		nd.SendTo(c, mpx.Message{Tag: endTag})
+	}
+	return nil
+}
+
+// scatterRelay receives bundles until the sentinel, keeps its own part,
+// and forwards the remaining parts split per child subtree.
+func scatterRelay(nd *mpx.Node, topo Topology, got [][]byte) error {
+	children := topo.Children(nd.ID)
+	// below[d] = the child whose subtree holds destination d.
+	below := map[cube.NodeID]cube.NodeID{}
+	for _, c := range children {
+		for _, d := range subtreeDF(topo, c) {
+			below[c] = c // ensure the child itself maps
+			below[d] = c
+		}
+	}
+	parent, _ := topo.Parent(nd.ID)
+	for {
+		env := nd.Recv()
+		if env.From != parent {
+			return fmt.Errorf("scatter: node %d got message from %d, want parent %d", nd.ID, env.From, parent)
+		}
+		if env.Tag == endTag {
+			break
+		}
+		perChild := map[cube.NodeID][]mpx.Part{}
+		for _, p := range env.Parts {
+			if p.Dest == nd.ID {
+				if got[nd.ID] != nil {
+					return fmt.Errorf("scatter: node %d received its data twice", nd.ID)
+				}
+				got[nd.ID] = p.Data
+				continue
+			}
+			c, ok := below[p.Dest]
+			if !ok {
+				return fmt.Errorf("scatter: node %d got part for %d outside its subtree", nd.ID, p.Dest)
+			}
+			perChild[c] = append(perChild[c], p)
+		}
+		for _, c := range children {
+			if parts := perChild[c]; len(parts) > 0 {
+				nd.SendTo(c, mpx.Message{Parts: parts})
+			}
+		}
+	}
+	for _, c := range children {
+		nd.SendTo(c, mpx.Message{Tag: endTag})
+	}
+	if got[nd.ID] == nil {
+		return fmt.Errorf("scatter: node %d never received its data", nd.ID)
+	}
+	return nil
+}
+
+// Gather is the reverse of Scatter: every node contributes data destined
+// for topo.Root; each node waits for one merged bundle per child, adds its
+// own part, and sends a single bundle to its parent. Returns all payloads
+// indexed by origin node (the root's own slot holds contribution(root)).
+func Gather(topo Topology, contribution func(cube.NodeID) []byte) ([][]byte, error) {
+	N := 1 << uint(topo.Dim)
+	m := mpx.New(topo.Dim, topo.Dim)
+	got := make([][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		parts := []mpx.Part{{Dest: nd.ID, Data: contribution(nd.ID)}}
+		for range topo.Children(nd.ID) {
+			env := nd.Recv()
+			parts = append(parts, env.Parts...)
+		}
+		if p, ok := topo.Parent(nd.ID); ok {
+			nd.SendTo(p, mpx.Message{Parts: parts})
+			return nil
+		}
+		for _, pt := range parts {
+			got[pt.Dest] = pt.Data
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range got {
+		if g == nil {
+			return nil, fmt.Errorf("core: gather lost node %d's contribution", i)
+		}
+	}
+	return got, nil
+}
+
+// subtreeDF returns the nodes of the subtree rooted at c in depth-first
+// preorder, computed purely from the topology's children function (§5.2's
+// depth-first transmission order).
+func subtreeDF(topo Topology, c cube.NodeID) []cube.NodeID {
+	var out []cube.NodeID
+	var walk func(v cube.NodeID)
+	walk = func(v cube.NodeID) {
+		out = append(out, v)
+		for _, ch := range topo.Children(v) {
+			walk(ch)
+		}
+	}
+	walk(c)
+	return out
+}

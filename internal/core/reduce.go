@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/msbt"
+)
+
+// ReduceMSBT performs an all-to-one reduction of per-node M-byte vectors
+// using the n edge-disjoint ERSBTs in reverse — the mirror image of
+// BroadcastMSBT and the paper's "reverse operation" (§1: reduction for
+// inner products, recurrences, parallel prefix). Each node's vector is cut
+// into n chunks; chunk j flows UP the j-th ERSBT, combined element-wise at
+// every internal node with the associative function combine, so all n
+// root links carry reduction traffic concurrently.
+//
+// elemSize is the reduction element width in bytes: chunk boundaries are
+// aligned to it so combine always sees whole elements. Every contribution
+// must have the same length, a multiple of elemSize. combine must accept
+// two equal-length chunks and may reuse either slice. Returns the reduced
+// vector at the destination dst.
+func ReduceMSBT(n int, dst cube.NodeID, elemSize int, contribution func(cube.NodeID) []byte,
+	combine func(a, b []byte) []byte) ([]byte, error) {
+
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("core: element size %d", elemSize)
+	}
+	N := 1 << uint(n)
+	length := -1
+	vecs := make([][]byte, N)
+	for i := 0; i < N; i++ {
+		vecs[i] = contribution(cube.NodeID(i))
+		if length == -1 {
+			length = len(vecs[i])
+		} else if len(vecs[i]) != length {
+			return nil, fmt.Errorf("core: contribution %d has %d bytes, want %d", i, len(vecs[i]), length)
+		}
+	}
+	if length%elemSize != 0 {
+		return nil, fmt.Errorf("core: vector length %d not a multiple of element size %d", length, elemSize)
+	}
+	bounds := chunkBounds(length/elemSize, n)
+	for j := range bounds {
+		bounds[j] *= elemSize
+	}
+	m := mpx.New(n, n)
+	result := make([]byte, length)
+	err := m.Run(func(nd *mpx.Node) error {
+		// Per tree j: accumulate own chunk with children's partials, then
+		// forward to the tree parent. The reversed ERSBT j delivers chunk
+		// j to the source.
+		acc := make([][]byte, n)
+		need := make([]int, n)
+		pending := 0
+		for j := 0; j < n; j++ {
+			chunk := append([]byte(nil), vecs[nd.ID][bounds[j]:bounds[j+1]]...)
+			acc[j] = chunk
+			need[j] = len(msbt.Children(n, j, nd.ID, dst))
+			pending += need[j]
+		}
+		flush := func(j int) error {
+			if nd.ID == dst {
+				copy(result[bounds[j]:], acc[j])
+				return nil
+			}
+			p, ok := msbt.Parent(n, j, nd.ID, dst)
+			if !ok {
+				return fmt.Errorf("reduce msbt: non-destination %d has no parent in tree %d", nd.ID, j)
+			}
+			nd.SendTo(p, mpx.Message{Tag: j, Parts: []mpx.Part{{Dest: dst, Data: acc[j]}}})
+			return nil
+		}
+		for j := 0; j < n; j++ {
+			if need[j] == 0 {
+				if err := flush(j); err != nil {
+					return err
+				}
+			}
+		}
+		for pending > 0 {
+			env := nd.Recv()
+			j := env.Tag
+			if j < 0 || j >= n {
+				return fmt.Errorf("reduce msbt: bad tag %d", j)
+			}
+			if need[j] == 0 {
+				return fmt.Errorf("reduce msbt: unexpected partial for tree %d at node %d", j, nd.ID)
+			}
+			// Empty chunks (more trees than elements) carry no data;
+			// combine must only see whole elements.
+			if len(acc[j]) > 0 {
+				acc[j] = combine(acc[j], env.Parts[0].Data)
+			}
+			need[j]--
+			pending--
+			if need[j] == 0 {
+				if err := flush(j); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// AllReduce combines every node's vector and leaves the full result at
+// every node, using the classic hypercube dimension-exchange (recursive
+// doubling): in step d each node swaps its current partial with its
+// neighbor across dimension d and combines, so after n steps all 2^n
+// contributions are folded everywhere. This is the minimal-step all-node
+// reduction the paper's Table 2 "all ports"/"1 s and r" analyses allow:
+// n steps, full duplex.
+//
+// combine must be associative AND commutative (partials meet in
+// arbitrary order across the dimensions). Returns every node's result.
+func AllReduce(n int, contribution func(cube.NodeID) []byte,
+	combine func(a, b []byte) []byte) ([][]byte, error) {
+
+	N := 1 << uint(n)
+	// Depth n: a neighbor at most one dimension sweep ahead per port can
+	// never block, and out-of-order arrivals are stashed below.
+	m := mpx.New(n, n)
+	out := make([][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		acc := append([]byte(nil), contribution(nd.ID)...)
+		stash := map[int][]byte{}
+		for d := 0; d < n; d++ {
+			// Send a copy: combine may mutate acc in place while the
+			// receiver is still reading.
+			snap := append([]byte(nil), acc...)
+			nd.Send(d, mpx.Message{Tag: d, Parts: []mpx.Part{{Dest: nd.ID, Data: snap}}})
+			other, err := recvStep(nd, d, stash)
+			if err != nil {
+				return fmt.Errorf("allreduce: %w", err)
+			}
+			acc = combine(acc, other)
+		}
+		out[nd.ID] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scan computes an inclusive parallel prefix over the node order
+// 0, 1, ..., N-1: node i ends with combine(x_0, ..., x_i). It uses the
+// standard hypercube prefix algorithm (Kogge-Stone style dimension
+// sweeps, cf. the paper's §1 reference to parallel prefix computation):
+// each node carries a (prefix, total) pair; in step d it exchanges the
+// running total across dimension d and folds the lower neighbor's total
+// into its prefix.
+//
+// combine must be associative (commutativity is NOT required: partials
+// are always folded in index order). Returns every node's prefix.
+func Scan(n int, contribution func(cube.NodeID) []byte,
+	combine func(a, b []byte) []byte) ([][]byte, error) {
+
+	N := 1 << uint(n)
+	m := mpx.New(n, n)
+	out := make([][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		x := contribution(nd.ID)
+		prefix := append([]byte(nil), x...)
+		total := append([]byte(nil), x...)
+		stash := map[int][]byte{}
+		for d := 0; d < n; d++ {
+			// Send a copy: total is mutated below while the receiver may
+			// still be reading the message.
+			snap := append([]byte(nil), total...)
+			nd.Send(d, mpx.Message{Tag: d, Parts: []mpx.Part{{Dest: nd.ID, Data: snap}}})
+			other, err := recvStep(nd, d, stash)
+			if err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+			if nd.ID&(1<<uint(d)) != 0 {
+				// The neighbor precedes this node in index order: its
+				// subcube total joins both prefix and total, on the left.
+				prefix = combine(append([]byte(nil), other...), prefix)
+				total = combine(append([]byte(nil), other...), total)
+			} else {
+				total = combine(total, other)
+			}
+		}
+		out[nd.ID] = prefix
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recvStep returns the dimension-d message for a dimension-exchange sweep,
+// stashing messages from faster neighbors that are already at a later
+// step. Each step's message arrives on port d with tag d.
+func recvStep(nd *mpx.Node, d int, stash map[int][]byte) ([]byte, error) {
+	if data, ok := stash[d]; ok {
+		delete(stash, d)
+		return data, nil
+	}
+	for {
+		env := nd.Recv()
+		if env.Tag != env.Port {
+			return nil, fmt.Errorf("node %d: tag %d on port %d", nd.ID, env.Tag, env.Port)
+		}
+		if env.Tag == d {
+			return env.Parts[0].Data, nil
+		}
+		if env.Tag < d || env.Tag >= nd.Dim() {
+			return nil, fmt.Errorf("node %d at step %d: unexpected step-%d message", nd.ID, d, env.Tag)
+		}
+		if _, dup := stash[env.Tag]; dup {
+			return nil, fmt.Errorf("node %d: duplicate step-%d message", nd.ID, env.Tag)
+		}
+		stash[env.Tag] = env.Parts[0].Data
+	}
+}

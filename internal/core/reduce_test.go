@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+// u64vec packs values into a little-endian byte vector.
+func u64vec(vals ...uint64) []byte {
+	out := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, v)
+	}
+	return out
+}
+
+// addVec is element-wise addition of equal-length u64 vectors (reusing a).
+func addVec(a, b []byte) []byte {
+	for off := 0; off+8 <= len(a); off += 8 {
+		s := binary.LittleEndian.Uint64(a[off:]) + binary.LittleEndian.Uint64(b[off:])
+		binary.LittleEndian.PutUint64(a[off:], s)
+	}
+	return a
+}
+
+func TestReduceMSBTSumVectors(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 6} {
+		N := uint64(1) << uint(n)
+		for _, dst := range []cube.NodeID{0, cube.NodeID(N - 1)} {
+			// Node i contributes the vector [i, 2i, 3i, ..., 16i] so each
+			// element checks a different scale; vector length 16 words is
+			// not divisible by most n, exercising chunk boundaries.
+			const words = 16
+			got, err := ReduceMSBT(n, dst, 8, func(i cube.NodeID) []byte {
+				vals := make([]uint64, words)
+				for w := range vals {
+					vals[w] = uint64(i) * uint64(w+1)
+				}
+				return u64vec(vals...)
+			}, addVec)
+			if err != nil {
+				t.Fatalf("n=%d dst=%d: %v", n, dst, err)
+			}
+			sumIDs := N * (N - 1) / 2
+			for w := 0; w < words; w++ {
+				v := binary.LittleEndian.Uint64(got[w*8:])
+				if want := sumIDs * uint64(w+1); v != want {
+					t.Fatalf("n=%d dst=%d word %d: %d, want %d", n, dst, w, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceMSBTRejectsUnequalLengths(t *testing.T) {
+	_, err := ReduceMSBT(3, 0, 1, func(i cube.NodeID) []byte {
+		return make([]byte, int(i)+1)
+	}, addVec)
+	if err == nil {
+		t.Error("unequal contribution lengths accepted")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, n := range []int{1, 3, 6} {
+		N := uint64(1) << uint(n)
+		got, err := AllReduce(n, func(i cube.NodeID) []byte {
+			return u64vec(uint64(i), uint64(i)*uint64(i))
+		}, addVec)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		var wantSum, wantSq uint64
+		for i := uint64(0); i < N; i++ {
+			wantSum += i
+			wantSq += i * i
+		}
+		for i, g := range got {
+			if binary.LittleEndian.Uint64(g) != wantSum ||
+				binary.LittleEndian.Uint64(g[8:]) != wantSq {
+				t.Fatalf("n=%d node %d: wrong result", n, i)
+			}
+		}
+	}
+}
+
+func TestAllReduceMatchesReduceMSBT(t *testing.T) {
+	n := 5
+	contrib := func(i cube.NodeID) []byte { return u64vec(uint64(i) * 3) }
+	all, err := AllReduce(n, contrib, addVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ReduceMSBT(n, 7, 8, contrib, addVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(all[0], one) {
+		t.Errorf("allreduce %v != msbt reduce %v", all[0], one)
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		N := 1 << uint(n)
+		got, err := Scan(n, func(i cube.NodeID) []byte {
+			return u64vec(uint64(i) + 1)
+		}, addVec)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		running := uint64(0)
+		for i := 0; i < N; i++ {
+			running += uint64(i) + 1
+			if v := binary.LittleEndian.Uint64(got[i]); v != running {
+				t.Fatalf("n=%d node %d: prefix %d, want %d", n, i, v, running)
+			}
+		}
+	}
+}
+
+func TestScanNonCommutative(t *testing.T) {
+	// String concatenation is associative but NOT commutative: the scan
+	// must fold strictly in index order.
+	n := 4
+	N := 1 << uint(n)
+	got, err := Scan(n, func(i cube.NodeID) []byte {
+		return []byte{byte('a' + i%26)}
+	}, func(a, b []byte) []byte {
+		return append(append([]byte(nil), a...), b...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ""
+	for i := 0; i < N; i++ {
+		want += string(rune('a' + i%26))
+		if string(got[i]) != want {
+			t.Fatalf("node %d: %q, want %q", i, got[i], want)
+		}
+	}
+}

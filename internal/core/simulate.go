@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// SimBroadcast runs a timed single-source broadcast of M elements with
+// maximum (external) packet size B on the simulated machine described by
+// cfg, using the schedule the paper prescribes for the algorithm and
+// cfg.Model: port-oriented recursive halving for the one-port SBT,
+// packet-pipelining for the all-port SBT and for TCBT/HP, and the
+// f-labelled multi-tree stream for the MSBT. Returns the simulation
+// result; Result.Makespan is the broadcast completion time.
+func SimBroadcast(a model.Algorithm, s cube.NodeID, M, B float64, cfg sim.Config) (*sim.Result, error) {
+	xs, err := BroadcastSchedule(a, s, M, B, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, xs)
+}
+
+// BroadcastSchedule builds (without running) the transmission schedule
+// SimBroadcast would execute — useful for inspecting or rendering the
+// schedule alongside its simulation result.
+func BroadcastSchedule(a model.Algorithm, s cube.NodeID, M, B float64, cfg sim.Config) ([]sim.Xmit, error) {
+	if M <= 0 || B <= 0 {
+		return nil, fmt.Errorf("core: nonpositive M or B")
+	}
+	n := cfg.Dim
+	var xs []sim.Xmit
+	switch a {
+	case model.MSBT:
+		// Split the data into n streams; stream j needs ceil(M/(n*B))
+		// packets of at most B elements.
+		perTree := M / float64(n)
+		ppt := int(math.Ceil(perTree / B))
+		elems := perTree / float64(ppt)
+		var err error
+		xs, err = sched.BroadcastMSBT(n, s, ppt, elems)
+		if err != nil {
+			return nil, err
+		}
+	case model.SBT, model.TCBT, model.HP:
+		topo, err := TopologyFor(a, n, s)
+		if err != nil {
+			return nil, err
+		}
+		t, err := topo.Tree()
+		if err != nil {
+			return nil, err
+		}
+		q := int(math.Ceil(M / B))
+		elems := M / float64(q)
+		if a == model.SBT && cfg.Model != model.AllPorts {
+			xs = sched.BroadcastPortOriented(t, q, elems)
+		} else {
+			xs = sched.BroadcastPipelined(t, q, elems)
+		}
+	default:
+		return nil, fmt.Errorf("core: no broadcast schedule for %v", a)
+	}
+	return xs, nil
+}
+
+// SimScatter runs a timed single-source personalized communication of M
+// elements per destination with maximum packet size B, using destination
+// order `order` and root interleaving `il` on the spanning tree of
+// algorithm a (SBT, BST or TCBT).
+func SimScatter(a model.Algorithm, s cube.NodeID, M, B float64,
+	order sched.Order, il sched.Interleave, cfg sim.Config) (*sim.Result, error) {
+
+	topo, err := TopologyFor(a, cfg.Dim, s)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.Tree()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := sched.ScatterTree(t, M, B, order, il)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, xs)
+}
+
+// SimGather runs the reverse personalized operation (all data to the
+// root) on the spanning tree of algorithm a.
+func SimGather(a model.Algorithm, s cube.NodeID, M, B float64, cfg sim.Config) (*sim.Result, error) {
+	topo, err := TopologyFor(a, cfg.Dim, s)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.Tree()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := sched.GatherTree(t, M, B)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, xs)
+}

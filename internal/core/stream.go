@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// ScatterStream performs single-source personalized communication with a
+// bounded packet size in BYTES — the paper's B < M regime, where one
+// destination's data is split across ceil(M/B) packets. Each packet
+// carries whole or partial payloads for a run of destinations (at most
+// packetBytes bytes of payload per message); internal nodes keep their own
+// fragments, reassembling by offset, and forward the rest per child
+// subtree. The root serves its subtrees cyclically.
+//
+// Compared to Scatter (which merges whole payloads only), this exercises
+// the fragment-reassembly path that real machines with small hardware
+// packets need. Payload lengths may differ per destination.
+func ScatterStream(topo Topology, data [][]byte, packetBytes int) ([][]byte, error) {
+	N := 1 << uint(topo.Dim)
+	if len(data) != N {
+		return nil, fmt.Errorf("core: scatter stream needs %d payloads, got %d", N, len(data))
+	}
+	if packetBytes <= 0 {
+		return nil, fmt.Errorf("core: packet size %d bytes", packetBytes)
+	}
+	// Worst case a node receives every byte below it in minimal packets,
+	// plus the sentinel; bound the inbox by total fragments.
+	totalFrags := 1
+	for _, d := range data {
+		totalFrags += len(d)/packetBytes + 1
+	}
+	m := mpx.New(topo.Dim, totalFrags)
+	got := make([][]byte, N)
+	err := m.Run(func(nd *mpx.Node) error {
+		if nd.ID == topo.Root {
+			got[nd.ID] = data[nd.ID]
+			return streamRoot(nd, topo, data, packetBytes)
+		}
+		return streamRelay(nd, topo, got, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// streamRoot cuts each subtree's destination stream (depth-first order)
+// into packets of at most packetBytes payload bytes, then emits packets
+// round-robin across the subtrees, ending each stream with a sentinel.
+func streamRoot(nd *mpx.Node, topo Topology, data [][]byte, packetBytes int) error {
+	children := topo.Children(nd.ID)
+	packets := make([][]mpx.Message, len(children))
+	for k, c := range children {
+		var cur []mpx.Part
+		room := packetBytes
+		flush := func() {
+			if len(cur) > 0 {
+				packets[k] = append(packets[k], mpx.Message{Parts: cur})
+				cur, room = nil, packetBytes
+			}
+		}
+		for _, d := range subtreeDF(topo, c) {
+			payload := data[d]
+			off := 0
+			for {
+				take := len(payload) - off
+				if take > room {
+					take = room
+				}
+				cur = append(cur, mpx.Part{Dest: d, Offset: off, Data: payload[off : off+take]})
+				off += take
+				room -= take
+				if room == 0 {
+					flush()
+				}
+				if off == len(payload) {
+					break
+				}
+			}
+			// Zero-length payloads still need announcing so the
+			// destination can distinguish "empty" from "missing".
+			if len(payload) == 0 {
+				cur = append(cur, mpx.Part{Dest: d})
+			}
+		}
+		flush()
+	}
+	for round := 0; ; round++ {
+		any := false
+		for k, c := range children {
+			if round < len(packets[k]) {
+				any = true
+				nd.SendTo(c, packets[k][round])
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	for _, c := range children {
+		nd.SendTo(c, mpx.Message{Tag: endTag})
+	}
+	return nil
+}
+
+// streamRelay reassembles this node's fragments and forwards the rest,
+// preserving fragment boundaries (no re-packing: store-and-forward).
+func streamRelay(nd *mpx.Node, topo Topology, got [][]byte, data [][]byte) error {
+	children := topo.Children(nd.ID)
+	below := map[cube.NodeID]cube.NodeID{}
+	for _, c := range children {
+		for _, d := range subtreeDF(topo, c) {
+			below[d] = c
+		}
+	}
+	parent, _ := topo.Parent(nd.ID)
+	want := len(data[nd.ID])
+	mine := make([]byte, want)
+	received := 0
+	announced := false
+	for {
+		env := nd.Recv()
+		if env.From != parent {
+			return fmt.Errorf("scatter stream: node %d got message from %d, want parent %d", nd.ID, env.From, parent)
+		}
+		if env.Tag == endTag {
+			break
+		}
+		perChild := map[cube.NodeID][]mpx.Part{}
+		for _, p := range env.Parts {
+			if p.Dest == nd.ID {
+				announced = true
+				if p.Offset+len(p.Data) > want {
+					return fmt.Errorf("scatter stream: node %d fragment overruns payload", nd.ID)
+				}
+				copy(mine[p.Offset:], p.Data)
+				received += len(p.Data)
+				continue
+			}
+			c, ok := below[p.Dest]
+			if !ok {
+				return fmt.Errorf("scatter stream: node %d got fragment for %d outside subtree", nd.ID, p.Dest)
+			}
+			perChild[c] = append(perChild[c], p)
+		}
+		for _, c := range children {
+			if parts := perChild[c]; len(parts) > 0 {
+				nd.SendTo(c, mpx.Message{Parts: parts})
+			}
+		}
+	}
+	for _, c := range children {
+		nd.SendTo(c, mpx.Message{Tag: endTag})
+	}
+	if received != want {
+		return fmt.Errorf("scatter stream: node %d reassembled %d/%d bytes", nd.ID, received, want)
+	}
+	// The root emits a zero-length part even for empty payloads, so every
+	// node must have been announced.
+	if !announced {
+		return fmt.Errorf("scatter stream: node %d never saw its payload", nd.ID)
+	}
+	got[nd.ID] = mine
+	return nil
+}

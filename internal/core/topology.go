@@ -1,0 +1,119 @@
+// Package core implements the paper's collective communication operations
+// — single-source broadcast and single-source personalized communication
+// (scatter), plus their reverse operations (reduce, gather) and the
+// all-node extensions (all-gather, all-to-all) — over the spanning
+// structures of Ho & Johnsson: SBT, MSBT, BST, TCBT and the Gray-code
+// Hamiltonian path.
+//
+// Every operation exists in two forms:
+//
+//   - an executable, genuinely distributed implementation on the
+//     goroutine/channel runtime (internal/mpx) carrying real payload
+//     bytes, used to validate end-to-end data correctness; and
+//   - a timed schedule on the discrete-event simulator (internal/sim),
+//     used to reproduce the paper's complexity results, tables and
+//     figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bst"
+	"repro/internal/cube"
+	"repro/internal/gray"
+	"repro/internal/model"
+	"repro/internal/sbt"
+	"repro/internal/tcbt"
+	"repro/internal/tree"
+)
+
+// Topology describes a spanning tree through locally evaluable parent and
+// children functions — the distributed-routing view: a node needs only its
+// own address (and the source's) to find its role.
+type Topology struct {
+	Name     string
+	Dim      int
+	Root     cube.NodeID
+	Parent   func(i cube.NodeID) (cube.NodeID, bool)
+	Children func(i cube.NodeID) []cube.NodeID
+}
+
+// SBTTopology returns the spanning binomial tree rooted at s.
+func SBTTopology(n int, s cube.NodeID) Topology {
+	return Topology{
+		Name: "sbt", Dim: n, Root: s,
+		Parent:   func(i cube.NodeID) (cube.NodeID, bool) { return sbt.Parent(n, i, s) },
+		Children: func(i cube.NodeID) []cube.NodeID { return sbt.Children(n, i, s) },
+	}
+}
+
+// BSTTopology returns the balanced spanning tree rooted at s.
+func BSTTopology(n int, s cube.NodeID) Topology {
+	return Topology{
+		Name: "bst", Dim: n, Root: s,
+		Parent:   func(i cube.NodeID) (cube.NodeID, bool) { return bst.Parent(n, i, s) },
+		Children: func(i cube.NodeID) []cube.NodeID { return bst.Children(n, i, s) },
+	}
+}
+
+// HPTopology returns the Gray-code Hamiltonian path from s, viewed as a
+// (degenerate) spanning tree.
+func HPTopology(n int, s cube.NodeID) Topology {
+	return Topology{
+		Name: "hp", Dim: n, Root: s,
+		Parent: func(i cube.NodeID) (cube.NodeID, bool) { return gray.Parent(i, s) },
+		Children: func(i cube.NodeID) []cube.NodeID {
+			r := gray.PathRank(i, s)
+			if r == 1<<uint(n)-1 {
+				return nil
+			}
+			return []cube.NodeID{gray.PathNode(r+1, s)}
+		},
+	}
+}
+
+// TCBTTopology returns the two-rooted complete binary tree with primary
+// root s. Unlike the others, the TCBT's structure is not a closed-form
+// function of the address; the embedding is precomputed once and captured
+// by the closures (on a real machine it would be distributed as a small
+// table, cf. §5.2's table-driven routing).
+func TCBTTopology(n int, s cube.NodeID) (Topology, error) {
+	e, err := tcbt.New(n, s)
+	if err != nil {
+		return Topology{}, err
+	}
+	t, err := e.Tree()
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{
+		Name: "tcbt", Dim: n, Root: s,
+		Parent:   func(i cube.NodeID) (cube.NodeID, bool) { return e.Parent(i) },
+		Children: func(i cube.NodeID) []cube.NodeID { return t.Children(i) },
+	}, nil
+}
+
+// TopologyFor returns the named topology rooted at s. MSBT is not a tree
+// and has dedicated operations (BroadcastMSBT); requesting it here is an
+// error.
+func TopologyFor(a model.Algorithm, n int, s cube.NodeID) (Topology, error) {
+	switch a {
+	case model.SBT:
+		return SBTTopology(n, s), nil
+	case model.BST:
+		return BSTTopology(n, s), nil
+	case model.HP:
+		return HPTopology(n, s), nil
+	case model.TCBT:
+		return TCBTTopology(n, s)
+	default:
+		return Topology{}, fmt.Errorf("core: no tree topology for %v", a)
+	}
+}
+
+// Tree materializes the topology as a validated spanning tree (global
+// view, used by the schedule generators and by tests).
+func (t Topology) Tree() (*tree.Tree, error) {
+	c := cube.New(t.Dim)
+	return tree.FromParentFunc(c, t.Root, t.Parent)
+}

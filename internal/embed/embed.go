@@ -1,0 +1,199 @@
+// Package embed measures and constructs graph embeddings into the Boolean
+// cube — the context the paper's introduction places itself in ("the
+// embedding of complete binary trees is treated in [21, 11, 17, 3, 2]").
+//
+// An embedding maps the nodes of a guest graph to cube nodes. Its quality
+// is measured by
+//
+//	dilation   — the longest cube path an edge of the guest stretches to,
+//	congestion — the maximum number of guest edges routed across one cube
+//	             link (dimension-ordered routes),
+//	expansion  — host size / guest size.
+//
+// Constructors are provided for the classical dilation-1 guests: rings and
+// multidimensional tori via binary-reflected Gray codes, and the
+// double-rooted complete binary tree via internal/tcbt.
+package embed
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/cube"
+	"repro/internal/tcbt"
+)
+
+// Guest is an undirected guest graph: vertices 0..N-1 and an edge list.
+type Guest struct {
+	Vertices int
+	Edges    [][2]int
+}
+
+// Embedding maps guest vertices to distinct cube nodes.
+type Embedding struct {
+	Cube  *cube.Cube
+	Guest Guest
+	Map   []cube.NodeID // Map[v] = cube node hosting guest vertex v
+}
+
+// Validate checks that the map is injective and within the cube.
+func (e *Embedding) Validate() error {
+	if len(e.Map) != e.Guest.Vertices {
+		return fmt.Errorf("embed: map covers %d of %d vertices", len(e.Map), e.Guest.Vertices)
+	}
+	seen := map[cube.NodeID]int{}
+	for v, h := range e.Map {
+		if !e.Cube.Contains(h) {
+			return fmt.Errorf("embed: vertex %d mapped outside the cube", v)
+		}
+		if prev, dup := seen[h]; dup {
+			return fmt.Errorf("embed: vertices %d and %d share host %d", prev, v, h)
+		}
+		seen[h] = v
+	}
+	for _, ed := range e.Guest.Edges {
+		for _, v := range ed {
+			if v < 0 || v >= e.Guest.Vertices {
+				return fmt.Errorf("embed: edge endpoint %d out of range", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Dilation returns the maximum cube distance spanned by a guest edge.
+func (e *Embedding) Dilation() int {
+	max := 0
+	for _, ed := range e.Guest.Edges {
+		if d := e.Cube.Distance(e.Map[ed[0]], e.Map[ed[1]]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Congestion returns the maximum number of guest edges whose dimension-
+// ordered routes cross a single (undirected) cube link.
+func (e *Embedding) Congestion() int {
+	load := map[cube.Edge]int{}
+	max := 0
+	for _, ed := range e.Guest.Edges {
+		path := e.Cube.ShortestPath(e.Map[ed[0]], e.Map[ed[1]])
+		for i := 1; i < len(path); i++ {
+			a, b := path[i-1], path[i]
+			if b < a {
+				a, b = b, a
+			}
+			k := cube.Edge{From: a, To: b}
+			load[k]++
+			if load[k] > max {
+				max = load[k]
+			}
+		}
+	}
+	return max
+}
+
+// Expansion returns host size over guest size.
+func (e *Embedding) Expansion() float64 {
+	return float64(e.Cube.Nodes()) / float64(e.Guest.Vertices)
+}
+
+// Ring embeds the 2^n-vertex ring into the n-cube with dilation 1 via the
+// binary-reflected Gray code (the cycle closes because the first and last
+// codes are adjacent).
+func Ring(n int) *Embedding {
+	c := cube.New(n)
+	N := c.Nodes()
+	g := Guest{Vertices: N}
+	m := make([]cube.NodeID, N)
+	for v := 0; v < N; v++ {
+		g.Edges = append(g.Edges, [2]int{v, (v + 1) % N})
+		m[v] = cube.NodeID(bits.GrayCode(uint64(v)))
+	}
+	return &Embedding{Cube: c, Guest: g, Map: m}
+}
+
+// Torus embeds the 2^a x 2^b torus into the (a+b)-cube with dilation 1:
+// the product of two Gray-code rings, row bits in the high part.
+func Torus(a, b int) *Embedding {
+	c := cube.New(a + b)
+	rows, cols := 1<<uint(a), 1<<uint(b)
+	g := Guest{Vertices: rows * cols}
+	m := make([]cube.NodeID, g.Vertices)
+	id := func(r, cc int) int { return r*cols + cc }
+	for r := 0; r < rows; r++ {
+		for cc := 0; cc < cols; cc++ {
+			v := id(r, cc)
+			m[v] = cube.NodeID(bits.GrayCode(uint64(r)))<<uint(b) |
+				cube.NodeID(bits.GrayCode(uint64(cc)))
+			g.Edges = append(g.Edges,
+				[2]int{v, id(r, (cc+1)%cols)},
+				[2]int{v, id((r+1)%rows, cc)})
+		}
+	}
+	return &Embedding{Cube: c, Guest: g, Map: m}
+}
+
+// DRCBT embeds the 2^n-vertex double-rooted complete binary tree into the
+// n-cube with dilation 1 (the TCBT construction the paper's broadcast
+// baseline uses).
+func DRCBT(n int) (*Embedding, error) {
+	e, err := tcbt.New(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := cube.New(n)
+	g := Guest{Vertices: c.Nodes()}
+	m := make([]cube.NodeID, c.Nodes())
+	for v := 0; v < c.Nodes(); v++ {
+		m[v] = cube.NodeID(v) // identity: the TCBT is a spanning subgraph
+		if p, ok := e.Parent(cube.NodeID(v)); ok {
+			g.Edges = append(g.Edges, [2]int{v, int(p)})
+		}
+	}
+	return &Embedding{Cube: c, Guest: g, Map: m}, nil
+}
+
+// CompleteBinaryTree embeds the (2^n - 1)-vertex complete binary tree into
+// the n-cube by pruning one leaf of the DRCBT and contracting the double
+// root: vertices are tree positions in level order (1-indexed heap
+// layout), and the embedding inherits dilation <= 2 (the single stretched
+// edge is the one across the removed second root).
+func CompleteBinaryTree(n int) (*Embedding, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("embed: complete binary tree needs n >= 2")
+	}
+	d, err := tcbt.New(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	t, err := d.Tree()
+	if err != nil {
+		return nil, err
+	}
+	c := cube.New(n)
+	K := c.Nodes() - 1 // 2^n - 1 vertices
+	g := Guest{Vertices: K}
+	m := make([]cube.NodeID, K)
+	// Heap vertex 1 = R1 (the contracted root), children: C1 and C2.
+	// Walk the TCBT assigning heap indices.
+	m[0] = d.R1
+	type frame struct {
+		host cube.NodeID
+		heap int
+	}
+	// The contracted root's children in the heap are C1 and C2.
+	stack := []frame{{d.C1, 2}, {d.C2, 3}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m[f.heap-1] = f.host
+		g.Edges = append(g.Edges, [2]int{f.heap/2 - 1, f.heap - 1})
+		ch := t.Children(f.host)
+		for k, cc := range ch {
+			stack = append(stack, frame{cc, 2*f.heap + k})
+		}
+	}
+	return &Embedding{Cube: c, Guest: g, Map: m}, nil
+}

@@ -1,0 +1,114 @@
+package embed
+
+import (
+	"testing"
+)
+
+func TestRingDilationOne(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		e := Ring(n)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := e.Dilation(); d != 1 {
+			t.Errorf("n=%d: ring dilation %d", n, d)
+		}
+		if x := e.Expansion(); x != 1 {
+			t.Errorf("n=%d: ring expansion %f", n, x)
+		}
+		// Dilation-1 embeddings have congestion <= 2 per undirected link
+		// for a ring (each link hosts at most one ring edge each way).
+		if c := e.Congestion(); c > 2 {
+			t.Errorf("n=%d: ring congestion %d", n, c)
+		}
+	}
+}
+
+func TestTorusDilationOne(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 3}, {3, 3}, {4, 2}} {
+		e := Torus(dims[0], dims[1])
+		if err := e.Validate(); err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if d := e.Dilation(); d != 1 {
+			t.Errorf("%v: torus dilation %d", dims, d)
+		}
+		if got := e.Guest.Vertices; got != 1<<uint(dims[0]+dims[1]) {
+			t.Errorf("%v: %d vertices", dims, got)
+		}
+		// Each vertex contributes 2 edges (right and down): 2 per vertex.
+		if got := len(e.Guest.Edges); got != 2*e.Guest.Vertices {
+			t.Errorf("%v: %d edges", dims, got)
+		}
+	}
+}
+
+func TestDRCBTDilationOne(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		e, err := DRCBT(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := e.Dilation(); d != 1 {
+			t.Errorf("n=%d: DRCBT dilation %d (must be a subgraph)", n, d)
+		}
+		if got := len(e.Guest.Edges); got != e.Guest.Vertices-1 {
+			t.Errorf("n=%d: %d edges for %d vertices", n, got, e.Guest.Vertices)
+		}
+	}
+}
+
+func TestCompleteBinaryTreeDilationTwo(t *testing.T) {
+	// The CBT on 2^n - 1 vertices cannot embed with dilation 1 (parity
+	// argument); contracting the TCBT's double root gives dilation 2 with
+	// exactly one stretched edge.
+	for n := 2; n <= 9; n++ {
+		e, err := CompleteBinaryTree(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := e.Dilation(); d != 2 {
+			t.Errorf("n=%d: CBT dilation %d, want 2", n, d)
+		}
+		stretched := 0
+		for _, ed := range e.Guest.Edges {
+			if e.Cube.Distance(e.Map[ed[0]], e.Map[ed[1]]) == 2 {
+				stretched++
+			}
+		}
+		if stretched != 1 {
+			t.Errorf("n=%d: %d stretched edges, want 1", n, stretched)
+		}
+		// Heap shape: vertex k's parent is k/2 (1-indexed).
+		if len(e.Guest.Edges) != e.Guest.Vertices-1 {
+			t.Errorf("n=%d: edge count %d", n, len(e.Guest.Edges))
+		}
+	}
+}
+
+func TestValidateCatchesBadMaps(t *testing.T) {
+	e := Ring(3)
+	e.Map[0] = e.Map[1]
+	if err := e.Validate(); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	e = Ring(3)
+	e.Map[0] = 99
+	if err := e.Validate(); err == nil {
+		t.Error("out-of-cube host accepted")
+	}
+	e = Ring(3)
+	e.Guest.Edges = append(e.Guest.Edges, [2]int{0, 99})
+	if err := e.Validate(); err == nil {
+		t.Error("bad edge endpoint accepted")
+	}
+	if _, err := CompleteBinaryTree(1); err == nil {
+		t.Error("n=1 CBT accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel evaluates f over every point using a bounded worker pool and
+// returns the results in point order. Experiment sweeps (packet sizes x
+// cube dimensions) are embarrassingly parallel, and the discrete-event
+// simulator is single-threaded per run, so the figure harnesses fan the
+// points out across cores. workers <= 0 selects GOMAXPROCS. The first
+// error cancels nothing (all points still run) but is reported.
+func Parallel[P, R any](points []P, workers int, f func(P) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = f(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("exp: point %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelOrderAndValues(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	got, err := Parallel(points, 7, func(p int) (int, error) { return p * p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d", i, v)
+		}
+	}
+}
+
+func TestParallelBoundsWorkers(t *testing.T) {
+	var cur, max int64
+	points := make([]int, 64)
+	_, err := Parallel(points, 4, func(int) (int, error) {
+		c := atomic.AddInt64(&cur, 1)
+		for {
+			m := atomic.LoadInt64(&max)
+			if c <= m || atomic.CompareAndSwapInt64(&max, m, c) {
+				break
+			}
+		}
+		// Busy-wait a little to force overlap.
+		for i := 0; i < 10000; i++ {
+			_ = i
+		}
+		atomic.AddInt64(&cur, -1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max > 4 {
+		t.Errorf("%d workers ran concurrently, want <= 4", max)
+	}
+}
+
+func TestParallelReportsError(t *testing.T) {
+	sentinel := errors.New("boom")
+	points := []int{0, 1, 2, 3}
+	_, err := Parallel(points, 2, func(p int) (int, error) {
+		if p == 2 {
+			return 0, sentinel
+		}
+		return p, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParallelEmptyAndDefaults(t *testing.T) {
+	got, err := Parallel(nil, 0, func(int) (int, error) { return 1, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty: %v %v", got, err)
+	}
+	// workers <= 0 defaults to GOMAXPROCS and must still work.
+	got, err = Parallel([]int{1, 2}, -3, func(p int) (int, error) { return p, nil })
+	if err != nil || len(got) != 2 || got[1] != 2 {
+		t.Errorf("default workers: %v %v", got, err)
+	}
+}

@@ -1,0 +1,89 @@
+package gray
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+)
+
+func TestPathIsHamiltonian(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for n := 1; n <= 10; n++ {
+		N := 1 << uint(n)
+		s := cube.NodeID(rng.Intn(N))
+		p := Path(n, s)
+		if len(p) != N {
+			t.Fatalf("n=%d: path length %d", n, len(p))
+		}
+		if p[0] != s {
+			t.Fatalf("n=%d: path starts at %d", n, p[0])
+		}
+		c := cube.New(n)
+		seen := map[cube.NodeID]bool{}
+		for i, v := range p {
+			if seen[v] {
+				t.Fatalf("n=%d: node %d repeated", n, v)
+			}
+			seen[v] = true
+			if i > 0 && !c.Adjacent(p[i-1], v) {
+				t.Fatalf("n=%d: path step %d not a cube edge", n, i)
+			}
+		}
+	}
+}
+
+func TestRankInverse(t *testing.T) {
+	const n = 8
+	for s := 0; s < 1<<n; s += 37 {
+		for i := 0; i < 1<<n; i++ {
+			if PathNode(PathRank(cube.NodeID(i), cube.NodeID(s)), cube.NodeID(s)) != cube.NodeID(i) {
+				t.Fatalf("rank/node not inverse at i=%d s=%d", i, s)
+			}
+		}
+	}
+}
+
+func TestTreeIsPath(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		tr, err := New(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Spanning() {
+			t.Fatalf("n=%d: not spanning", n)
+		}
+		N := 1 << uint(n)
+		if tr.Height() != N-1 {
+			t.Fatalf("n=%d: height %d, want %d", n, tr.Height(), N-1)
+		}
+		// Every node has at most one child: it's a path.
+		for i := 0; i < N; i++ {
+			if tr.Fanout(cube.NodeID(i)) > 1 {
+				t.Fatalf("n=%d: node %d fanout %d", n, i, tr.Fanout(cube.NodeID(i)))
+			}
+		}
+	}
+}
+
+func TestPortSequence(t *testing.T) {
+	want := []int{0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0}
+	got := PortSequence(len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PortSequence[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Port j is used every 2^(j+1) cycles: count occurrences.
+	seq := PortSequence(1 << 10)
+	counts := map[int]int{}
+	for _, p := range seq {
+		counts[p]++
+	}
+	for j := 0; j < 9; j++ {
+		want := 1 << uint(9-j)
+		if counts[j] != want {
+			t.Errorf("port %d used %d times, want %d", j, counts[j], want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package model
+
+import "testing"
+
+// The model functions treat an unknown algorithm/port-model combination as
+// a programming error and panic; verify the guard rails fire rather than
+// silently returning zeros.
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestModelPanicsOnUnsupportedRows(t *testing.T) {
+	p := Params{N: 5, M: 64, B: 8, Tau: 1, Tc: 1}
+	expectPanic(t, "BroadcastTime(BST)", func() { BroadcastTime(BST, AllPorts, p) })
+	expectPanic(t, "BroadcastTime(HP all ports)", func() { BroadcastTime(HP, AllPorts, p) })
+	expectPanic(t, "BroadcastBopt(BST)", func() { BroadcastBopt(BST, AllPorts, p) })
+	expectPanic(t, "BroadcastTmin(BST)", func() { BroadcastTmin(BST, AllPorts, p) })
+	expectPanic(t, "PropagationDelay(BST)", func() { PropagationDelay(BST, AllPorts, 5) })
+	expectPanic(t, "CyclesPerPacket(BST)", func() { CyclesPerPacket(BST, AllPorts, 5) })
+	expectPanic(t, "BroadcastRatio(HP)", func() { BroadcastRatio(HP, OneSendOrRecv, RegimeOnePacket, 5) })
+	expectPanic(t, "ScatterTmin(HP)", func() { ScatterTmin(HP, AllPorts, p) })
+	expectPanic(t, "ScatterTime(TCBT)", func() { ScatterTime(TCBT, AllPorts, p) })
+}

@@ -1,0 +1,64 @@
+package model
+
+// BroadcastAlgorithms lists the broadcast candidates in Table 3 order.
+var BroadcastAlgorithms = []Algorithm{HP, SBT, TCBT, MSBT}
+
+// ScatterAlgorithms lists the personalized-communication candidates.
+var ScatterAlgorithms = []Algorithm{SBT, TCBT, BST}
+
+// BestBroadcast returns the algorithm with the smallest T_min for the
+// given parameters and port model, and that time. The HP has no all-port
+// row (extra ports cannot help a path), so it competes with its
+// full-duplex time there.
+func BestBroadcast(pm PortModel, p Params) (Algorithm, float64) {
+	best := Algorithm(-1)
+	bestT := 0.0
+	for _, a := range BroadcastAlgorithms {
+		eff := pm
+		if a == HP && pm == AllPorts {
+			eff = OneSendAndRecv
+		}
+		t := BroadcastTmin(a, eff, p)
+		if best < 0 || t < bestT {
+			best, bestT = a, t
+		}
+	}
+	return best, bestT
+}
+
+// BestScatter returns the scatter algorithm with the smallest Table 6
+// T_min for the given parameters and port model, and that time.
+func BestScatter(pm PortModel, p Params) (Algorithm, float64) {
+	best := Algorithm(-1)
+	bestT := 0.0
+	for _, a := range ScatterAlgorithms {
+		t := ScatterTmin(a, pm, p)
+		if best < 0 || t < bestT {
+			best, bestT = a, t
+		}
+	}
+	return best, bestT
+}
+
+// WinnerBand is a maximal message-size interval with a single best
+// algorithm.
+type WinnerBand struct {
+	FromM, ToM float64 // inclusive sample bounds; ToM == FromM for single samples
+	Winner     Algorithm
+}
+
+// BroadcastWinnerMap sweeps M geometrically from mLo to mHi (inclusive,
+// factor step) and returns the bands of best broadcast algorithms.
+func BroadcastWinnerMap(pm PortModel, n int, tau, tc, mLo, mHi, step float64) []WinnerBand {
+	var bands []WinnerBand
+	for m := mLo; m <= mHi; m *= step {
+		p := Params{N: n, M: m, Tau: tau, Tc: tc}
+		w, _ := BestBroadcast(pm, p)
+		if len(bands) > 0 && bands[len(bands)-1].Winner == w {
+			bands[len(bands)-1].ToM = m
+			continue
+		}
+		bands = append(bands, WinnerBand{FromM: m, ToM: m, Winner: w})
+	}
+	return bands
+}

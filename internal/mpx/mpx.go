@@ -1,0 +1,182 @@
+// Package mpx is a message-passing multicomputer runtime modelled on the
+// Intel iPSC's programming interface: one concurrently executing node per
+// cube address (a goroutine), communicating by messages that travel only
+// between cube neighbors. Node programs communicate exclusively through
+// Send/Recv, so an algorithm written against this package is genuinely
+// distributed — each node derives its routing decisions locally from its
+// own address, exactly as the paper's routing algorithms require.
+//
+// Each node owns a single buffered inbox (like the iPSC's receive queue);
+// Send(port, msg) enqueues into the neighbor's inbox and Recv dequeues in
+// arrival order. Messages from one sender are received in the order sent.
+//
+// The runtime carries real payload bytes, making it the end-to-end
+// correctness substrate for the collective operations in internal/core
+// (the discrete-event simulator in internal/sim is the timing substrate).
+package mpx
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cube"
+)
+
+// Part is one destination's payload inside a (possibly bundled) message.
+// Personalized communication merges many parts into one message; broadcast
+// messages carry a single part whose Dest is the broadcast root. Offset
+// locates the part within the destination's full payload when a message
+// stream splits one payload across packets (the B < M regime).
+type Part struct {
+	Dest   cube.NodeID
+	Offset int
+	Data   []byte
+}
+
+// Message is what travels over a link: a tag for stream demultiplexing
+// (e.g. the ERSBT index during an MSBT broadcast) and one or more parts.
+type Message struct {
+	Tag   int
+	Parts []Part
+}
+
+// Size returns the total payload size in bytes.
+func (m Message) Size() int {
+	total := 0
+	for _, p := range m.Parts {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// Envelope is a received message together with its arrival port (the bit
+// in which sender and receiver differ).
+type Envelope struct {
+	Message
+	Port int
+	From cube.NodeID
+}
+
+// Machine is a Boolean-cube multicomputer.
+type Machine struct {
+	c     *cube.Cube
+	inbox []chan Envelope
+
+	// down is closed when a node program panics, unblocking every other
+	// node's Send/Recv so the machine shuts down instead of deadlocking.
+	down     chan struct{}
+	downOnce sync.Once
+}
+
+// New creates an n-cube machine whose per-node inboxes buffer up to depth
+// messages. Tree-structured collectives are acyclic and need only depth 1;
+// all-to-all patterns should size depth to their in-flight message count
+// (e.g. the cube dimension times packets per phase) to avoid blocking
+// senders unnecessarily.
+func New(n, depth int) *Machine {
+	if depth < 1 {
+		depth = 1
+	}
+	c := cube.New(n)
+	m := &Machine{
+		c:     c,
+		inbox: make([]chan Envelope, c.Nodes()),
+		down:  make(chan struct{}),
+	}
+	for i := range m.inbox {
+		m.inbox[i] = make(chan Envelope, depth)
+	}
+	return m
+}
+
+// abortErr is the panic value delivered to nodes blocked on a machine
+// whose peer died; Run translates it back into the original panic.
+type abortErr struct{}
+
+func (abortErr) Error() string { return "mpx: machine aborted: a peer node panicked" }
+
+// Shutdown permanently unblocks every goroutine waiting in Send or Recv on
+// this machine (they panic with an internal abort value). Call it after
+// Run returns when auxiliary goroutines (e.g. inbox pumps) may still be
+// blocked; the machine must not be used afterwards.
+func (m *Machine) Shutdown() {
+	m.downOnce.Do(func() { close(m.down) })
+}
+
+// Cube returns the machine's topology.
+func (m *Machine) Cube() *cube.Cube { return m.c }
+
+// Node is the per-node handle passed to node programs.
+type Node struct {
+	ID cube.NodeID
+	m  *Machine
+}
+
+// Dim returns the cube dimension.
+func (nd *Node) Dim() int { return nd.m.c.Dim() }
+
+// Send transmits msg through the given port (to the neighbor differing in
+// bit `port`). It blocks while the receiver's inbox is full.
+func (nd *Node) Send(port int, msg Message) {
+	to := nd.m.c.Neighbor(nd.ID, port)
+	select {
+	case nd.m.inbox[to] <- Envelope{Message: msg, Port: port, From: nd.ID}:
+	case <-nd.m.down:
+		panic(abortErr{})
+	}
+}
+
+// SendTo transmits msg to an adjacent node. It panics if to is not a
+// neighbor — routing across multiple hops is the caller's job.
+func (nd *Node) SendTo(to cube.NodeID, msg Message) {
+	port := nd.m.c.Port(nd.ID, to)
+	if port < 0 {
+		panic(fmt.Sprintf("mpx: node %d cannot send directly to non-neighbor %d", nd.ID, to))
+	}
+	nd.Send(port, msg)
+}
+
+// Recv blocks until the next message arrives and returns it with its
+// arrival port and sender.
+func (nd *Node) Recv() Envelope {
+	select {
+	case env := <-nd.m.inbox[nd.ID]:
+		return env
+	case <-nd.m.down:
+		panic(abortErr{})
+	}
+}
+
+// Run executes program concurrently on every node and waits for all of
+// them. The first non-nil error is returned (others are dropped); a
+// panicking node propagates its panic after all other nodes finish.
+func (m *Machine) Run(program func(nd *Node) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, m.c.Nodes())
+	panics := make(chan any, m.c.Nodes())
+	for i := 0; i < m.c.Nodes(); i++ {
+		wg.Add(1)
+		go func(id cube.NodeID) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, aborted := r.(abortErr); !aborted {
+						panics <- r
+					}
+					// Unblock every node still waiting in Send/Recv.
+					m.downOnce.Do(func() { close(m.down) })
+				}
+			}()
+			if err := program(&Node{ID: id, m: m}); err != nil {
+				errs <- fmt.Errorf("node %d: %w", id, err)
+			}
+		}(cube.NodeID(i))
+	}
+	wg.Wait()
+	close(errs)
+	close(panics)
+	if r, ok := <-panics; ok {
+		panic(r)
+	}
+	return <-errs
+}

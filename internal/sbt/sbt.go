@@ -1,0 +1,74 @@
+// Package sbt implements the Spanning Binomial Tree of a Boolean n-cube
+// (Ho & Johnsson §3.1): the familiar spanning tree rooted at node s whose
+// edges connect each node i to the neighbors obtained by complementing any
+// bit among the leading zeroes of the relative address c = i XOR s.
+//
+// The SBT attains the log N lower bound on routing steps for broadcasting
+// a single packet under one-port communication: after each step the number
+// of informed nodes exactly doubles, which is the defining property of a
+// binomial tree.
+package sbt
+
+import (
+	"repro/internal/bits"
+	"repro/internal/cube"
+	"repro/internal/tree"
+)
+
+// Parent returns the parent of node i in the SBT of the n-cube rooted at
+// source s, with ok == false when i == s. The parent complements the
+// highest-order one bit k of the relative address c = i XOR s.
+func Parent(n int, i, s cube.NodeID) (parent cube.NodeID, ok bool) {
+	c := uint64(i ^ s)
+	if c == 0 {
+		return 0, false
+	}
+	k := bits.HighestOne(c)
+	return i ^ cube.NodeID(1)<<uint(k), true
+}
+
+// Children returns the children of node i in the SBT rooted at s: the
+// neighbors across every bit m in {k+1, ..., n-1} where k is the
+// highest-order one bit of c = i XOR s (k = -1 for the root), i.e. the
+// complementations of c's leading zeroes.
+func Children(n int, i, s cube.NodeID) []cube.NodeID {
+	c := uint64(i^s) & bits.Mask(n)
+	k := bits.HighestOne(c) // -1 at the root
+	out := make([]cube.NodeID, 0, n-k-1)
+	for m := k + 1; m < n; m++ {
+		out = append(out, i^cube.NodeID(1)<<uint(m))
+	}
+	return out
+}
+
+// Level returns the tree level of node i, which equals the Hamming weight
+// of its relative address.
+func Level(i, s cube.NodeID) int { return bits.OnesCount(uint64(i ^ s)) }
+
+// SubtreeOf returns the index j of the root subtree containing node i
+// (i != s): the paper's rule that i belongs to the j-th subtree iff
+// c_j = 1 and c_k = 0 for all k < j, i.e. j is the lowest one bit of the
+// relative address. Returns -1 for the root itself.
+func SubtreeOf(i, s cube.NodeID) int { return bits.LowestOne(uint64(i ^ s)) }
+
+// SubtreeSize returns the number of nodes in root subtree j of an n-cube
+// SBT: 2^(n-1-j). Subtree n-1 is the single node s XOR 2^(n-1).
+func SubtreeSize(n, j int) int { return 1 << uint(n-1-j) }
+
+// New materializes the SBT of the n-cube rooted at s as a validated tree.
+func New(n int, s cube.NodeID) (*tree.Tree, error) {
+	c := cube.New(n)
+	return tree.FromParentFunc(c, s, func(i cube.NodeID) (cube.NodeID, bool) {
+		return Parent(n, i, s)
+	})
+}
+
+// MustNew is New, panicking on construction errors. The SBT definition
+// cannot fail for valid n and s; the panic guards internal invariants.
+func MustNew(n int, s cube.NodeID) *tree.Tree {
+	t, err := New(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// benchSchedule builds a deterministic layered schedule: `layers` waves of
+// one transmission per node, each depending on the previous wave at the
+// same sender — a dense, contention-heavy workload for the engine.
+func benchSchedule(n, layers int) []Xmit {
+	c := cube.New(n)
+	rng := rand.New(rand.NewSource(1))
+	var xs []Xmit
+	last := make([]int, c.Nodes())
+	for i := range last {
+		last[i] = -1
+	}
+	for l := 0; l < layers; l++ {
+		for v := 0; v < c.Nodes(); v++ {
+			port := rng.Intn(n)
+			x := Xmit{
+				From: cube.NodeID(v), To: c.Neighbor(cube.NodeID(v), port),
+				Elems: 1, Prio: int64(l),
+			}
+			if last[v] >= 0 {
+				x.Deps = []int{last[v]}
+			}
+			xs = append(xs, x)
+			last[x.To] = len(xs) - 1
+		}
+	}
+	return xs
+}
+
+func benchRun(b *testing.B, n, layers int, pm model.PortModel) {
+	xs := benchSchedule(n, layers)
+	cfg := Config{Dim: n, Model: pm, Tau: 1, Tc: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "xmits")
+}
+
+func BenchmarkEngineOnePort(b *testing.B)  { benchRun(b, 7, 50, model.OneSendOrRecv) }
+func BenchmarkEngineDuplex(b *testing.B)   { benchRun(b, 7, 50, model.OneSendAndRecv) }
+func BenchmarkEngineAllPorts(b *testing.B) { benchRun(b, 7, 50, model.AllPorts) }
+
+// BenchmarkEngineLarge exercises the half-million-transmission regime
+// that Figure 5's d = 7, B = 16 point produces.
+func BenchmarkEngineLarge(b *testing.B) {
+	xs := benchSchedule(8, 500) // 128k transmissions
+	cfg := Config{Dim: 8, Model: model.OneSendAndRecv, Tau: 1, Tc: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "xmits")
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// randomSchedule builds a random acyclic transmission DAG: a sequence of
+// transmissions over random edges, each possibly depending on earlier
+// transmissions that deliver to its source node.
+func randomSchedule(rng *rand.Rand, n, count int) []Xmit {
+	c := cube.New(n)
+	xs := make([]Xmit, 0, count)
+	// deliveredTo[v] = indices of earlier transmissions arriving at v.
+	deliveredTo := map[cube.NodeID][]int{}
+	for len(xs) < count {
+		from := cube.NodeID(rng.Intn(c.Nodes()))
+		port := rng.Intn(n)
+		to := c.Neighbor(from, port)
+		x := Xmit{
+			From: from, To: to,
+			Elems: float64(1 + rng.Intn(64)),
+			Prio:  int64(rng.Intn(100)),
+		}
+		if prev := deliveredTo[from]; len(prev) > 0 && rng.Intn(2) == 0 {
+			k := 1 + rng.Intn(min(3, len(prev)))
+			seen := map[int]bool{}
+			for d := 0; d < k; d++ {
+				dep := prev[rng.Intn(len(prev))]
+				if !seen[dep] {
+					seen[dep] = true
+					x.Deps = append(x.Deps, dep)
+				}
+			}
+		}
+		xs = append(xs, x)
+		deliveredTo[to] = append(deliveredTo[to], len(xs)-1)
+	}
+	return xs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// criticalPath computes the dependency-only lower bound on the makespan:
+// no schedule can finish before its longest chain of dependent costs.
+func criticalPath(cfg Config, xs []Xmit) float64 {
+	memo := make([]float64, len(xs))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var finish func(i int) float64
+	finish = func(i int) float64 {
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		start := 0.0
+		for _, d := range xs[i].Deps {
+			if f := finish(d); f > start {
+				start = f
+			}
+		}
+		memo[i] = start + cfg.cost(xs[i].Elems)
+		return memo[i]
+	}
+	best := 0.0
+	for i := range xs {
+		if f := finish(i); f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+func TestRandomSchedulesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		count := 5 + rng.Intn(120)
+		xs := randomSchedule(rng, n, count)
+		for _, pm := range model.PortModels {
+			cfg := Config{
+				Dim: n, Model: pm,
+				Tau: float64(rng.Intn(10)), Tc: 0.5 + rng.Float64(),
+			}
+			if cfg.Tau == 0 && rng.Intn(2) == 0 {
+				cfg.Tau = 1
+			}
+			res, err := Run(cfg, xs)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, pm, err)
+			}
+			// Invariant 1: causality — start >= every dep's finish;
+			// finish = start + cost.
+			for i, x := range xs {
+				if math.Abs(res.Finish[i]-res.Start[i]-cfg.cost(x.Elems)) > 1e-9 {
+					t.Fatalf("trial %d: duration wrong for %d", trial, i)
+				}
+				for _, d := range x.Deps {
+					if res.Start[i] < res.Finish[d]-1e-9 {
+						t.Fatalf("trial %d: causality violated at %d", trial, i)
+					}
+				}
+			}
+			// Invariant 2: makespan >= dependency critical path.
+			if cp := criticalPath(cfg, xs); res.Makespan < cp-1e-9 {
+				t.Fatalf("trial %d %v: makespan %f below critical path %f", trial, pm, res.Makespan, cp)
+			}
+			// Invariant 3: no link is busier than the makespan, and total
+			// busy time is conserved.
+			var total float64
+			for e, busy := range res.LinkBusy {
+				if busy > res.Makespan+1e-9 {
+					t.Fatalf("trial %d: link %v busy %f > makespan %f", trial, e, busy, res.Makespan)
+				}
+				total += busy
+			}
+			var want float64
+			for _, x := range xs {
+				want += cfg.cost(x.Elems)
+			}
+			if math.Abs(total-want) > 1e-6*want {
+				t.Fatalf("trial %d: link busy sum %f, want %f", trial, total, want)
+			}
+			// Invariant 4: transmissions over the same directed link never
+			// overlap in time.
+			byLink := map[cube.Edge][]int{}
+			for i, x := range xs {
+				byLink[cube.Edge{From: x.From, To: x.To}] = append(byLink[cube.Edge{From: x.From, To: x.To}], i)
+			}
+			for _, idxs := range byLink {
+				for a := 0; a < len(idxs); a++ {
+					for b := a + 1; b < len(idxs); b++ {
+						i, j := idxs[a], idxs[b]
+						if res.Start[i] < res.Finish[j]-1e-9 && res.Start[j] < res.Finish[i]-1e-9 {
+							t.Fatalf("trial %d: link overlap between %d and %d", trial, i, j)
+						}
+					}
+				}
+			}
+			// Invariant 5 (one-port models only): a node never performs
+			// two sends (or, for half duplex, any two actions) at once,
+			// up to the configured overlap (zero here).
+			if pm != model.AllPorts {
+				checkNodeSerialization(t, cfg, xs, res, trial)
+			}
+		}
+	}
+}
+
+// checkNodeSerialization verifies the port-model constraint on the
+// simulated intervals.
+func checkNodeSerialization(t *testing.T, cfg Config, xs []Xmit, res *Result, trial int) {
+	t.Helper()
+	type span struct {
+		s, f float64
+		send bool
+	}
+	byNode := map[cube.NodeID][]span{}
+	for i, x := range xs {
+		busyEnd := res.Start[i] + (res.Finish[i]-res.Start[i])*(1-cfg.Overlap)
+		byNode[x.From] = append(byNode[x.From], span{res.Start[i], busyEnd, true})
+		byNode[x.To] = append(byNode[x.To], span{res.Start[i], busyEnd, false})
+	}
+	for v, spans := range byNode {
+		for a := 0; a < len(spans); a++ {
+			for b := a + 1; b < len(spans); b++ {
+				x, y := spans[a], spans[b]
+				if !(x.s < y.f-1e-9 && y.s < x.f-1e-9) {
+					continue // disjoint
+				}
+				conflict := cfg.Model == model.OneSendOrRecv ||
+					(cfg.Model == model.OneSendAndRecv && x.send == y.send)
+				if conflict {
+					t.Fatalf("trial %d: node %d violates %v: [%f,%f) and [%f,%f)",
+						trial, v, cfg.Model, x.s, x.f, y.s, y.f)
+				}
+			}
+		}
+	}
+}
+
+func TestPrioritiesRespectedOnSharedLink(t *testing.T) {
+	// Among dependency-free transmissions sharing one link, starts happen
+	// in priority order.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var xs []Xmit
+		count := 3 + rng.Intn(20)
+		for i := 0; i < count; i++ {
+			xs = append(xs, Xmit{From: 0, To: 1, Elems: 1, Prio: int64(rng.Intn(1000))})
+		}
+		res, err := Run(Config{Dim: 2, Model: model.AllPorts, Tau: 1}, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			for j := range xs {
+				if xs[i].Prio < xs[j].Prio && res.Start[i] > res.Start[j] {
+					t.Fatalf("trial %d: prio %d started after prio %d", trial, xs[i].Prio, xs[j].Prio)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,525 @@
+// Package sim is a packet-switched discrete-event simulator of an
+// iPSC-like Boolean-cube multiprocessor, the substitute substrate for the
+// paper's Intel iPSC/d7 measurements (see DESIGN.md).
+//
+// A simulation executes a set of transmissions. Each transmission moves
+// Elems elements across one directed cube link and costs
+//
+//	ceil(Elems / InternalPacket) * Tau  +  Elems * Tc
+//
+// of link time (the iPSC splits user messages into internal packets of at
+// most 1 KB, paying one start-up per internal packet; InternalPacket = 0
+// models an unbounded packet size, costing a single Tau). Transmissions
+// carry explicit dependencies: a transmission may not start before every
+// dependency has been fully delivered to its sending node — store-and-
+// forward packet switching.
+//
+// Per-node concurrency is constrained by the paper's three port models:
+//
+//	OneSendOrRecv  — one communication action at a time per node
+//	OneSendAndRecv — one send concurrent with one receive
+//	AllPorts       — all log N ports concurrently (links still serialize)
+//
+// The Overlap parameter models the iPSC behaviour the paper observed in
+// §5.2 ("the 20% overlap in communications actions"): a node's port
+// resources are released after (1-Overlap) of a transmission's duration,
+// while the link itself stays busy for the full duration.
+//
+// Scheduling is greedy and deterministic: whenever resources free up,
+// dependency-ready transmissions start in priority order (per sending
+// node, lowest priority first; ties across ports by priority then index).
+// The paper's schedules are conflict-free by construction, so the greedy
+// executor attains their analytic bounds; for ad-hoc schedules it is a
+// faithful "what would the machine do" executor.
+//
+// The engine keeps one ready-queue per directed link, so each scheduling
+// decision is O(log N) in the cube dimension rather than in the number of
+// outstanding transmissions; half-million-transmission schedules (e.g.
+// Figure 5 at d = 7 with 16-byte packets) run in seconds.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	Dim            int             // cube dimension n
+	Model          model.PortModel // per-node port constraint
+	Tau            float64         // start-up time per (internal) packet
+	Tc             float64         // transfer time per element
+	Overlap        float64         // in [0,1): fraction of node-resource time released early
+	InternalPacket float64         // max elements per internal packet; 0 = unlimited
+}
+
+// Xmit is one store-and-forward transmission over a directed cube link.
+type Xmit struct {
+	From, To cube.NodeID
+	Elems    float64 // message size in elements; must be > 0
+	Prio     int64   // per-sender order: lower starts first
+	Deps     []int   // indices of transmissions that must be delivered to From first
+}
+
+// Result reports the outcome of a simulation run.
+type Result struct {
+	// Finish[i] is the delivery time of transmission i.
+	Finish []float64
+	// Start[i] is the time transmission i began occupying its link.
+	Start []float64
+	// Makespan is the latest delivery time.
+	Makespan float64
+	// LinkBusy maps each used directed edge to its total busy time; the
+	// bandwidth bottleneck is its maximum.
+	LinkBusy map[cube.Edge]float64
+	// Steps is Makespan / (Tau + B*Tc) rounded when every transmission has
+	// identical unit cost (single-packet analyses); otherwise 0.
+	Steps int
+}
+
+// MaxLinkBusy returns the busiest link's total busy time and the edge.
+func (r *Result) MaxLinkBusy() (cube.Edge, float64) {
+	var best cube.Edge
+	var max float64
+	for e, b := range r.LinkBusy {
+		if b > max {
+			best, max = e, b
+		}
+	}
+	return best, max
+}
+
+// cost returns the link occupancy time of a transmission.
+func (c *Config) cost(elems float64) float64 {
+	packets := 1.0
+	if c.InternalPacket > 0 {
+		packets = math.Ceil(elems / c.InternalPacket)
+		if packets < 1 {
+			packets = 1
+		}
+	}
+	return packets*c.Tau + elems*c.Tc
+}
+
+// Run executes the transmissions on the simulated machine.
+func Run(cfg Config, xs []Xmit) (*Result, error) {
+	cb := cube.New(cfg.Dim)
+	if cfg.Overlap < 0 || cfg.Overlap >= 1 {
+		return nil, fmt.Errorf("sim: overlap %f out of [0,1)", cfg.Overlap)
+	}
+	for i, x := range xs {
+		if !cb.ValidEdge(cube.Edge{From: x.From, To: x.To}) {
+			return nil, fmt.Errorf("sim: transmission %d uses non-edge %d->%d", i, x.From, x.To)
+		}
+		if x.Elems <= 0 {
+			return nil, fmt.Errorf("sim: transmission %d has size %f", i, x.Elems)
+		}
+		for _, d := range x.Deps {
+			if d < 0 || d >= len(xs) {
+				return nil, fmt.Errorf("sim: transmission %d has bad dep %d", i, d)
+			}
+			if xs[d].To != x.From {
+				return nil, fmt.Errorf("sim: transmission %d depends on %d, which delivers to %d not %d",
+					i, d, xs[d].To, x.From)
+			}
+		}
+	}
+
+	st := newState(cfg, cb, xs)
+	st.run()
+
+	res := &Result{
+		Finish:   st.finish,
+		Start:    st.start,
+		LinkBusy: st.linkBusy,
+	}
+	unit := cfg.cost(xs[0].Elems)
+	uniform := true
+	for i, x := range xs {
+		if math.IsNaN(st.finish[i]) {
+			return nil, fmt.Errorf("sim: transmission %d never started (circular or unsatisfiable deps)", i)
+		}
+		if st.finish[i] > res.Makespan {
+			res.Makespan = st.finish[i]
+		}
+		if cfg.cost(x.Elems) != unit {
+			uniform = false
+		}
+	}
+	if uniform && unit > 0 {
+		res.Steps = int(math.Round(res.Makespan / unit))
+	}
+	return res, nil
+}
+
+// state is the mutable simulation state.
+type state struct {
+	cfg Config
+	cb  *cube.Cube
+	n   int
+	xs  []Xmit
+
+	start, finish []float64
+	started       []bool
+	depsLeft      []int
+	dependents    [][]int
+
+	// ready[linkIndex] is a min-heap (by Prio, then index) of
+	// dependency-ready, unstarted transmissions for that directed link.
+	ready []xmitHeap
+
+	linkFree []float64 // per directed link
+	linkBusy map[cube.Edge]float64
+
+	// Node resources (indexed by node id); semantics per port model:
+	//   OneSendOrRecv:  chanFree — single shared resource
+	//   OneSendAndRecv: sendFree / recvFree
+	//   AllPorts:       unused
+	chanFree, sendFree, recvFree []float64
+
+	inflight map[float64][]int         // completion time -> transmissions
+	releases map[float64][]cube.NodeID // resource-release time -> nodes
+	events   timeHeap
+}
+
+// linkIndex maps the directed edge (from, port) to a dense index.
+func (st *state) linkIndex(from cube.NodeID, port int) int {
+	return int(from)*st.n + port
+}
+
+func newState(cfg Config, cb *cube.Cube, xs []Xmit) *state {
+	N := cb.Nodes()
+	st := &state{
+		cfg: cfg, cb: cb, n: cfg.Dim, xs: xs,
+		start:      make([]float64, len(xs)),
+		finish:     make([]float64, len(xs)),
+		started:    make([]bool, len(xs)),
+		depsLeft:   make([]int, len(xs)),
+		dependents: make([][]int, len(xs)),
+		ready:      make([]xmitHeap, N*cfg.Dim),
+		linkFree:   make([]float64, N*cfg.Dim),
+		linkBusy:   map[cube.Edge]float64{},
+		chanFree:   make([]float64, N),
+		sendFree:   make([]float64, N),
+		recvFree:   make([]float64, N),
+		inflight:   map[float64][]int{},
+		releases:   map[float64][]cube.NodeID{},
+	}
+	for i, x := range xs {
+		st.start[i] = math.NaN()
+		st.finish[i] = math.NaN()
+		st.depsLeft[i] = len(x.Deps)
+		for _, d := range x.Deps {
+			st.dependents[d] = append(st.dependents[d], i)
+		}
+		if st.depsLeft[i] == 0 {
+			li := st.linkIndex(x.From, cb.Port(x.From, x.To))
+			st.ready[li].push(readyItem{prio: x.Prio, idx: i})
+		}
+	}
+	return st
+}
+
+func (st *state) run() {
+	// Initial round: every node may have ready transmissions at t = 0.
+	affected := make(map[cube.NodeID]bool)
+	for _, x := range st.xs {
+		affected[x.From] = true
+	}
+	st.attemptNodes(0, affected)
+
+	for st.events.Len() > 0 {
+		t := st.events.pop()
+		affected = map[cube.NodeID]bool{}
+		for _, i := range st.inflight[t] {
+			st.deliver(i, affected)
+		}
+		delete(st.inflight, t)
+		for _, v := range st.releases[t] {
+			// The node's own queues may proceed, and so may any neighbor
+			// whose head transmission targets this node.
+			affected[v] = true
+			for j := 0; j < st.n; j++ {
+				affected[st.cb.Neighbor(v, j)] = true
+			}
+		}
+		delete(st.releases, t)
+		st.attemptNodes(t, affected)
+	}
+}
+
+// deliver marks transmission i delivered; nodes whose queues may have new
+// work are added to affected.
+func (st *state) deliver(i int, affected map[cube.NodeID]bool) {
+	x := st.xs[i]
+	for _, d := range st.dependents[i] {
+		st.depsLeft[d]--
+		if st.depsLeft[d] == 0 {
+			dx := st.xs[d]
+			li := st.linkIndex(dx.From, st.cb.Port(dx.From, dx.To))
+			st.ready[li].push(readyItem{prio: dx.Prio, idx: d})
+			affected[dx.From] = true
+		}
+	}
+	// The link From->To freed: its queue may proceed.
+	affected[x.From] = true
+}
+
+// attemptNodes starts every transmission that can begin at time t from the
+// affected nodes, in GLOBAL priority order: at each step the lowest-
+// priority startable transmission over all affected nodes starts first.
+// This matters under the one-port models — a child forwarding an old
+// packet must beat the root injecting a newer one, exactly as the paper's
+// cycle-numbered schedules prescribe. Within one instant resources only
+// get busier, so candidates are recomputed just for the two endpoint
+// nodes of each started transmission.
+func (st *state) attemptNodes(t float64, affected map[cube.NodeID]bool) {
+	nodes := make([]cube.NodeID, 0, len(affected))
+	for v := range affected {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+
+	type cand struct {
+		item readyItem
+		port int
+		ok   bool
+	}
+	cands := make(map[cube.NodeID]cand, len(nodes))
+	for _, v := range nodes {
+		item, port, ok := st.bestCandidate(v, t)
+		cands[v] = cand{item, port, ok}
+	}
+	for {
+		var bestNode cube.NodeID
+		var best cand
+		found := false
+		for _, v := range nodes {
+			c := cands[v]
+			if !c.ok {
+				continue
+			}
+			if !found || c.item.less(best.item) {
+				found, bestNode, best = true, v, c
+			}
+		}
+		if !found {
+			return
+		}
+		// Revalidate: an earlier start in this instant may have consumed
+		// the receiver or sender this candidate needs.
+		x := st.xs[best.item.idx]
+		if !st.senderFree(bestNode, t) || !st.receiverFree(x.To, t) ||
+			st.linkFree[st.linkIndex(bestNode, best.port)] > t {
+			item, port, ok := st.bestCandidate(bestNode, t)
+			cands[bestNode] = cand{item, port, ok}
+			continue
+		}
+		st.ready[st.linkIndex(bestNode, best.port)].pop()
+		st.startXmit(best.item.idx, best.port, t)
+		item, port, ok := st.bestCandidate(bestNode, t)
+		cands[bestNode] = cand{item, port, ok}
+		if _, tracked := cands[x.To]; tracked && x.To != bestNode {
+			item, port, ok = st.bestCandidate(x.To, t)
+			cands[x.To] = cand{item, port, ok}
+		}
+	}
+}
+
+// bestCandidate returns the lowest-priority transmission node v could
+// start at time t across its per-port ready queues, or ok == false.
+func (st *state) bestCandidate(v cube.NodeID, t float64) (readyItem, int, bool) {
+	if !st.senderFree(v, t) {
+		return readyItem{}, 0, false
+	}
+	bestPort := -1
+	var best readyItem
+	for p := 0; p < st.n; p++ {
+		li := st.linkIndex(v, p)
+		h := &st.ready[li]
+		if h.Len() == 0 || st.linkFree[li] > t {
+			continue
+		}
+		item := h.peek()
+		if !st.receiverFree(st.xs[item.idx].To, t) {
+			continue
+		}
+		if bestPort < 0 || item.less(best) {
+			bestPort, best = p, item
+		}
+	}
+	if bestPort < 0 {
+		return readyItem{}, 0, false
+	}
+	return best, bestPort, true
+}
+
+func (st *state) senderFree(v cube.NodeID, t float64) bool {
+	switch st.cfg.Model {
+	case model.OneSendOrRecv:
+		return st.chanFree[v] <= t
+	case model.OneSendAndRecv:
+		return st.sendFree[v] <= t
+	default:
+		return true
+	}
+}
+
+func (st *state) receiverFree(v cube.NodeID, t float64) bool {
+	switch st.cfg.Model {
+	case model.OneSendOrRecv:
+		return st.chanFree[v] <= t
+	case model.OneSendAndRecv:
+		return st.recvFree[v] <= t
+	default:
+		return true
+	}
+}
+
+func (st *state) startXmit(i, port int, t float64) {
+	x := st.xs[i]
+	d := st.cfg.cost(x.Elems)
+	st.started[i] = true
+	st.start[i] = t
+	fin := t + d
+	st.finish[i] = fin
+	li := st.linkIndex(x.From, port)
+	st.linkFree[li] = fin
+	st.linkBusy[cube.Edge{From: x.From, To: x.To}] += d
+	st.inflight[fin] = append(st.inflight[fin], i)
+	st.events.push(fin)
+	if st.cfg.Model != model.AllPorts {
+		rel := t + d*(1-st.cfg.Overlap)
+		switch st.cfg.Model {
+		case model.OneSendOrRecv:
+			st.chanFree[x.From] = rel
+			st.chanFree[x.To] = rel
+		case model.OneSendAndRecv:
+			st.sendFree[x.From] = rel
+			st.recvFree[x.To] = rel
+		}
+		st.releases[rel] = append(st.releases[rel], x.From, x.To)
+		st.events.push(rel)
+	}
+}
+
+// readyItem is a heap entry: a dependency-ready transmission.
+type readyItem struct {
+	prio int64
+	idx  int
+}
+
+func (a readyItem) less(b readyItem) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.idx < b.idx
+}
+
+// xmitHeap is a binary min-heap of readyItems.
+type xmitHeap struct {
+	h []readyItem
+}
+
+func (q *xmitHeap) Len() int        { return len(q.h) }
+func (q *xmitHeap) peek() readyItem { return q.h[0] }
+
+func (q *xmitHeap) push(v readyItem) {
+	q.h = append(q.h, v)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.h[i].less(q.h[p]) {
+			break
+		}
+		q.h[p], q.h[i] = q.h[i], q.h[p]
+		i = p
+	}
+}
+
+func (q *xmitHeap) pop() readyItem {
+	v := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return v
+}
+
+func (q *xmitHeap) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q.h[l].less(q.h[m]) {
+			m = l
+		}
+		if r < n && q.h[r].less(q.h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+}
+
+// timeHeap is a binary min-heap of event times, deduplicating at pop.
+type timeHeap struct {
+	h []float64
+}
+
+func (t *timeHeap) Len() int { return len(t.h) }
+
+func (t *timeHeap) push(v float64) {
+	t.h = append(t.h, v)
+	i := len(t.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.h[p] <= t.h[i] {
+			break
+		}
+		t.h[p], t.h[i] = t.h[i], t.h[p]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum time, coalescing duplicates.
+func (t *timeHeap) pop() float64 {
+	v := t.h[0]
+	for len(t.h) > 0 && t.h[0] == v {
+		n := len(t.h) - 1
+		t.h[0] = t.h[n]
+		t.h = t.h[:n]
+		if n > 0 {
+			t.siftDown(0)
+		}
+	}
+	return v
+}
+
+func (t *timeHeap) siftDown(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.h[l] < t.h[m] {
+			m = l
+		}
+		if r < n && t.h[r] < t.h[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.h[i], t.h[m] = t.h[m], t.h[i]
+		i = m
+	}
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/model"
+)
+
+func unitCfg(n int, pm model.PortModel) Config {
+	return Config{Dim: n, Model: pm, Tau: 1, Tc: 0}
+}
+
+func TestSingleTransmission(t *testing.T) {
+	cfg := Config{Dim: 3, Model: model.OneSendOrRecv, Tau: 5, Tc: 2}
+	res, err := Run(cfg, []Xmit{{From: 0, To: 1, Elems: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5.0 + 20.0; res.Makespan != want {
+		t.Errorf("makespan %f, want %f", res.Makespan, want)
+	}
+	if res.Start[0] != 0 {
+		t.Errorf("start %f", res.Start[0])
+	}
+	if res.Steps != 1 {
+		t.Errorf("steps %d", res.Steps)
+	}
+}
+
+func TestInternalPacketSplitting(t *testing.T) {
+	// 2500 elements with 1024-element internal packets: 3 start-ups.
+	cfg := Config{Dim: 2, Model: model.AllPorts, Tau: 10, Tc: 1, InternalPacket: 1024}
+	res, err := Run(cfg, []Xmit{{From: 0, To: 2, Elems: 2500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*10.0 + 2500; res.Makespan != want {
+		t.Errorf("makespan %f, want %f", res.Makespan, want)
+	}
+}
+
+func TestChainDependency(t *testing.T) {
+	// 0 -> 1 -> 3: store-and-forward, second hop waits for the first.
+	cfg := unitCfg(2, model.AllPorts)
+	res, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1},
+		{From: 1, To: 3, Elems: 1, Deps: []int{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Errorf("makespan %f, want 2", res.Makespan)
+	}
+	if res.Start[1] != 1 {
+		t.Errorf("second hop started at %f", res.Start[1])
+	}
+}
+
+func TestDependencyValidation(t *testing.T) {
+	cfg := unitCfg(2, model.AllPorts)
+	// Dep delivers to node 1 but dependent sends from node 2.
+	_, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1},
+		{From: 2, To: 3, Elems: 1, Deps: []int{0}},
+	})
+	if err == nil {
+		t.Error("mismatched dependency accepted")
+	}
+	_, err = Run(cfg, []Xmit{{From: 0, To: 1, Elems: 1, Deps: []int{5}}})
+	if err == nil {
+		t.Error("out-of-range dependency accepted")
+	}
+	_, err = Run(cfg, []Xmit{{From: 0, To: 3, Elems: 1}})
+	if err == nil {
+		t.Error("non-edge accepted")
+	}
+	_, err = Run(cfg, []Xmit{{From: 0, To: 1, Elems: 0}})
+	if err == nil {
+		t.Error("empty transmission accepted")
+	}
+	_, err = Run(Config{Dim: 2, Model: model.AllPorts, Overlap: 1.5, Tau: 1}, []Xmit{{From: 0, To: 1, Elems: 1}})
+	if err == nil {
+		t.Error("bad overlap accepted")
+	}
+}
+
+func TestCircularDependencyDetected(t *testing.T) {
+	cfg := unitCfg(2, model.AllPorts)
+	// 0->1 depends on 1->0 and vice versa.
+	_, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1, Deps: []int{1}},
+		{From: 1, To: 0, Elems: 1, Deps: []int{0}},
+	})
+	if err == nil {
+		t.Error("circular dependency not reported")
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two packets over the same directed link serialize even on AllPorts.
+	cfg := unitCfg(2, model.AllPorts)
+	res, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1, Prio: 0},
+		{From: 0, To: 1, Elems: 1, Prio: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Errorf("makespan %f, want 2", res.Makespan)
+	}
+	if res.LinkBusy[cube.Edge{From: 0, To: 1}] != 2 {
+		t.Errorf("link busy %f", res.LinkBusy[cube.Edge{From: 0, To: 1}])
+	}
+}
+
+func TestOneSendOrRecvSerializesNode(t *testing.T) {
+	// Node 0 sending on two different ports: one-port model serializes,
+	// all-ports runs them concurrently.
+	xs := []Xmit{
+		{From: 0, To: 1, Elems: 1, Prio: 0},
+		{From: 0, To: 2, Elems: 1, Prio: 1},
+	}
+	res1, err := Run(unitCfg(2, model.OneSendOrRecv), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Makespan != 2 {
+		t.Errorf("one-port makespan %f, want 2", res1.Makespan)
+	}
+	resA, err := Run(unitCfg(2, model.AllPorts), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Makespan != 1 {
+		t.Errorf("all-ports makespan %f, want 1", resA.Makespan)
+	}
+}
+
+func TestSendOrRecvBlocksReceiveDuringSend(t *testing.T) {
+	// Node 1 wants to send 1->3 while 0 sends 0->1. Under OneSendOrRecv
+	// the two actions at node 1 serialize; under OneSendAndRecv they
+	// overlap.
+	xs := []Xmit{
+		{From: 0, To: 1, Elems: 1, Prio: 0},
+		{From: 1, To: 3, Elems: 1, Prio: 1},
+	}
+	res1, err := Run(unitCfg(2, model.OneSendOrRecv), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Makespan != 2 {
+		t.Errorf("half-duplex makespan %f, want 2", res1.Makespan)
+	}
+	res2, err := Run(unitCfg(2, model.OneSendAndRecv), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Makespan != 1 {
+		t.Errorf("full-duplex makespan %f, want 1", res2.Makespan)
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	// Two packets compete for node 0's single port; priority decides.
+	xs := []Xmit{
+		{From: 0, To: 1, Elems: 1, Prio: 10},
+		{From: 0, To: 2, Elems: 1, Prio: 5},
+	}
+	res, err := Run(unitCfg(2, model.OneSendOrRecv), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Start[1] == 0 && res.Start[0] == 1) {
+		t.Errorf("priority not honoured: starts %v", res.Start)
+	}
+}
+
+func TestOverlapReleasesNodeEarly(t *testing.T) {
+	// With 20% overlap, node 1 can begin forwarding at 80% of the receive.
+	// Receive occupies [0, 10); forward may start at 8 only if its data
+	// arrived — data arrives at 10, so overlap alone cannot beat
+	// store-and-forward on a dependent chain. Instead test two unrelated
+	// actions at one node: 0->1 recv and 1->3 send of a locally available
+	// packet.
+	xs := []Xmit{
+		{From: 0, To: 1, Elems: 10, Prio: 0},
+		{From: 1, To: 3, Elems: 10, Prio: 1},
+	}
+	cfg := Config{Dim: 2, Model: model.OneSendOrRecv, Tau: 0, Tc: 1}
+	res, err := Run(cfg, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 20 {
+		t.Errorf("no-overlap makespan %f, want 20", res.Makespan)
+	}
+	cfg.Overlap = 0.2
+	res, err = Run(cfg, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 18 {
+		t.Errorf("overlap makespan %f, want 18", res.Makespan)
+	}
+}
+
+func TestCausality(t *testing.T) {
+	// Property: every transmission starts no earlier than the delivery of
+	// each of its dependencies, and finish = start + cost.
+	cfg := Config{Dim: 3, Model: model.OneSendAndRecv, Tau: 3, Tc: 0.5}
+	// A small broadcast tree: 0 -> 1, 0 -> 2, 1 -> 3(5?) build valid edges:
+	xs := []Xmit{
+		{From: 0, To: 1, Elems: 4, Prio: 0},
+		{From: 0, To: 2, Elems: 4, Prio: 1},
+		{From: 1, To: 3, Elems: 4, Prio: 2, Deps: []int{0}},
+		{From: 1, To: 5, Elems: 4, Prio: 3, Deps: []int{0}},
+		{From: 2, To: 6, Elems: 4, Prio: 4, Deps: []int{1}},
+		{From: 3, To: 7, Elems: 4, Prio: 5, Deps: []int{2}},
+	}
+	res, err := Run(cfg, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if got, want := res.Finish[i]-res.Start[i], cfg.cost(x.Elems); math.Abs(got-want) > 1e-9 {
+			t.Errorf("xmit %d duration %f, want %f", i, got, want)
+		}
+		for _, d := range x.Deps {
+			if res.Start[i] < res.Finish[d]-1e-9 {
+				t.Errorf("xmit %d started %f before dep %d delivered %f", i, res.Start[i], d, res.Finish[d])
+			}
+		}
+	}
+}
+
+func TestMaxLinkBusy(t *testing.T) {
+	cfg := unitCfg(2, model.AllPorts)
+	res, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1},
+		{From: 0, To: 1, Elems: 1, Prio: 1},
+		{From: 1, To: 3, Elems: 1, Prio: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, busy := res.MaxLinkBusy()
+	if e.From != 0 || e.To != 1 || busy != 2 {
+		t.Errorf("MaxLinkBusy = %v %f", e, busy)
+	}
+}
+
+func TestStepsNonUniform(t *testing.T) {
+	cfg := Config{Dim: 2, Model: model.AllPorts, Tau: 1, Tc: 1}
+	res, err := Run(cfg, []Xmit{
+		{From: 0, To: 1, Elems: 1},
+		{From: 0, To: 2, Elems: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Errorf("non-uniform sizes must give Steps = 0, got %d", res.Steps)
+	}
+}

@@ -1,0 +1,420 @@
+// Package tree provides generic machinery for spanning trees of a Boolean
+// cube: construction from parent functions, structural validation,
+// traversals, per-subtree statistics, and edge-disjointness checks across
+// sets of trees.
+//
+// Every routing structure in Ho & Johnsson (SBT, the ERSBTs of the MSBT,
+// BST, TCBT, Hamiltonian path) is materialized through this package so the
+// same validation and scheduling code applies to all of them.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cube"
+)
+
+// NoParent marks the root in parent arrays.
+const NoParent = -1
+
+// Tree is a rooted spanning tree (or subtree) of a cube, stored as a parent
+// array plus derived children lists and levels.
+type Tree struct {
+	c        *cube.Cube
+	root     cube.NodeID
+	parent   []int32 // parent[i], or NoParent for the root and non-members
+	member   []bool  // member[i]: node i belongs to this tree
+	children [][]cube.NodeID
+	level    []int32 // distance from root in tree edges; -1 for non-members
+	height   int
+	size     int
+}
+
+// ParentFunc gives the parent of node i, with ok == false exactly when i is
+// the root. It is only consulted for member nodes.
+type ParentFunc func(i cube.NodeID) (parent cube.NodeID, ok bool)
+
+// FromParentFunc builds a spanning tree of c rooted at root from a parent
+// function defined on all nodes. It validates that every non-root node's
+// parent is adjacent to it and that following parents reaches the root
+// without cycles.
+func FromParentFunc(c *cube.Cube, root cube.NodeID, pf ParentFunc) (*Tree, error) {
+	members := make([]cube.NodeID, c.Nodes())
+	for i := range members {
+		members[i] = cube.NodeID(i)
+	}
+	return FromParentFuncSubset(c, root, pf, members)
+}
+
+// FromParentFuncSubset builds a tree over just the given member nodes
+// (which must include root). Subtrees of the BST, for example, are trees
+// over a subset of the cube.
+func FromParentFuncSubset(c *cube.Cube, root cube.NodeID, pf ParentFunc, members []cube.NodeID) (*Tree, error) {
+	n := c.Nodes()
+	t := &Tree{
+		c:        c,
+		root:     root,
+		parent:   make([]int32, n),
+		member:   make([]bool, n),
+		children: make([][]cube.NodeID, n),
+		level:    make([]int32, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = NoParent
+		t.level[i] = -1
+	}
+	if !c.Contains(root) {
+		return nil, fmt.Errorf("tree: root %d not in cube", root)
+	}
+	rootSeen := false
+	for _, m := range members {
+		if !c.Contains(m) {
+			return nil, fmt.Errorf("tree: member %d not in cube", m)
+		}
+		if t.member[m] {
+			return nil, fmt.Errorf("tree: duplicate member %d", m)
+		}
+		t.member[m] = true
+		if m == root {
+			rootSeen = true
+		}
+	}
+	if !rootSeen {
+		return nil, fmt.Errorf("tree: root %d not among members", root)
+	}
+	for _, m := range members {
+		if m == root {
+			continue
+		}
+		p, ok := pf(m)
+		if !ok {
+			return nil, fmt.Errorf("tree: non-root node %d reports no parent", m)
+		}
+		if !t.member[p] {
+			return nil, fmt.Errorf("tree: parent %d of %d is not a member", p, m)
+		}
+		if !c.Adjacent(m, p) {
+			return nil, fmt.Errorf("tree: parent %d of node %d not adjacent", p, m)
+		}
+		t.parent[m] = int32(p)
+	}
+	if p, ok := pf(root); ok {
+		return nil, fmt.Errorf("tree: root %d reports parent %d", root, p)
+	}
+	// Assign levels by walking to the root; detect cycles with a path mark.
+	state := make([]int8, n) // 0 unvisited, 1 on current path, 2 done
+	t.level[root] = 0
+	state[root] = 2
+	var walk func(i cube.NodeID) error
+	walk = func(i cube.NodeID) error {
+		if state[i] == 2 {
+			return nil
+		}
+		if state[i] == 1 {
+			return fmt.Errorf("tree: cycle through node %d", i)
+		}
+		state[i] = 1
+		p := cube.NodeID(t.parent[i])
+		if err := walk(p); err != nil {
+			return err
+		}
+		t.level[i] = t.level[p] + 1
+		state[i] = 2
+		return nil
+	}
+	for _, m := range members {
+		if err := walk(m); err != nil {
+			return nil, err
+		}
+	}
+	// Children lists, sorted by port for determinism.
+	for _, m := range members {
+		if m == root {
+			continue
+		}
+		p := cube.NodeID(t.parent[m])
+		t.children[p] = append(t.children[p], m)
+		if int(t.level[m]) > t.height {
+			t.height = int(t.level[m])
+		}
+	}
+	for i := range t.children {
+		ch := t.children[i]
+		sort.Slice(ch, func(a, b int) bool {
+			return t.c.Port(cube.NodeID(i), ch[a]) < t.c.Port(cube.NodeID(i), ch[b])
+		})
+	}
+	t.size = len(members)
+	return t, nil
+}
+
+// Cube returns the underlying cube.
+func (t *Tree) Cube() *cube.Cube { return t.c }
+
+// Root returns the root node.
+func (t *Tree) Root() cube.NodeID { return t.root }
+
+// Size returns the number of member nodes, including the root.
+func (t *Tree) Size() int { return t.size }
+
+// Spanning reports whether the tree covers every node of the cube.
+func (t *Tree) Spanning() bool { return t.size == t.c.Nodes() }
+
+// Member reports whether node i belongs to this tree.
+func (t *Tree) Member(i cube.NodeID) bool { return t.member[i] }
+
+// Parent returns the parent of i, with ok == false for the root (and for
+// non-members).
+func (t *Tree) Parent(i cube.NodeID) (cube.NodeID, bool) {
+	if !t.member[i] || i == t.root {
+		return 0, false
+	}
+	return cube.NodeID(t.parent[i]), true
+}
+
+// Children returns the children of i in increasing port order. The returned
+// slice is shared; callers must not modify it.
+func (t *Tree) Children(i cube.NodeID) []cube.NodeID { return t.children[i] }
+
+// Level returns the level of i (root is level 0), or -1 for non-members.
+func (t *Tree) Level(i cube.NodeID) int { return int(t.level[i]) }
+
+// Height returns the label of the last level.
+func (t *Tree) Height() int { return t.height }
+
+// IsLeaf reports whether i is a member with no children.
+func (t *Tree) IsLeaf(i cube.NodeID) bool { return t.member[i] && len(t.children[i]) == 0 }
+
+// Fanout returns the out-degree of node i.
+func (t *Tree) Fanout(i cube.NodeID) int { return len(t.children[i]) }
+
+// MaxFanout returns the maximum out-degree over all members, and the
+// maximum over nodes at each level (indexed by level).
+func (t *Tree) MaxFanout() (max int, perLevel []int) {
+	perLevel = make([]int, t.height+1)
+	for i := range t.children {
+		if !t.member[i] {
+			continue
+		}
+		f := len(t.children[i])
+		if f > max {
+			max = f
+		}
+		l := t.level[i]
+		if f > perLevel[l] {
+			perLevel[l] = f
+		}
+	}
+	return max, perLevel
+}
+
+// LevelCounts returns the number of member nodes at each level.
+func (t *Tree) LevelCounts() []int {
+	out := make([]int, t.height+1)
+	for i, m := range t.member {
+		if m {
+			out[t.level[i]]++
+		}
+	}
+	return out
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at i
+// (including i), or 0 for non-members.
+func (t *Tree) SubtreeSize(i cube.NodeID) int {
+	if !t.member[i] {
+		return 0
+	}
+	size := 1
+	for _, ch := range t.children[i] {
+		size += t.SubtreeSize(ch)
+	}
+	return size
+}
+
+// SubtreeNodes returns the nodes of the subtree rooted at i in preorder.
+func (t *Tree) SubtreeNodes(i cube.NodeID) []cube.NodeID {
+	if !t.member[i] {
+		return nil
+	}
+	var out []cube.NodeID
+	var walk func(v cube.NodeID)
+	walk = func(v cube.NodeID) {
+		out = append(out, v)
+		for _, ch := range t.children[v] {
+			walk(ch)
+		}
+	}
+	walk(i)
+	return out
+}
+
+// RootSubtreeSizes returns, for each child of the root in port order of the
+// root's child list, the size of that child's subtree. In the paper's
+// terminology these are the sizes of "the subtrees" (subtrees of the root).
+func (t *Tree) RootSubtreeSizes() []int {
+	out := make([]int, len(t.children[t.root]))
+	for k, ch := range t.children[t.root] {
+		out[k] = t.SubtreeSize(ch)
+	}
+	return out
+}
+
+// NodesAtDistanceInSubtree returns phi(i, j): the number of nodes at tree
+// distance j below node i within i's subtree (paper BST property 3).
+func (t *Tree) NodesAtDistanceInSubtree(i cube.NodeID, j int) int {
+	if !t.member[i] {
+		return 0
+	}
+	if j == 0 {
+		return 1
+	}
+	total := 0
+	for _, ch := range t.children[i] {
+		total += t.NodesAtDistanceInSubtree(ch, j-1)
+	}
+	return total
+}
+
+// Edges returns the tree's directed edges, oriented away from the root
+// (parent -> child), in preorder.
+func (t *Tree) Edges() []cube.Edge {
+	out := make([]cube.Edge, 0, t.size-1)
+	for _, v := range t.SubtreeNodes(t.root) {
+		for _, ch := range t.children[v] {
+			out = append(out, cube.Edge{From: v, To: ch})
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the node sequence from i up to the root, inclusive.
+func (t *Tree) PathToRoot(i cube.NodeID) []cube.NodeID {
+	if !t.member[i] {
+		return nil
+	}
+	var out []cube.NodeID
+	for {
+		out = append(out, i)
+		p, ok := t.Parent(i)
+		if !ok {
+			return out
+		}
+		i = p
+	}
+}
+
+// PreOrder returns all members in depth-first preorder (children visited in
+// port order).
+func (t *Tree) PreOrder() []cube.NodeID { return t.SubtreeNodes(t.root) }
+
+// BreadthFirst returns all members level by level, within a level in the
+// order their parents appear.
+func (t *Tree) BreadthFirst() []cube.NodeID {
+	out := make([]cube.NodeID, 0, t.size)
+	frontier := []cube.NodeID{t.root}
+	for len(frontier) > 0 {
+		out = append(out, frontier...)
+		var next []cube.NodeID
+		for _, v := range frontier {
+			next = append(next, t.children[v]...)
+		}
+		frontier = next
+	}
+	return out
+}
+
+// ReversedBreadthFirst returns members in a breadth-first traversal starting
+// from the last level (the "reversed breadth-first" transmission order of
+// paper §5.2): deepest level first, root last.
+func (t *Tree) ReversedBreadthFirst() []cube.NodeID {
+	bf := t.BreadthFirst()
+	byLevel := make([][]cube.NodeID, t.height+1)
+	for _, v := range bf {
+		l := t.level[v]
+		byLevel[l] = append(byLevel[l], v)
+	}
+	out := make([]cube.NodeID, 0, t.size)
+	for l := t.height; l >= 0; l-- {
+		out = append(out, byLevel[l]...)
+	}
+	return out
+}
+
+// VerifyChildrenFunc checks that a children function is consistent with
+// this tree's parent structure: children(i) must equal the stored child
+// list as a set, for every member.
+func (t *Tree) VerifyChildrenFunc(children func(i cube.NodeID) []cube.NodeID) error {
+	for i := 0; i < t.c.Nodes(); i++ {
+		id := cube.NodeID(i)
+		if !t.member[id] {
+			continue
+		}
+		got := children(id)
+		want := t.children[id]
+		if len(got) != len(want) {
+			return fmt.Errorf("tree: node %d: children func gives %d children, tree has %d", id, len(got), len(want))
+		}
+		set := map[cube.NodeID]bool{}
+		for _, ch := range got {
+			set[ch] = true
+		}
+		for _, ch := range want {
+			if !set[ch] {
+				return fmt.Errorf("tree: node %d: child %d missing from children func", id, ch)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNotEdgeDisjoint is reported by EdgeDisjoint when two trees share a
+// directed edge.
+var ErrNotEdgeDisjoint = errors.New("tree: trees share a directed edge")
+
+// EdgeDisjoint checks that the directed edge sets of the given trees are
+// pairwise disjoint. The MSBT construction requires its n ERSBTs to be
+// edge-disjoint; that property is what lets all n trees stream packets
+// concurrently without link contention.
+func EdgeDisjoint(trees ...*Tree) error {
+	seen := map[cube.Edge]int{}
+	for k, t := range trees {
+		for _, e := range t.Edges() {
+			if prev, dup := seen[e]; dup {
+				return fmt.Errorf("%w: edge %v in trees %d and %d", ErrNotEdgeDisjoint, e, prev, k)
+			}
+			seen[e] = k
+		}
+	}
+	return nil
+}
+
+// Isomorphic reports whether the subtrees rooted at a (in ta) and b (in tb)
+// are isomorphic as rooted trees, ignoring node labels. Used to verify
+// paper BST property 4 (all subtrees isomorphic when log N is prime,
+// excluding the all-ones node).
+func Isomorphic(ta *Tree, a cube.NodeID, tb *Tree, b cube.NodeID) bool {
+	return canon(ta, a) == canon(tb, b)
+}
+
+// canon computes a canonical string for the rooted subtree at v: sorted
+// concatenation of children's canonical forms in parentheses (AHU
+// encoding).
+func canon(t *Tree, v cube.NodeID) string {
+	ch := t.Children(v)
+	if len(ch) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(ch))
+	for i, c := range ch {
+		parts[i] = canon(t, c)
+	}
+	sort.Strings(parts)
+	out := "("
+	for _, p := range parts {
+		out += p
+	}
+	return out + ")"
+}
