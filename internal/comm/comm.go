@@ -12,6 +12,12 @@
 // reported as corruption rather than mis-delivered. Every node drains its
 // inbox through a pump goroutine into an unbounded tag-matched mailbox, so
 // a slow participant can never deadlock a fast neighbor.
+//
+// On machines with injected faults (RunFaulty), the fault-tolerant
+// collectives in ft.go add detection and recovery: per-receive timeouts
+// with bounded retry/backoff, a liveness mask learned from a heartbeat
+// round, payload checksums, and the redundant multi-tree broadcast that
+// exploits the edge-disjointness of the paper's ERSBTs.
 package comm
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"repro/internal/bst"
 	"repro/internal/cube"
+	"repro/internal/fault"
 	"repro/internal/mpx"
 	"repro/internal/msbt"
 	"repro/internal/sbt"
@@ -31,10 +38,11 @@ type Comm struct {
 	n   int
 	seq int // collective sequence number; all nodes advance in lockstep
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	mailbox map[int][]mpx.Envelope // tag -> queued envelopes
-	stopped bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
+	abandoned map[int]bool           // tags given up on by FT collectives
+	stopped   bool
 }
 
 // Rank returns this node's address.
@@ -50,10 +58,19 @@ func (c *Comm) Size() int { return 1 << uint(c.n) }
 // programs to finish, returning the first error. Inbox pump goroutines
 // are released when the machine shuts down.
 func Run(n int, program func(c *Comm) error) error {
-	m := mpx.New(n, 4)
+	return RunFaulty(n, nil, program)
+}
+
+// RunFaulty is Run on a machine with injected faults: dead ranks never
+// run their program, and messages suffer whatever the injector decides.
+// Programs should use the fault-tolerant collectives (BcastFT, ScatterFT,
+// ProbeLiveness) — the plain collectives assume full participation and
+// will abort when a needed peer is dead. A nil injector is exactly Run.
+func RunFaulty(n int, inj fault.Injector, program func(c *Comm) error) error {
+	m := mpx.NewWithInjector(n, 4, inj)
 	defer m.Shutdown() // release pumps still blocked in Recv
 	return m.Run(func(nd *mpx.Node) error {
-		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}}
+		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}, abandoned: map[int]bool{}}
 		c.cond = sync.NewCond(&c.mu)
 		go c.pump()
 		defer c.stop()
@@ -87,6 +104,14 @@ func (c *Comm) pump() (err error) {
 			c.mu.Unlock()
 			return nil
 		}
+		if c.abandoned[env.Tag] {
+			// A fault-tolerant collective gave up on this tag (severed
+			// tree, timed-out heartbeat): the straggler is dropped here so
+			// it can never be mistaken for corruption of a later
+			// collective.
+			c.mu.Unlock()
+			continue
+		}
 		c.mailbox[env.Tag] = append(c.mailbox[env.Tag], env)
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -100,7 +125,13 @@ func (c *Comm) stop() {
 	c.mu.Unlock()
 }
 
-// recvTag blocks until a message with the given tag is available.
+// recvTag blocks until a message with the given tag is available. A
+// queued message carrying the same subtag but a PAST collective sequence
+// is a corrupted collective stream (some rank is running collectives out
+// of order) and fails hard with full provenance: sender rank, raw tag,
+// and expected vs. actual sequence. Future-sequence messages are normal —
+// a neighbor may legitimately run ahead — and stragglers from abandoned
+// fault-tolerant collectives never reach the mailbox (see pump).
 func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -114,11 +145,30 @@ func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
 			}
 			return env, nil
 		}
+		if err := c.staleLocked(tag); err != nil {
+			return mpx.Envelope{}, err
+		}
 		if c.stopped {
 			return mpx.Envelope{}, fmt.Errorf("comm: node %d: machine stopped while waiting for tag %d", c.nd.ID, tag)
 		}
 		c.cond.Wait()
 	}
+}
+
+// staleLocked scans the mailbox (mu held) for a message whose subtag
+// matches tag but whose collective sequence is in the past — corruption
+// of the lockstep collective stream. The error carries everything a fault
+// experiment needs to debug it.
+func (c *Comm) staleLocked(tag int) error {
+	sub, seq := tag&0xffff, tag>>16
+	for k, q := range c.mailbox {
+		if len(q) > 0 && k&0xffff == sub && k>>16 < seq {
+			env := q[0]
+			return fmt.Errorf("comm: node %d: corrupt collective stream: message from rank %d with tag %#x (subtag %d) carries sequence %d, expected sequence %d",
+				c.nd.ID, env.From, k, sub, k>>16, seq)
+		}
+	}
+	return nil
 }
 
 // tagFor builds a unique message tag for (collective sequence, subtag).

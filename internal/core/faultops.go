@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+	"repro/internal/mpx"
+)
+
+// DegradedTopology prunes and regrafts topo around the plan's structural
+// faults (dead nodes and dead links): the result spans exactly the live
+// nodes reachable from the root, reusing every surviving base-tree edge
+// and regrafting orphaned nodes to their lowest-dimension live neighbor
+// one level up. The fault.Tree is returned alongside for membership and
+// reachability queries (Contains, Unreachable).
+func DegradedTopology(topo Topology, plan *fault.Plan) (Topology, *fault.Tree, error) {
+	ft, err := fault.Regraft(topo.Dim, topo.Root, fault.ParentFunc(topo.Parent), plan.Liveness(), plan.LinkDead)
+	if err != nil {
+		return Topology{}, nil, err
+	}
+	return Topology{
+		Name: topo.Name + "+regraft", Dim: topo.Dim, Root: topo.Root,
+		Parent:   ft.Parent,
+		Children: ft.Children,
+	}, ft, nil
+}
+
+// BroadcastDegraded distributes data from topo.Root over the regrafted
+// tree on a machine suffering the plan's faults. Only structural faults
+// are routed around (the tree uses live components exclusively, so no
+// message is ever swallowed by a dead link); message-rule faults need the
+// detection machinery in internal/comm. Slots of dead and unreachable
+// nodes are nil in the result.
+func BroadcastDegraded(topo Topology, plan *fault.Plan, data []byte) ([][]byte, *fault.Tree, error) {
+	dtopo, ft, err := DegradedTopology(topo, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := mpx.NewWithInjector(topo.Dim, 1, plan.Injector())
+	got := make([][]byte, m.Cube().Nodes())
+	err = m.Run(func(nd *mpx.Node) error {
+		if !ft.Contains(nd.ID) {
+			return nil // severed from the root: nothing can arrive
+		}
+		var payload []byte
+		if nd.ID == topo.Root {
+			payload = data
+		} else {
+			env := nd.Recv()
+			if p, ok := ft.Parent(nd.ID); !ok || env.From != p {
+				return fmt.Errorf("degraded broadcast: got message from %d, want regrafted parent", env.From)
+			}
+			payload = env.Parts[0].Data
+		}
+		got[nd.ID] = payload
+		msg := mpx.Message{Parts: []mpx.Part{{Dest: topo.Root, Data: payload}}}
+		for _, c := range dtopo.Children(nd.ID) {
+			nd.SendTo(c, msg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return got, ft, nil
+}
+
+// ScatterDegraded is personalized communication over the regrafted tree:
+// data[i] reaches every live node i still connected to the root, with the
+// same round-robin root service and per-subtree bundling as Scatter.
+// Slots of dead and unreachable nodes are nil in the result (their
+// payloads are simply not sent).
+func ScatterDegraded(topo Topology, plan *fault.Plan, data [][]byte, destsPerPacket int) ([][]byte, *fault.Tree, error) {
+	N := 1 << uint(topo.Dim)
+	if len(data) != N {
+		return nil, nil, fmt.Errorf("core: degraded scatter needs %d payloads, got %d", N, len(data))
+	}
+	dtopo, ft, err := DegradedTopology(topo, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := mpx.NewWithInjector(topo.Dim, N+1, plan.Injector())
+	got := make([][]byte, N)
+	err = m.Run(func(nd *mpx.Node) error {
+		if !ft.Contains(nd.ID) {
+			return nil
+		}
+		if nd.ID == topo.Root {
+			got[nd.ID] = data[nd.ID]
+			return scatterRoot(nd, dtopo, data, destsPerPacket)
+		}
+		return scatterRelay(nd, dtopo, got)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return got, ft, nil
+}
+
+// DeliveredFraction reports what part of the cube a degraded collective
+// served: live members of the regrafted tree over all nodes.
+func DeliveredFraction(ft *fault.Tree) float64 {
+	return float64(ft.Size()) / float64(int(1)<<uint(ft.Dim))
+}
+
+// checkDegraded verifies a degraded collective's delivery against its
+// tree: members must have non-nil slots, everyone else nil. Shared by
+// tests and the experiment driver.
+func checkDegraded(ft *fault.Tree, got [][]byte) error {
+	for i, g := range got {
+		id := cube.NodeID(i)
+		if ft.Contains(id) && g == nil {
+			return fmt.Errorf("core: reachable node %d was not served", id)
+		}
+		if !ft.Contains(id) && g != nil {
+			return fmt.Errorf("core: unreachable node %d received data", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+)
+
+func TestBroadcastDegradedFaultFreeMatchesBroadcast(t *testing.T) {
+	const n = 4
+	data := []byte("fault-free degraded broadcast")
+	plan := fault.NewPlan(n)
+	for _, topo := range []Topology{SBTTopology(n, 3), BSTTopology(n, 3)} {
+		plain, err := Broadcast(topo, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		degraded, ft, err := BroadcastDegraded(topo, plan, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Size() != 1<<n || len(ft.Unreachable) != 0 {
+			t.Fatalf("%s: fault-free regraft covers %d nodes", topo.Name, ft.Size())
+		}
+		for i := range plain {
+			if !bytes.Equal(plain[i], degraded[i]) {
+				t.Errorf("%s: node %d differs", topo.Name, i)
+			}
+		}
+	}
+}
+
+func TestBroadcastDegradedAroundDeadNodes(t *testing.T) {
+	const n = 3
+	data := []byte("route around the corpses")
+	plan := fault.NewPlan(n).KillNode(1).KillNode(6)
+	got, ft, err := BroadcastDegraded(SBTTopology(n, 0), plan, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkDegraded(ft, got); err != nil {
+		t.Fatal(err)
+	}
+	// 1 and 6 are not adjacent, so the live subcube stays connected: all 6
+	// survivors must be served.
+	if ft.Size() != 6 {
+		t.Fatalf("served %d nodes, want 6", ft.Size())
+	}
+	for i, g := range got {
+		if ft.Contains(cube.NodeID(i)) && !bytes.Equal(g, data) {
+			t.Errorf("node %d received %q", i, g)
+		}
+	}
+}
+
+func TestScatterDegradedAroundDeadLink(t *testing.T) {
+	const n = 4
+	data := make([][]byte, 1<<n)
+	for i := range data {
+		data[i] = []byte(fmt.Sprintf("part-%d", i))
+	}
+	// Kill the BST root's busiest first-hop link; all 16 nodes stay
+	// reachable through the other dimensions.
+	plan := fault.NewPlan(n).KillLink(0, 1)
+	got, ft, err := ScatterDegraded(BSTTopology(n, 0), plan, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkDegraded(ft, got); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Size() != 1<<n {
+		t.Fatalf("one dead link disconnected the 4-cube: served %d", ft.Size())
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, data[i]) {
+			t.Errorf("node %d received %q, want %q", i, g, data[i])
+		}
+	}
+}
+
+func TestScatterDegradedPropertyRandomDeadNodes(t *testing.T) {
+	const n = 4
+	root := cube.NodeID(5)
+	data := make([][]byte, 1<<n)
+	for i := range data {
+		data[i] = []byte{byte(i)}
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		k := 1 + int(seed)%4
+		plan := fault.RandomDeadNodes(n, k, seed, root)
+		got, ft, err := ScatterDegraded(BSTTopology(n, root), plan, data, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := checkDegraded(ft, got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, id := range ft.Nodes() {
+			if !bytes.Equal(got[id], data[id]) {
+				t.Errorf("seed %d: node %d received %v, want %v", seed, id, got[id], data[id])
+			}
+		}
+		want := float64(ft.Size()) / float64(1<<n)
+		if f := DeliveredFraction(ft); f != want {
+			t.Errorf("seed %d: DeliveredFraction = %v, want %v", seed, f, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDegradationFaultFreeServesEveryone(t *testing.T) {
+	rows, err := Degradation(4, []int{0}, 1, 4096, 1024, "links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		if r.Delivered != 1 {
+			t.Errorf("%s with 0 faults delivers %.2f, want 1", r.Alg, r.Delivered)
+		}
+		if r.Makespan <= 0 {
+			t.Errorf("%s with 0 faults has makespan %v", r.Alg, r.Makespan)
+		}
+	}
+}
+
+func TestDegradationRedundancyDominatesChunking(t *testing.T) {
+	rows, err := Degradation(4, []int{1, 2, 3, 6}, 7, 4096, 1024, "links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]interface{}]DegradationRow{}
+	for _, r := range rows {
+		byKey[[2]interface{}{r.Faults, r.Alg}] = r
+	}
+	for _, k := range []int{1, 2, 3, 6} {
+		chunked := byKey[[2]interface{}{k, "msbt"}]
+		redundant := byKey[[2]interface{}{k, "msbt-redundant"}]
+		if redundant.Delivered < chunked.Delivered {
+			t.Errorf("k=%d: redundant MSBT delivers %.2f < chunked %.2f", k, redundant.Delivered, chunked.Delivered)
+		}
+		// Up to n-1 = 3 dead links cannot cut all n edge-disjoint paths to
+		// any node, so redundant delivery must stay total.
+		if k <= 3 && redundant.Delivered != 1 {
+			t.Errorf("k=%d: redundant MSBT delivers %.2f, want 1 (edge-disjointness bound)", k, redundant.Delivered)
+		}
+	}
+}
+
+func TestDegradationDeadNodesKind(t *testing.T) {
+	rows, err := Degradation(3, []int{2}, 11, 2048, 1024, "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Two of the eight nodes are dead, so at most 6/8 can be served;
+		// the source always serves itself.
+		if r.Delivered > 0.75 {
+			t.Errorf("%s: delivered %.2f > 0.75 with 2 dead nodes", r.Alg, r.Delivered)
+		}
+		if r.Delivered < 1.0/8 {
+			t.Errorf("%s: delivered %.2f, source should at least serve itself", r.Alg, r.Delivered)
+		}
+	}
+	if _, err := Degradation(3, []int{1}, 1, 2048, 1024, "corrupt"); err == nil {
+		t.Error("non-structural kind accepted")
+	}
+}
+
+func TestDegradationDeterministic(t *testing.T) {
+	a, err := Degradation(3, []int{2}, 42, 2048, 1024, "links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Degradation(3, []int{2}, 42, 2048, 1024, "links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different rows:\n%v\n%v", a, b)
+	}
+}

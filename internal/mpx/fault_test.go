@@ -1,0 +1,163 @@
+package mpx
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+)
+
+func TestDeadNodeNeverRuns(t *testing.T) {
+	plan := fault.NewPlan(3).KillNode(5)
+	m := NewWithInjector(3, 1, plan.Injector())
+	var ran [8]int64
+	err := m.Run(func(nd *Node) error {
+		atomic.AddInt64(&ran[nd.ID], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, count := range ran {
+		want := int64(1)
+		if id == 5 {
+			want = 0
+		}
+		if count != want {
+			t.Errorf("node %d ran %d times, want %d", id, count, want)
+		}
+	}
+}
+
+func TestDeadLinkDropsSilently(t *testing.T) {
+	plan := fault.NewPlan(2).KillLink(0, 1)
+	m := NewWithInjector(2, 1, plan.Injector())
+	err := m.Run(func(nd *Node) error {
+		switch nd.ID {
+		case 0:
+			nd.Send(0, Message{Tag: 1}) // into the dead link: lost
+			nd.Send(1, Message{Tag: 2}) // live link to node 2
+		case 1:
+			if _, ok := nd.RecvTimeout(50 * time.Millisecond); ok {
+				t.Error("message crossed a dead link")
+			}
+		case 2:
+			if env, ok := nd.RecvTimeout(time.Second); !ok || env.Tag != 2 {
+				t.Error("live link lost its message")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendToDeadNodeVanishes(t *testing.T) {
+	// Sends toward a dead node return immediately instead of filling the
+	// corpse's inbox and blocking the sender.
+	plan := fault.NewPlan(2).KillNode(1)
+	m := NewWithInjector(2, 1, plan.Injector())
+	err := m.Run(func(nd *Node) error {
+		if nd.ID == 0 {
+			for i := 0; i < 10; i++ { // 10 > inbox depth 1
+				nd.Send(0, Message{Tag: i})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionFlipsPayloadNotChecksum(t *testing.T) {
+	link := cube.Edge{From: 0, To: 1}
+	plan := fault.NewPlan(2).AddRule(fault.Rule{Link: link, Kind: fault.Corrupt, Nth: fault.EveryMessage})
+	m := NewWithInjector(2, 1, plan.Injector())
+	original := []byte("payload")
+	err := m.Run(func(nd *Node) error {
+		switch nd.ID {
+		case 0:
+			nd.Send(0, Message{Parts: []Part{{Dest: 1, Data: original, Sum: 7}}})
+		case 1:
+			env := nd.Recv()
+			pt := env.Parts[0]
+			if bytes.Equal(pt.Data, original) {
+				t.Error("payload crossed a corrupting link unchanged")
+			}
+			if pt.Sum != 7 {
+				t.Errorf("checksum changed to %d", pt.Sum)
+			}
+			if pt.Data[0] != original[0]^0xFF || !bytes.Equal(pt.Data[1:], original[1:]) {
+				t.Error("corruption is not the documented first-byte flip")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(original, []byte("payload")) {
+		t.Error("corruption mutated the sender's buffer")
+	}
+}
+
+func TestDuplicateAndNthDrop(t *testing.T) {
+	link := cube.Edge{From: 0, To: 1}
+	plan := fault.NewPlan(2).
+		AddRule(fault.Rule{Link: link, Kind: fault.Duplicate, Nth: 0}).
+		AddRule(fault.Rule{Link: link, Kind: fault.Drop, Nth: 1})
+	m := NewWithInjector(2, 4, plan.Injector())
+	err := m.Run(func(nd *Node) error {
+		switch nd.ID {
+		case 0:
+			nd.Send(0, Message{Tag: 100}) // duplicated
+			nd.Send(0, Message{Tag: 200}) // dropped
+			nd.Send(0, Message{Tag: 300}) // clean
+		case 1:
+			var tags []int
+			for {
+				env, ok := nd.RecvTimeout(200 * time.Millisecond)
+				if !ok {
+					break
+				}
+				tags = append(tags, env.Tag)
+			}
+			want := []int{100, 100, 300}
+			if len(tags) != len(want) {
+				t.Fatalf("received tags %v, want %v", tags, want)
+			}
+			for i := range want {
+				if tags[i] != want[i] {
+					t.Fatalf("received tags %v, want %v", tags, want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutStillDeliversPromptly(t *testing.T) {
+	m := New(1, 1)
+	err := m.Run(func(nd *Node) error {
+		if nd.ID == 0 {
+			nd.Send(0, Message{Tag: 9})
+			return nil
+		}
+		env, ok := nd.RecvTimeout(5 * time.Second)
+		if !ok || env.Tag != 9 {
+			t.Errorf("RecvTimeout = %+v, %v", env, ok)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

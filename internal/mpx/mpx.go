@@ -13,13 +13,21 @@
 // The runtime carries real payload bytes, making it the end-to-end
 // correctness substrate for the collective operations in internal/core
 // (the discrete-event simulator in internal/sim is the timing substrate).
+//
+// A machine may be built with a fault.Injector (NewWithInjector): dead
+// nodes never schedule their programs, dead links silently drop, and
+// message rules can drop, duplicate, delay or corrupt individual
+// crossings. The fault-free path is untouched — a nil injector costs one
+// pointer test per send and no allocations.
 package mpx
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cube"
+	"repro/internal/fault"
 )
 
 // Part is one destination's payload inside a (possibly bundled) message.
@@ -31,6 +39,10 @@ type Part struct {
 	Dest   cube.NodeID
 	Offset int
 	Data   []byte
+	// Sum is an optional end-to-end payload checksum (0 = unchecked).
+	// Fault injection corrupts Data but never Sum, so receivers that
+	// verify it detect in-flight corruption.
+	Sum uint32
 }
 
 // Message is what travels over a link: a tag for stream demultiplexing
@@ -62,6 +74,11 @@ type Machine struct {
 	c     *cube.Cube
 	inbox []chan Envelope
 
+	// inj, when non-nil, is consulted on every send and when scheduling
+	// node programs; nil means a fault-free machine and costs nothing on
+	// the send path beyond a single pointer test.
+	inj fault.Injector
+
 	// down is closed when a node program panics, unblocking every other
 	// node's Send/Recv so the machine shuts down instead of deadlocking.
 	down     chan struct{}
@@ -73,7 +90,14 @@ type Machine struct {
 // all-to-all patterns should size depth to their in-flight message count
 // (e.g. the cube dimension times packets per phase) to avoid blocking
 // senders unnecessarily.
-func New(n, depth int) *Machine {
+func New(n, depth int) *Machine { return NewWithInjector(n, depth, nil) }
+
+// NewWithInjector creates an n-cube machine whose links and nodes suffer
+// the faults decided by inj: a dead node never runs its program and its
+// messages vanish, a dead link silently drops traffic, and message rules
+// may drop, duplicate, delay or corrupt individual crossings. A nil inj
+// yields exactly the fault-free machine of New.
+func NewWithInjector(n, depth int, inj fault.Injector) *Machine {
 	if depth < 1 {
 		depth = 1
 	}
@@ -81,6 +105,7 @@ func New(n, depth int) *Machine {
 	m := &Machine{
 		c:     c,
 		inbox: make([]chan Envelope, c.Nodes()),
+		inj:   inj,
 		down:  make(chan struct{}),
 	}
 	for i := range m.inbox {
@@ -116,14 +141,68 @@ type Node struct {
 func (nd *Node) Dim() int { return nd.m.c.Dim() }
 
 // Send transmits msg through the given port (to the neighbor differing in
-// bit `port`). It blocks while the receiver's inbox is full.
+// bit `port`). It blocks while the receiver's inbox is full. On a machine
+// with a fault injector the message may be lost, duplicated, delayed or
+// corrupted; the fault-free path is a single nil test.
 func (nd *Node) Send(port int, msg Message) {
 	to := nd.m.c.Neighbor(nd.ID, port)
+	if nd.m.inj != nil {
+		nd.sendFaulty(to, port, msg)
+		return
+	}
 	select {
 	case nd.m.inbox[to] <- Envelope{Message: msg, Port: port, From: nd.ID}:
 	case <-nd.m.down:
 		panic(abortErr{})
 	}
+}
+
+// sendFaulty is the injector-mediated send path: dead endpoints and dead
+// links silently swallow the message; rule outcomes are applied in the
+// sender's goroutine (a delay blocks the sender, like a slow link).
+func (nd *Node) sendFaulty(to cube.NodeID, port int, msg Message) {
+	inj := nd.m.inj
+	if inj.NodeDead(nd.ID) || inj.NodeDead(to) || inj.LinkDead(nd.ID, to) {
+		return
+	}
+	out := inj.OnSend(nd.ID, to)
+	if out.Drop {
+		return
+	}
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	if out.Corrupt {
+		msg = corruptCopy(msg)
+	}
+	copies := 1
+	if out.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		select {
+		case nd.m.inbox[to] <- Envelope{Message: msg, Port: port, From: nd.ID}:
+		case <-nd.m.down:
+			panic(abortErr{})
+		}
+	}
+}
+
+// corruptCopy returns msg with every part's payload deep-copied and its
+// first byte flipped; checksums (Part.Sum) are left intact so receivers
+// can detect the damage. Empty payloads pass through unharmed.
+func corruptCopy(msg Message) Message {
+	parts := make([]Part, len(msg.Parts))
+	for i, p := range msg.Parts {
+		q := p
+		if len(p.Data) > 0 {
+			q.Data = append([]byte(nil), p.Data...)
+			q.Data[0] ^= 0xFF
+		}
+		parts[i] = q
+	}
+	msg.Parts = parts
+	return msg
 }
 
 // SendTo transmits msg to an adjacent node. It panics if to is not a
@@ -147,14 +226,34 @@ func (nd *Node) Recv() Envelope {
 	}
 }
 
+// RecvTimeout waits up to d for the next message, returning ok == false
+// on timeout. Fault-tolerant node programs use it to give up on messages
+// severed by dead links or nodes instead of blocking forever.
+func (nd *Node) RecvTimeout(d time.Duration) (Envelope, bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case env := <-nd.m.inbox[nd.ID]:
+		return env, true
+	case <-t.C:
+		return Envelope{}, false
+	case <-nd.m.down:
+		panic(abortErr{})
+	}
+}
+
 // Run executes program concurrently on every node and waits for all of
 // them. The first non-nil error is returned (others are dropped); a
-// panicking node propagates its panic after all other nodes finish.
+// panicking node propagates its panic after all other nodes finish. On a
+// machine with a fault injector, dead nodes never schedule their program.
 func (m *Machine) Run(program func(nd *Node) error) error {
 	var wg sync.WaitGroup
 	errs := make(chan error, m.c.Nodes())
 	panics := make(chan any, m.c.Nodes())
 	for i := 0; i < m.c.Nodes(); i++ {
+		if m.inj != nil && m.inj.NodeDead(cube.NodeID(i)) {
+			continue
+		}
 		wg.Add(1)
 		go func(id cube.NodeID) {
 			defer wg.Done()

@@ -44,6 +44,7 @@ import (
 	"sort"
 
 	"repro/internal/cube"
+	"repro/internal/fault"
 	"repro/internal/model"
 )
 
@@ -55,6 +56,15 @@ type Config struct {
 	Tc             float64         // transfer time per element
 	Overlap        float64         // in [0,1): fraction of node-resource time released early
 	InternalPacket float64         // max elements per internal packet; 0 = unlimited
+
+	// Faults, when non-nil, applies the plan's structural faults to the
+	// run: a transmission whose sender or receiver is dead or whose link
+	// is severed is lost, and — store-and-forward — so is every
+	// transmission depending on it, transitively. Lost transmissions keep
+	// NaN start/finish times and are excluded from the makespan; message
+	// rules (drop/duplicate/delay/corrupt) are a runtime phenomenon and
+	// are modelled only by the executable substrate (internal/mpx).
+	Faults *fault.Plan
 }
 
 // Xmit is one store-and-forward transmission over a directed cube link.
@@ -79,6 +89,21 @@ type Result struct {
 	// Steps is Makespan / (Tau + B*Tc) rounded when every transmission has
 	// identical unit cost (single-packet analyses); otherwise 0.
 	Steps int
+	// Lost[i] reports that transmission i could not be delivered under the
+	// configured fault plan (dead endpoint, dead link, or a lost
+	// dependency); its Start and Finish are NaN. Nil on fault-free runs.
+	Lost []bool
+	// Delivered counts the transmissions that completed.
+	Delivered int
+}
+
+// DeliveredFraction is the fraction of transmissions that completed — 1
+// on a fault-free run, lower when a fault plan severed some.
+func (r *Result) DeliveredFraction() float64 {
+	if len(r.Finish) == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(len(r.Finish))
 }
 
 // MaxLinkBusy returns the busiest link's total busy time and the edge.
@@ -129,7 +154,8 @@ func Run(cfg Config, xs []Xmit) (*Result, error) {
 		}
 	}
 
-	st := newState(cfg, cb, xs)
+	lost := lostSet(cfg, xs)
+	st := newState(cfg, cb, xs, lost)
 	st.run()
 
 	res := &Result{
@@ -137,23 +163,66 @@ func Run(cfg Config, xs []Xmit) (*Result, error) {
 		Start:    st.start,
 		LinkBusy: st.linkBusy,
 	}
-	unit := cfg.cost(xs[0].Elems)
-	uniform := true
+	if cfg.Faults != nil {
+		res.Lost = lost
+	}
+	var unit float64
+	uniform, unitSet := true, false
 	for i, x := range xs {
+		if lost[i] {
+			continue
+		}
 		if math.IsNaN(st.finish[i]) {
 			return nil, fmt.Errorf("sim: transmission %d never started (circular or unsatisfiable deps)", i)
 		}
+		res.Delivered++
 		if st.finish[i] > res.Makespan {
 			res.Makespan = st.finish[i]
 		}
-		if cfg.cost(x.Elems) != unit {
+		if c := cfg.cost(x.Elems); !unitSet {
+			unit, unitSet = c, true
+		} else if c != unit {
 			uniform = false
 		}
 	}
-	if uniform && unit > 0 {
+	if uniform && unitSet && unit > 0 {
 		res.Steps = int(math.Round(res.Makespan / unit))
 	}
 	return res, nil
+}
+
+// lostSet marks the transmissions a fault plan prevents from delivering:
+// structurally impossible ones (dead sender, receiver or link) seed the
+// set, and loss flows forward through dependency edges — data that never
+// reached a node cannot be forwarded by it.
+func lostSet(cfg Config, xs []Xmit) []bool {
+	lost := make([]bool, len(xs))
+	p := cfg.Faults
+	if p == nil {
+		return lost
+	}
+	dependents := make([][]int, len(xs))
+	var queue []int
+	for i, x := range xs {
+		for _, d := range x.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+		if p.NodeDead(x.From) || p.NodeDead(x.To) || p.LinkDead(x.From, x.To) {
+			lost[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, d := range dependents[i] {
+			if !lost[d] {
+				lost[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	return lost
 }
 
 // state is the mutable simulation state.
@@ -165,6 +234,7 @@ type state struct {
 
 	start, finish []float64
 	started       []bool
+	lost          []bool
 	depsLeft      []int
 	dependents    [][]int
 
@@ -191,13 +261,14 @@ func (st *state) linkIndex(from cube.NodeID, port int) int {
 	return int(from)*st.n + port
 }
 
-func newState(cfg Config, cb *cube.Cube, xs []Xmit) *state {
+func newState(cfg Config, cb *cube.Cube, xs []Xmit, lost []bool) *state {
 	N := cb.Nodes()
 	st := &state{
 		cfg: cfg, cb: cb, n: cfg.Dim, xs: xs,
 		start:      make([]float64, len(xs)),
 		finish:     make([]float64, len(xs)),
 		started:    make([]bool, len(xs)),
+		lost:       lost,
 		depsLeft:   make([]int, len(xs)),
 		dependents: make([][]int, len(xs)),
 		ready:      make([]xmitHeap, N*cfg.Dim),
@@ -216,7 +287,7 @@ func newState(cfg Config, cb *cube.Cube, xs []Xmit) *state {
 		for _, d := range x.Deps {
 			st.dependents[d] = append(st.dependents[d], i)
 		}
-		if st.depsLeft[i] == 0 {
+		if st.depsLeft[i] == 0 && !lost[i] {
 			li := st.linkIndex(x.From, cb.Port(x.From, x.To))
 			st.ready[li].push(readyItem{prio: x.Prio, idx: i})
 		}
@@ -258,7 +329,7 @@ func (st *state) deliver(i int, affected map[cube.NodeID]bool) {
 	x := st.xs[i]
 	for _, d := range st.dependents[i] {
 		st.depsLeft[d]--
-		if st.depsLeft[d] == 0 {
+		if st.depsLeft[d] == 0 && !st.lost[d] {
 			dx := st.xs[d]
 			li := st.linkIndex(dx.From, st.cb.Port(dx.From, dx.To))
 			st.ready[li].push(readyItem{prio: dx.Prio, idx: d})

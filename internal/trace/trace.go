@@ -25,7 +25,17 @@ type Summary struct {
 	LinksUsed    int
 	BusiestBusy  float64 // busy time of the most loaded directed link
 	Utilization  float64 // BusiestBusy / Makespan: bottleneck link utilization
-	Transmission int     // number of transmissions executed
+	Transmission int     // number of transmissions scheduled
+	Delivered    int     // transmissions that completed (== Transmission when fault-free)
+	Lost         int     // transmissions severed by the fault plan
+}
+
+// DeliveredFraction is Delivered over Transmission (1 for an empty run).
+func (s Summary) DeliveredFraction() float64 {
+	if s.Transmission == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Transmission)
 }
 
 // Summarize extracts a Summary from a simulation result.
@@ -35,6 +45,11 @@ func Summarize(res *sim.Result) Summary {
 		Steps:        res.Steps,
 		LinksUsed:    len(res.LinkBusy),
 		Transmission: len(res.Finish),
+		Delivered:    len(res.Finish),
+	}
+	if res.Lost != nil {
+		s.Delivered = res.Delivered
+		s.Lost = s.Transmission - s.Delivered
 	}
 	for _, b := range res.LinkBusy {
 		s.Transmitted += b
@@ -49,8 +64,12 @@ func Summarize(res *sim.Result) Summary {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("makespan=%.2f steps=%d links=%d busiest=%.2f util=%.0f%% xmits=%d",
+	out := fmt.Sprintf("makespan=%.2f steps=%d links=%d busiest=%.2f util=%.0f%% xmits=%d",
 		s.Makespan, s.Steps, s.LinksUsed, s.BusiestBusy, 100*s.Utilization, s.Transmission)
+	if s.Lost > 0 {
+		out += fmt.Sprintf(" delivered=%d/%d (%.0f%%)", s.Delivered, s.Transmission, 100*s.DeliveredFraction())
+	}
+	return out
 }
 
 // Series is one labelled curve of a figure.
@@ -134,6 +153,9 @@ func Gantt(xs []sim.Xmit, res *sim.Result, width, maxRows int) string {
 	}
 	byLink := map[cube.Edge]*row{}
 	for i, x := range xs {
+		if math.IsNaN(res.Start[i]) {
+			continue // lost to a fault plan: never occupied the link
+		}
 		k := cube.Edge{From: x.From, To: x.To}
 		r := byLink[k]
 		if r == nil {
