@@ -1,0 +1,79 @@
+// Headline hot-path benchmarks: the named workloads whose trajectory is
+// recorded in BENCH_2.json (see README "Performance"). The headline is a
+// Figure 5-style broadcast at d = 10 with 16-byte external packets — a
+// ~3.9-million-transmission schedule that exercises tree construction,
+// schedule emission, and the simulator event loop end to end.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// headlineCfg is the Figure 5 machine at d = 10: iPSC-like constants,
+// full-duplex one-port communication.
+func headlineCfg() sim.Config {
+	return sim.Config{
+		Dim: 10, Model: model.OneSendAndRecv,
+		Tau: 1, Tc: 0.001, InternalPacket: 1024,
+	}
+}
+
+const (
+	headlineM = 60 * 1024 // 60 KB message, as in Figure 5
+	headlineB = 16        // 16-byte external packets: the worst-case point
+)
+
+// BenchmarkHeadlineFigure5D10 is the named headline workload: generate the
+// Figure 5-style SBT broadcast schedule at d = 10 with 16-byte packets and
+// simulate it to completion.
+func BenchmarkHeadlineFigure5D10(b *testing.B) {
+	b.ReportAllocs()
+	cfg := headlineCfg()
+	for i := 0; i < b.N; i++ {
+		res, err := core.SimBroadcast(model.SBT, 0, headlineM, headlineB, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Makespan <= 0 {
+			b.Fatal("empty makespan")
+		}
+	}
+}
+
+// BenchmarkHeadlineFigure5D10Generate isolates schedule generation (tree
+// construction + transmission emission).
+func BenchmarkHeadlineFigure5D10Generate(b *testing.B) {
+	b.ReportAllocs()
+	cfg := headlineCfg()
+	for i := 0; i < b.N; i++ {
+		xs, err := core.BroadcastSchedule(model.SBT, 0, headlineM, headlineB, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(xs) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkHeadlineFigure5D10Simulate isolates the simulator event loop on
+// a pre-built headline schedule.
+func BenchmarkHeadlineFigure5D10Simulate(b *testing.B) {
+	cfg := headlineCfg()
+	xs, err := core.BroadcastSchedule(model.SBT, 0, headlineM, headlineB, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(xs)), "xmits")
+}

@@ -1,0 +1,42 @@
+// Command bench2txt converts a BENCH_2.json record (written by
+// `experiments -bench`) into Go benchmark text format so benchstat can
+// compare two records:
+//
+//	bench2txt old/BENCH_2.json > old.txt
+//	bench2txt BENCH_2.json > new.txt
+//	benchstat old.txt new.txt
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench2txt BENCH_2.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2txt:", err)
+		os.Exit(1)
+	}
+	var rec struct {
+		Benchmarks []struct {
+			Name        string  `json:"name"`
+			Iterations  int     `json:"iterations"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2txt:", err)
+		os.Exit(1)
+	}
+	for _, b := range rec.Benchmarks {
+		fmt.Printf("Benchmark%s %d %.0f ns/op %.0f allocs/op\n",
+			b.Name, b.Iterations, b.NsPerOp, b.AllocsPerOp)
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchResult is one named workload's measurement, the unit recorded in
+// BENCH_2.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	WallSeconds float64 `json:"wall_s"`
+	// Trajectory vs the pre-optimization tree (zero when the workload
+	// did not exist then — d >= 12 was impractical).
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// seedBaseline records the same workloads measured on the tree before the
+// hot-path performance pass (cached trees, flat-slice schedules, the
+// allocation-free engine): ns/op on the identical machine. Workloads
+// absent here were out of reach then.
+var seedBaseline = map[string]float64{
+	"HeadlineFigure5D10":         47175907973,
+	"HeadlineFigure5D10Generate": 1078912787,
+	"HeadlineFigure5D10Simulate": 43068630001,
+}
+
+// benchFile is the BENCH_2.json schema: environment header plus one entry
+// per workload.
+type benchFile struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchSpec names a workload and how often to repeat it (heavy workloads
+// run fewer measured iterations).
+type benchSpec struct {
+	name  string
+	iters int
+	f     func() error
+}
+
+// runBench executes the perf suite and writes the JSON record to path.
+// Each workload runs once as a warm-up (first-touch page faults and pool
+// fills would otherwise dominate a single cold iteration), then iters
+// measured times. Results are also printed in Go benchmark format so
+// benchstat can consume the output directly.
+func runBench(path string) error {
+	headline := sim.Config{
+		Dim: 10, Model: model.OneSendAndRecv,
+		Tau: 1, Tc: 0.001, InternalPacket: 1024,
+	}
+	const headlineM, headlineB = 60 * 1024, 16
+
+	headlineXS, err := core.BroadcastSchedule(model.SBT, 0, headlineM, headlineB, headline)
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine()
+	allPort12 := sim.Config{Dim: 12, Model: model.AllPorts, Tau: 1, Tc: 0}
+	bcast12, err := core.BroadcastSchedule(model.SBT, 0, 64, 1, allPort12)
+	if err != nil {
+		return err
+	}
+	onePort10 := sim.Config{Dim: 10, Model: model.OneSendAndRecv, Tau: 1, Tc: 0.001, InternalPacket: 1024}
+
+	specs := []benchSpec{
+		{"HeadlineFigure5D10", 3, func() error {
+			_, err := core.SimBroadcast(model.SBT, 0, headlineM, headlineB, headline)
+			return err
+		}},
+		{"HeadlineFigure5D10Generate", 3, func() error {
+			_, err := core.BroadcastSchedule(model.SBT, 0, headlineM, headlineB, headline)
+			return err
+		}},
+		{"HeadlineFigure5D10Simulate", 3, func() error {
+			_, err := engine.Run(headline, headlineXS)
+			return err
+		}},
+		{"EngineBroadcastD12AllPort", 5, func() error {
+			_, err := engine.Run(allPort12, bcast12)
+			return err
+		}},
+		{"ScatterSBTD10OnePort", 5, func() error {
+			_, err := core.SimScatter(model.SBT, 0, 1024, 1024,
+				sched.OrderRBF, sched.PortOriented, onePort10)
+			return err
+		}},
+	}
+
+	out := benchFile{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, s := range specs {
+		r, err := measure(s)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", s.name, err)
+		}
+		if base, ok := seedBaseline[r.Name]; ok {
+			r.BaselineNsPerOp = base
+			r.Speedup = base / r.NsPerOp
+		}
+		out.Benchmarks = append(out.Benchmarks, r)
+		// Go benchmark format, benchstat-compatible.
+		fmt.Printf("Benchmark%s %8d %20.0f ns/op %12.0f allocs/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measure times one workload: a warm-up run, then s.iters measured runs
+// with allocation counting.
+func measure(s benchSpec) (benchResult, error) {
+	if err := s.f(); err != nil {
+		return benchResult{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < s.iters; i++ {
+		if err := s.f(); err != nil {
+			return benchResult{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        s.name,
+		Iterations:  s.iters,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(s.iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(s.iters),
+		WallSeconds: wall.Seconds(),
+	}, nil
+}

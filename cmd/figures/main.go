@@ -12,8 +12,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bst"
@@ -32,58 +34,78 @@ func main() {
 	maxDim := flag.Int("maxdim", 7, "largest cube dimension")
 	flag.Parse()
 
-	run := func(id int, f func() error) {
-		if *fig != 0 && *fig != id {
-			return
+	type job struct {
+		id int
+		f  func(io.Writer) error
+	}
+	all := []job{
+		{1, func(w io.Writer) error { return figure1(w, *dot) }},
+		{2, func(w io.Writer) error { return figure2(w, *dot) }},
+		{3, func(w io.Writer) error { return figure3(w, *dot) }},
+		{4, func(w io.Writer) error { return figure4(w, *dot) }},
+		{5, func(w io.Writer) error { return figure5(w, *chart, *maxDim) }},
+		{6, func(w io.Writer) error { return figure6(w, *chart, *maxDim) }},
+		{7, func(w io.Writer) error { return figure7(w, *chart, *maxDim) }},
+		{8, func(w io.Writer) error { return figure8(w, *chart, *maxDim) }},
+	}
+	var jobs []job
+	for _, j := range all {
+		if *fig == 0 || *fig == j.id {
+			jobs = append(jobs, j)
 		}
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "figure %d: %v\n", id, err)
-			os.Exit(1)
+	}
+	// Each figure renders into its own buffer on the exp worker pool (the
+	// measurement figures are independent simulation sweeps); output is
+	// printed in figure order.
+	bufs, err := exp.Parallel(jobs, 0, func(j job) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := j.f(&b); err != nil {
+			return nil, fmt.Errorf("figure %d: %w", j.id, err)
 		}
+		return &b, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, b := range bufs {
+		os.Stdout.Write(b.Bytes())
 		fmt.Println()
 	}
-	run(1, func() error { return figure1(*dot) })
-	run(2, func() error { return figure2(*dot) })
-	run(3, func() error { return figure3(*dot) })
-	run(4, func() error { return figure4(*dot) })
-	run(5, func() error { return figure5(*chart, *maxDim) })
-	run(6, func() error { return figure6(*chart, *maxDim) })
-	run(7, func() error { return figure7(*chart, *maxDim) })
-	run(8, func() error { return figure8(*chart, *maxDim) })
 }
 
-func figure1(dot bool) error {
-	fmt.Println("Figure 1: the spanning binomial tree in a 4-cube (root 0000)")
+func figure1(w io.Writer, dot bool) error {
+	fmt.Fprintln(w, "Figure 1: the spanning binomial tree in a 4-cube (root 0000)")
 	t, err := sbt.New(4, 0)
 	if err != nil {
 		return err
 	}
 	if dot {
-		fmt.Print(vis.DOT("sbt4", []*tree.Tree{t}, nil))
+		fmt.Fprint(w, vis.DOT("sbt4", []*tree.Tree{t}, nil))
 	} else {
-		fmt.Print(vis.ASCIITree(t, nil))
+		fmt.Fprint(w, vis.ASCIITree(t, nil))
 	}
 	return nil
 }
 
-func figure2(dot bool) error {
-	fmt.Println("Figure 2: three edge-disjoint directed spanning trees (ERSBTs) in a 3-cube")
+func figure2(w io.Writer, dot bool) error {
+	fmt.Fprintln(w, "Figure 2: three edge-disjoint directed spanning trees (ERSBTs) in a 3-cube")
 	trees, err := msbt.Trees(3, 0)
 	if err != nil {
 		return err
 	}
 	if dot {
-		fmt.Print(vis.DOT("msbt3", trees, nil))
+		fmt.Fprint(w, vis.DOT("msbt3", trees, nil))
 		return nil
 	}
 	for j, t := range trees {
-		fmt.Printf("-- ERSBT %d --\n%s", j, vis.ASCIITree(t, nil))
+		fmt.Fprintf(w, "-- ERSBT %d --\n%s", j, vis.ASCIITree(t, nil))
 	}
 	return nil
 }
 
-func figure3(dot bool) error {
-	fmt.Println("Figure 3: MSBT routing in a 3-cube, edges labelled by the cycle function f")
+func figure3(w io.Writer, dot bool) error {
+	fmt.Fprintln(w, "Figure 3: MSBT routing in a 3-cube, edges labelled by the cycle function f")
 	trees, err := msbt.Trees(3, 0)
 	if err != nil {
 		return err
@@ -93,27 +115,27 @@ func figure3(dot bool) error {
 		labelers[j] = vis.MSBTLabeler(3, j, 0)
 	}
 	if dot {
-		fmt.Print(vis.DOT("msbt3f", trees, labelers))
+		fmt.Fprint(w, vis.DOT("msbt3f", trees, labelers))
 		return nil
 	}
 	for j, t := range trees {
-		fmt.Printf("-- ERSBT %d (input-edge cycle in brackets) --\n%s", j, vis.ASCIITree(t, labelers[j]))
+		fmt.Fprintf(w, "-- ERSBT %d (input-edge cycle in brackets) --\n%s", j, vis.ASCIITree(t, labelers[j]))
 	}
 	return nil
 }
 
-func figure4(dot bool) error {
-	fmt.Println("Figure 4: the balanced spanning tree in a 5-cube (root 00000)")
+func figure4(w io.Writer, dot bool) error {
+	fmt.Fprintln(w, "Figure 4: the balanced spanning tree in a 5-cube (root 00000)")
 	t, err := bst.New(5, 0)
 	if err != nil {
 		return err
 	}
 	if dot {
-		fmt.Print(vis.DOT("bst5", []*tree.Tree{t}, nil))
+		fmt.Fprint(w, vis.DOT("bst5", []*tree.Tree{t}, nil))
 	} else {
-		fmt.Print(vis.ASCIITree(t, nil))
-		fmt.Println()
-		fmt.Print(vis.SubtreeSummary(t))
+		fmt.Fprint(w, vis.ASCIITree(t, nil))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, vis.SubtreeSummary(t))
 	}
 	return nil
 }
@@ -126,63 +148,63 @@ func dimsTo(max int) []int {
 	return out
 }
 
-func figure5(chart bool, maxDim int) error {
-	fmt.Println("Figure 5: SBT broadcast time (ms) vs external packet size (bytes), M = 60 KB")
+func figure5(w io.Writer, chart bool, maxDim int) error {
+	fmt.Fprintln(w, "Figure 5: SBT broadcast time (ms) vs external packet size (bytes), M = 60 KB")
 	sizes := []float64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 	series, err := exp.Figure5(dimsTo(maxDim), 60*1024, sizes)
 	if err != nil {
 		return err
 	}
-	if err := trace.Table(os.Stdout, "B", series...); err != nil {
+	if err := trace.Table(w, "B", series...); err != nil {
 		return err
 	}
 	if chart {
-		fmt.Print(trace.Chart(series, 64, 16))
+		fmt.Fprint(w, trace.Chart(series, 64, 16))
 	}
 	return nil
 }
 
-func figure6(chart bool, maxDim int) error {
-	fmt.Println("Figure 6: broadcast time (ms) of 60 KB in 1 KB packets vs cube dimension")
+func figure6(w io.Writer, chart bool, maxDim int) error {
+	fmt.Fprintln(w, "Figure 6: broadcast time (ms) of 60 KB in 1 KB packets vs cube dimension")
 	sbtS, msbtS, err := exp.Figure6(dimsTo(maxDim))
 	if err != nil {
 		return err
 	}
-	if err := trace.Table(os.Stdout, "d", sbtS, msbtS); err != nil {
+	if err := trace.Table(w, "d", sbtS, msbtS); err != nil {
 		return err
 	}
 	if chart {
-		fmt.Print(trace.Chart([]trace.Series{sbtS, msbtS}, 48, 14))
+		fmt.Fprint(w, trace.Chart([]trace.Series{sbtS, msbtS}, 48, 14))
 	}
 	return nil
 }
 
-func figure7(chart bool, maxDim int) error {
-	fmt.Println("Figure 7: speedup of MSBT- over SBT-based broadcasting (expected ~ log N)")
+func figure7(w io.Writer, chart bool, maxDim int) error {
+	fmt.Fprintln(w, "Figure 7: speedup of MSBT- over SBT-based broadcasting (expected ~ log N)")
 	s, err := exp.Figure7(dimsTo(maxDim))
 	if err != nil {
 		return err
 	}
-	if err := trace.Table(os.Stdout, "d", s); err != nil {
+	if err := trace.Table(w, "d", s); err != nil {
 		return err
 	}
 	if chart {
-		fmt.Print(trace.Chart([]trace.Series{s}, 48, 12))
+		fmt.Fprint(w, trace.Chart([]trace.Series{s}, 48, 12))
 	}
 	return nil
 }
 
-func figure8(chart bool, maxDim int) error {
-	fmt.Println("Figure 8: personalized communication time (ms), 1 KB per node, one-port with 20% overlap")
+func figure8(w io.Writer, chart bool, maxDim int) error {
+	fmt.Fprintln(w, "Figure 8: personalized communication time (ms), 1 KB per node, one-port with 20% overlap")
 	sbtS, bstS, err := exp.Figure8(dimsTo(maxDim), 1024)
 	if err != nil {
 		return err
 	}
-	if err := trace.Table(os.Stdout, "d", sbtS, bstS); err != nil {
+	if err := trace.Table(w, "d", sbtS, bstS); err != nil {
 		return err
 	}
 	if chart {
-		fmt.Print(trace.Chart([]trace.Series{sbtS, bstS}, 48, 14))
+		fmt.Fprint(w, trace.Chart([]trace.Series{sbtS, bstS}, 48, 14))
 	}
 	return nil
 }

@@ -90,6 +90,20 @@ func MustNew(n int, s cube.NodeID) *tree.Tree {
 	return t
 }
 
+// cache holds the canonical source-0 BST per dimension plus an LRU of
+// recent translations. The base assignment depends only on the relative
+// address i XOR s, so the BST at source s is the XOR-translate of the
+// BST at 0.
+var cache = tree.NewCanonCache(func(n int, s cube.NodeID) []*tree.Tree {
+	return []*tree.Tree{MustNew(n, s)}
+})
+
+// Cached returns the BST of the n-cube rooted at s from a process-wide
+// cache: the canonical tree at source 0 is built once per dimension and
+// other sources are served by O(N) XOR-translation. The returned tree is
+// shared and immutable. Safe for concurrent use.
+func Cached(n int, s cube.NodeID) *tree.Tree { return cache.Get(n, s)[0] }
+
 // SubtreeSizes returns the number of nodes assigned to each of the n root
 // subtrees (excluding the source), computed directly from the base
 // assignment without materializing the tree. This is how the paper's

@@ -67,7 +67,11 @@ func Run(n int, program func(c *Comm) error) error {
 // ProbeLiveness) — the plain collectives assume full participation and
 // will abort when a needed peer is dead. A nil injector is exactly Run.
 func RunFaulty(n int, inj fault.Injector, program func(c *Comm) error) error {
-	m := mpx.NewWithInjector(n, 4, inj)
+	// Comm's collectives bundle a whole subtree (up to N/2 destinations)
+	// into each message, so DepthForScatter with that bundling bounds the
+	// in-flight count; the per-node pump drains inboxes continuously, so
+	// depth is throughput headroom, not a deadlock concern.
+	m := mpx.NewWithInjector(n, mpx.DepthForScatter(n, 1<<uint(n)/2), inj)
 	defer m.Shutdown() // release pumps still blocked in Recv
 	return m.Run(func(nd *mpx.Node) error {
 		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}, abandoned: map[int]bool{}}

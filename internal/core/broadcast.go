@@ -34,10 +34,9 @@ func Broadcast(topo Topology, data []byte) ([][]byte, error) {
 			payload = env.Parts[0].Data
 		}
 		got[nd.ID] = payload
-		msg := mpx.Message{Parts: []mpx.Part{{Dest: topo.Root, Data: payload}}}
-		for _, c := range topo.Children(nd.ID) {
-			nd.SendTo(c, msg)
-		}
+		// One encoded message fans out to every child, sharing payload and
+		// parts (receivers only read, so the sharing contract holds).
+		nd.FanoutTo(topo.Children(nd.ID), mpx.Message{Parts: []mpx.Part{{Dest: topo.Root, Data: payload}}})
 		return nil
 	})
 	if err != nil {
@@ -86,9 +85,9 @@ func BroadcastMSBT(n int, src cube.NodeID, data []byte) ([][]byte, error) {
 				return fmt.Errorf("msbt broadcast: chunk %d has %d bytes", j, len(chunk))
 			}
 			copy(buf[bounds[j]:], chunk)
-			for _, c := range msbt.Children(n, j, nd.ID, src) {
-				nd.SendTo(c, mpx.Message{Tag: j, Parts: env.Parts})
-			}
+			// Zero-copy fanout: the received parts (and chunk bytes) are
+			// forwarded as-is to every tree-j child.
+			nd.FanoutTo(msbt.Children(n, j, nd.ID, src), mpx.Message{Tag: j, Parts: env.Parts})
 		}
 		got[nd.ID] = buf
 		return nil

@@ -80,7 +80,7 @@ func ScatterDegraded(topo Topology, plan *fault.Plan, data [][]byte, destsPerPac
 	if err != nil {
 		return nil, nil, err
 	}
-	m := mpx.NewWithInjector(topo.Dim, N+1, plan.Injector())
+	m := mpx.NewWithInjector(topo.Dim, mpx.DepthForScatter(topo.Dim, destsPerPacket), plan.Injector())
 	got := make([][]byte, N)
 	err = m.Run(func(nd *mpx.Node) error {
 		if !ft.Contains(nd.ID) {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestLargeCubeSchedules drives full d=12 broadcast and scatter schedules
+// through the simulator — sizes that were impractical before the engine
+// rewrite — and checks the routing-step counts against the closed forms
+// of the paper's analytic model.
+func TestLargeCubeSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-cube simulation skipped in -short mode")
+	}
+	const n = 12
+	N := 1 << uint(n)
+
+	// SBT one-port broadcast, port-oriented: q packets each cross every
+	// dimension in turn, so Steps = q*n (Table 2: n cycles per packet).
+	q := 64
+	cfg1 := sim.Config{Dim: n, Model: model.OneSendAndRecv, Tau: 1, Tc: 0}
+	res, err := SimBroadcast(model.SBT, 0, float64(q), 1, cfg1)
+	if err != nil {
+		t.Fatalf("d=12 one-port broadcast: %v", err)
+	}
+	if res.Delivered != (N-1)*q {
+		t.Errorf("one-port broadcast delivered %d, want %d", res.Delivered, (N-1)*q)
+	}
+	if want := q * n; res.Steps != want {
+		t.Errorf("one-port broadcast steps %d, want q*n = %d", res.Steps, want)
+	}
+
+	// SBT all-port pipelined broadcast: Steps = q + n - 1 (fill the
+	// pipeline once, then one fresh packet per step).
+	cfgA := sim.Config{Dim: n, Model: model.AllPorts, Tau: 1, Tc: 0}
+	res, err = SimBroadcast(model.SBT, 0, float64(q), 1, cfgA)
+	if err != nil {
+		t.Fatalf("d=12 all-port broadcast: %v", err)
+	}
+	if want := q + n - 1; res.Steps != want {
+		t.Errorf("all-port broadcast steps %d, want q+n-1 = %d", res.Steps, want)
+	}
+
+	// MSBT all-port broadcast with ppt packets per tree: Steps = ppt + n
+	// (Table 1's n+1 propagation plus ppt-1 of pipelining).
+	ppt := 4
+	xs, err := sched.BroadcastMSBT(n, 0, ppt, 1)
+	if err != nil {
+		t.Fatalf("d=12 MSBT schedule: %v", err)
+	}
+	res, err = sim.Run(cfgA, xs)
+	if err != nil {
+		t.Fatalf("d=12 MSBT broadcast: %v", err)
+	}
+	if want := ppt + n; res.Steps != want {
+		t.Errorf("MSBT broadcast steps %d, want ppt+n = %d", res.Steps, want)
+	}
+
+	// SBT one-port scatter, B >= M, reverse-breadth-first order: the root
+	// is the bottleneck and emits N-1 packets back to back; farthest-first
+	// ordering hides all propagation, so Steps = N - 1 (the paper's
+	// optimal one-port personalized-communication time).
+	res, err = SimScatter(model.SBT, 0, 1, 1, sched.OrderRBF, sched.PortOriented, cfg1)
+	if err != nil {
+		t.Fatalf("d=12 scatter: %v", err)
+	}
+	if want := N - 1; res.Steps != want {
+		t.Errorf("one-port scatter steps %d, want N-1 = %d", res.Steps, want)
+	}
+}

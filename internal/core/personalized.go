@@ -24,8 +24,8 @@ func Scatter(topo Topology, data [][]byte, destsPerPacket int) ([][]byte, error)
 		return nil, fmt.Errorf("core: scatter needs %d payloads, got %d", N, len(data))
 	}
 	// A node can receive at most one bundle per destination below it plus
-	// the sentinel; depth N+1 makes every send non-blocking.
-	m := mpx.New(topo.Dim, N+1)
+	// the sentinel; DepthForScatter makes every send non-blocking.
+	m := mpx.New(topo.Dim, mpx.DepthForScatter(topo.Dim, destsPerPacket))
 	got := make([][]byte, N)
 	err := m.Run(func(nd *mpx.Node) error {
 		if nd.ID == topo.Root {
@@ -56,7 +56,7 @@ func scatterRoot(nd *mpx.Node, topo Topology, data [][]byte, destsPerPacket int)
 			if end > len(dests) {
 				end = len(dests)
 			}
-			parts := make([]mpx.Part, 0, end-start)
+			parts := mpx.GetParts(end - start)
 			for _, d := range dests[start:end] {
 				parts = append(parts, mpx.Part{Dest: d, Data: data[d]})
 			}
@@ -75,23 +75,42 @@ func scatterRoot(nd *mpx.Node, topo Topology, data [][]byte, destsPerPacket int)
 			break
 		}
 	}
-	for _, c := range children {
-		nd.SendTo(c, mpx.Message{Tag: endTag})
-	}
+	nd.FanoutTo(children, mpx.Message{Tag: endTag})
 	return nil
 }
 
+// childBelow returns the child of `under` on the tree path to destination
+// d, walking d's parent chain — O(level) with no per-node subtree table.
+// ok is false when d does not lie below `under`.
+func childBelow(topo Topology, under, d cube.NodeID) (cube.NodeID, bool) {
+	for {
+		p, ok := topo.Parent(d)
+		if !ok {
+			return 0, false
+		}
+		if p == under {
+			return d, true
+		}
+		d = p
+	}
+}
+
 // scatterRelay receives bundles until the sentinel, keeps its own part,
-// and forwards the remaining parts split per child subtree.
+// and forwards the remaining parts split per child subtree. Forwarding is
+// zero-copy — parts keep pointing into the original payload bytes — and
+// the bundle buffers themselves are pooled: each relayed bundle's parts
+// live in a buffer from mpx.GetParts owned by the sole receiving child,
+// and each consumed envelope's buffer is recycled.
 func scatterRelay(nd *mpx.Node, topo Topology, got [][]byte) error {
 	children := topo.Children(nd.ID)
-	// below[d] = the child whose subtree holds destination d.
-	below := map[cube.NodeID]cube.NodeID{}
-	for _, c := range children {
-		for _, d := range subtreeDF(topo, c) {
-			below[c] = c // ensure the child itself maps
-			below[d] = c
+	perChild := make([][]mpx.Part, len(children))
+	rank := func(c cube.NodeID) int {
+		for i, ch := range children {
+			if ch == c {
+				return i
+			}
 		}
+		return -1
 	}
 	parent, _ := topo.Parent(nd.ID)
 	for {
@@ -102,7 +121,6 @@ func scatterRelay(nd *mpx.Node, topo Topology, got [][]byte) error {
 		if env.Tag == endTag {
 			break
 		}
-		perChild := map[cube.NodeID][]mpx.Part{}
 		for _, p := range env.Parts {
 			if p.Dest == nd.ID {
 				if got[nd.ID] != nil {
@@ -111,21 +129,27 @@ func scatterRelay(nd *mpx.Node, topo Topology, got [][]byte) error {
 				got[nd.ID] = p.Data
 				continue
 			}
-			c, ok := below[p.Dest]
+			c, ok := childBelow(topo, nd.ID, p.Dest)
 			if !ok {
 				return fmt.Errorf("scatter: node %d got part for %d outside its subtree", nd.ID, p.Dest)
 			}
-			perChild[c] = append(perChild[c], p)
-		}
-		for _, c := range children {
-			if parts := perChild[c]; len(parts) > 0 {
-				nd.SendTo(c, mpx.Message{Parts: parts})
+			k := rank(c)
+			if perChild[k] == nil {
+				perChild[k] = mpx.GetParts(len(env.Parts))
 			}
+			perChild[k] = append(perChild[k], p)
+		}
+		// All parts are copied out (values only; payloads stay shared), so
+		// this envelope's buffer can go back to the pool.
+		mpx.PutParts(env.Parts)
+		for k, c := range children {
+			if len(perChild[k]) > 0 {
+				nd.SendTo(c, mpx.Message{Parts: perChild[k]})
+			}
+			perChild[k] = nil
 		}
 	}
-	for _, c := range children {
-		nd.SendTo(c, mpx.Message{Tag: endTag})
-	}
+	nd.FanoutTo(children, mpx.Message{Tag: endTag})
 	if got[nd.ID] == nil {
 		return fmt.Errorf("scatter: node %d never received its data", nd.ID)
 	}

@@ -108,13 +108,18 @@ func streamRoot(nd *mpx.Node, topo Topology, data [][]byte, packetBytes int) err
 
 // streamRelay reassembles this node's fragments and forwards the rest,
 // preserving fragment boundaries (no re-packing: store-and-forward).
+// Forwarded fragments share the original payload bytes (zero-copy); the
+// per-message part buffers are pooled, each owned by its sole receiver.
 func streamRelay(nd *mpx.Node, topo Topology, got [][]byte, data [][]byte) error {
 	children := topo.Children(nd.ID)
-	below := map[cube.NodeID]cube.NodeID{}
-	for _, c := range children {
-		for _, d := range subtreeDF(topo, c) {
-			below[d] = c
+	perChild := make([][]mpx.Part, len(children))
+	rank := func(c cube.NodeID) int {
+		for i, ch := range children {
+			if ch == c {
+				return i
+			}
 		}
+		return -1
 	}
 	parent, _ := topo.Parent(nd.ID)
 	want := len(data[nd.ID])
@@ -129,7 +134,6 @@ func streamRelay(nd *mpx.Node, topo Topology, got [][]byte, data [][]byte) error
 		if env.Tag == endTag {
 			break
 		}
-		perChild := map[cube.NodeID][]mpx.Part{}
 		for _, p := range env.Parts {
 			if p.Dest == nd.ID {
 				announced = true
@@ -140,21 +144,25 @@ func streamRelay(nd *mpx.Node, topo Topology, got [][]byte, data [][]byte) error
 				received += len(p.Data)
 				continue
 			}
-			c, ok := below[p.Dest]
+			c, ok := childBelow(topo, nd.ID, p.Dest)
 			if !ok {
 				return fmt.Errorf("scatter stream: node %d got fragment for %d outside subtree", nd.ID, p.Dest)
 			}
-			perChild[c] = append(perChild[c], p)
-		}
-		for _, c := range children {
-			if parts := perChild[c]; len(parts) > 0 {
-				nd.SendTo(c, mpx.Message{Parts: parts})
+			k := rank(c)
+			if perChild[k] == nil {
+				perChild[k] = mpx.GetParts(len(env.Parts))
 			}
+			perChild[k] = append(perChild[k], p)
+		}
+		mpx.PutParts(env.Parts)
+		for k, c := range children {
+			if len(perChild[k]) > 0 {
+				nd.SendTo(c, mpx.Message{Parts: perChild[k]})
+			}
+			perChild[k] = nil
 		}
 	}
-	for _, c := range children {
-		nd.SendTo(c, mpx.Message{Tag: endTag})
-	}
+	nd.FanoutTo(children, mpx.Message{Tag: endTag})
 	if received != want {
 		return fmt.Errorf("scatter stream: node %d reassembled %d/%d bytes", nd.ID, received, want)
 	}

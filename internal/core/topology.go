@@ -36,6 +36,10 @@ type Topology struct {
 	Root     cube.NodeID
 	Parent   func(i cube.NodeID) (cube.NodeID, bool)
 	Children func(i cube.NodeID) []cube.NodeID
+
+	// cached, when set, serves Tree() from the family's translation
+	// cache instead of rebuilding and re-validating the structure.
+	cached func() *tree.Tree
 }
 
 // SBTTopology returns the spanning binomial tree rooted at s.
@@ -44,6 +48,7 @@ func SBTTopology(n int, s cube.NodeID) Topology {
 		Name: "sbt", Dim: n, Root: s,
 		Parent:   func(i cube.NodeID) (cube.NodeID, bool) { return sbt.Parent(n, i, s) },
 		Children: func(i cube.NodeID) []cube.NodeID { return sbt.Children(n, i, s) },
+		cached:   func() *tree.Tree { return sbt.Cached(n, s) },
 	}
 }
 
@@ -53,6 +58,7 @@ func BSTTopology(n int, s cube.NodeID) Topology {
 		Name: "bst", Dim: n, Root: s,
 		Parent:   func(i cube.NodeID) (cube.NodeID, bool) { return bst.Parent(n, i, s) },
 		Children: func(i cube.NodeID) []cube.NodeID { return bst.Children(n, i, s) },
+		cached:   func() *tree.Tree { return bst.Cached(n, s) },
 	}
 }
 
@@ -112,8 +118,13 @@ func TopologyFor(a model.Algorithm, n int, s cube.NodeID) (Topology, error) {
 }
 
 // Tree materializes the topology as a validated spanning tree (global
-// view, used by the schedule generators and by tests).
+// view, used by the schedule generators and by tests). Translation-
+// invariant families (SBT, BST) are served from their per-dimension
+// caches; the others are built from the parent function.
 func (t Topology) Tree() (*tree.Tree, error) {
+	if t.cached != nil {
+		return t.cached(), nil
+	}
 	c := cube.New(t.Dim)
 	return tree.FromParentFunc(c, t.Root, t.Parent)
 }

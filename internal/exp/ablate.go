@@ -56,10 +56,7 @@ func AblateMSBTLabels(n int, packetsPerTree int) (AblationResult, error) {
 	// Naive variant: identical transmissions, but priorities make each
 	// tree's whole stream precede the next tree's (tree-major instead of
 	// cycle-major).
-	trees, err := msbt.Trees(n, 0)
-	if err != nil {
-		return AblationResult{}, err
-	}
+	trees := msbt.CachedTrees(n, 0)
 	var xs []sim.Xmit
 	for j, t := range trees {
 		last := map[cube.NodeID][]int{}
@@ -212,9 +209,6 @@ func AblateTreeChoiceBroadcast(n int) (map[string]int, error) {
 // ERSBTs of an arbitrary source are edge-disjoint — the structural
 // property all MSBT concurrency rests on.
 func EdgeDisjointnessCheck(n int, s cube.NodeID) error {
-	trees, err := msbt.Trees(n, s)
-	if err != nil {
-		return err
-	}
+	trees := msbt.CachedTrees(n, s)
 	return tree.EdgeDisjoint(trees...)
 }

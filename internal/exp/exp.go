@@ -325,27 +325,38 @@ func Figure5(dims []int, m float64, packetSizes []float64) ([]trace.Series, erro
 
 // Figure6 reproduces paper Figure 6: broadcast time (ms) of a 60 KB
 // message in 1 KB packets using the SBT and the MSBT, versus cube
-// dimension.
+// dimension. The (dimension, algorithm) points run on the shared worker
+// pool.
 func Figure6(dims []int) (sbtSeries, msbtSeries trace.Series, err error) {
 	const m, b = 60 * 1024, 1024
 	sbtSeries.Label, msbtSeries.Label = "SBT", "MSBT"
+	type point struct {
+		n int
+		a model.Algorithm
+	}
+	var points []point
 	for _, n := range dims {
+		points = append(points, point{n, model.SBT}, point{n, model.MSBT})
+	}
+	times, err := Parallel(points, 0, func(pt point) (float64, error) {
 		cfg := sim.Config{
-			Dim: n, Model: model.OneSendAndRecv,
+			Dim: pt.n, Model: model.OneSendAndRecv,
 			Tau: IPSC.Tau, Tc: IPSC.Tc, InternalPacket: IPSC.InternalPacket,
 		}
-		res, err := core.SimBroadcast(model.SBT, 0, m, b, cfg)
+		res, err := core.SimBroadcast(pt.a, 0, m, b, cfg)
 		if err != nil {
-			return sbtSeries, msbtSeries, err
+			return 0, err
 		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return sbtSeries, msbtSeries, err
+	}
+	for i, n := range dims {
 		sbtSeries.X = append(sbtSeries.X, float64(n))
-		sbtSeries.Y = append(sbtSeries.Y, res.Makespan)
-		res, err = core.SimBroadcast(model.MSBT, 0, m, b, cfg)
-		if err != nil {
-			return sbtSeries, msbtSeries, err
-		}
+		sbtSeries.Y = append(sbtSeries.Y, times[2*i])
 		msbtSeries.X = append(msbtSeries.X, float64(n))
-		msbtSeries.Y = append(msbtSeries.Y, res.Makespan)
+		msbtSeries.Y = append(msbtSeries.Y, times[2*i+1])
 	}
 	return sbtSeries, msbtSeries, nil
 }
@@ -371,25 +382,37 @@ func Figure7(dims []int) (trace.Series, error) {
 // size in bytes.
 func Figure8(dims []int, m float64) (sbtSeries, bstSeries trace.Series, err error) {
 	sbtSeries.Label, bstSeries.Label = "SBT", "BST"
+	type point struct {
+		n     int
+		a     model.Algorithm
+		order sched.Order
+	}
+	var points []point
 	for _, n := range dims {
+		points = append(points,
+			point{n, model.SBT, sched.OrderDescending},
+			point{n, model.BST, sched.OrderDF})
+	}
+	times, err := Parallel(points, 0, func(pt point) (float64, error) {
 		cfg := sim.Config{
-			Dim: n, Model: model.OneSendOrRecv, Overlap: 0.2,
+			Dim: pt.n, Model: model.OneSendOrRecv, Overlap: 0.2,
 			Tau: IPSC.Tau, Tc: IPSC.Tc, InternalPacket: IPSC.InternalPacket,
 		}
-		res, err := core.SimScatter(model.SBT, 0, m, IPSC.InternalPacket,
-			sched.OrderDescending, sched.RoundRobin, cfg)
+		res, err := core.SimScatter(pt.a, 0, m, IPSC.InternalPacket,
+			pt.order, sched.RoundRobin, cfg)
 		if err != nil {
-			return sbtSeries, bstSeries, err
+			return 0, err
 		}
+		return res.Makespan, nil
+	})
+	if err != nil {
+		return sbtSeries, bstSeries, err
+	}
+	for i, n := range dims {
 		sbtSeries.X = append(sbtSeries.X, float64(n))
-		sbtSeries.Y = append(sbtSeries.Y, res.Makespan)
-		res, err = core.SimScatter(model.BST, 0, m, IPSC.InternalPacket,
-			sched.OrderDF, sched.RoundRobin, cfg)
-		if err != nil {
-			return sbtSeries, bstSeries, err
-		}
+		sbtSeries.Y = append(sbtSeries.Y, times[2*i])
 		bstSeries.X = append(bstSeries.X, float64(n))
-		bstSeries.Y = append(bstSeries.Y, res.Makespan)
+		bstSeries.Y = append(bstSeries.Y, times[2*i+1])
 	}
 	return sbtSeries, bstSeries, nil
 }

@@ -48,9 +48,9 @@ func (f Family) String() string {
 func treeAt(f Family, n int, r cube.NodeID) (*tree.Tree, error) {
 	switch f {
 	case SBTs:
-		return sbt.New(n, r)
+		return sbt.Cached(n, r), nil
 	case BSTs:
-		return bst.New(n, r)
+		return bst.Cached(n, r), nil
 	}
 	return nil, fmt.Errorf("gossip: unknown family %d", f)
 }

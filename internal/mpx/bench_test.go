@@ -109,3 +109,63 @@ func benchLoop(b *testing.B) func(nd *Node) error {
 		return nil
 	}
 }
+
+// TestSendRecvZeroAllocsSteadyState pins the fault-free hot path at
+// exactly zero allocations per Send/Recv pair on a warmed machine. The
+// measuring node runs AllocsPerRun inside its program (allocation counts
+// are process-wide, so the peer's matching Recv/Send is included — it
+// must be free too).
+func TestSendRecvZeroAllocsSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const runs = 100
+	m := New(1, 1)
+	var perPair float64
+	err := m.Run(func(nd *Node) error {
+		msg := Message{Parts: []Part{{Dest: 1, Data: []byte("x")}}}
+		if nd.ID == 0 {
+			// Warm both directions before measuring.
+			nd.Send(0, msg)
+			nd.Recv()
+			perPair = testing.AllocsPerRun(runs, func() {
+				nd.Send(0, msg)
+				nd.Recv()
+			})
+			return nil
+		}
+		// AllocsPerRun invokes its function runs+1 times (one warm-up),
+		// plus our explicit warm-up round above.
+		for i := 0; i < runs+2; i++ {
+			nd.Recv()
+			nd.Send(0, msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perPair != 0 {
+		t.Errorf("warm Send/Recv pair allocates %.1f, want 0", perPair)
+	}
+}
+
+// TestPartsPoolRoundTripNoAllocs checks that a warmed GetParts/PutParts
+// cycle reuses its buffers. The pool can shed entries under GC pressure,
+// so the check is lenient rather than exactly zero.
+func TestPartsPoolRoundTripNoAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	for i := 0; i < 8; i++ {
+		PutParts(GetParts(8))
+	}
+	perRun := testing.AllocsPerRun(100, func() {
+		ps := GetParts(8)
+		ps = append(ps, Part{Dest: 1})
+		PutParts(ps)
+	})
+	if perRun > 0.5 {
+		t.Errorf("warm GetParts/PutParts cycle allocates %.2f, want ~0", perRun)
+	}
+}

@@ -89,8 +89,24 @@ type Machine struct {
 // messages. Tree-structured collectives are acyclic and need only depth 1;
 // all-to-all patterns should size depth to their in-flight message count
 // (e.g. the cube dimension times packets per phase) to avoid blocking
-// senders unnecessarily.
+// senders unnecessarily; personalized operations should use
+// DepthForScatter.
 func New(n, depth int) *Machine { return NewWithInjector(n, depth, nil) }
+
+// DepthForScatter returns an inbox depth sufficient for one-to-all
+// personalized communication on an n-cube when destinations are bundled
+// packetsPerPhase to a message: in the worst case every one of the 2^n - 1
+// destinations' bundles funnels through a single inbox, plus slack for a
+// terminator message and the in-flight send. Sizing inboxes below this
+// can stall deep scatters (senders block on full inboxes of nodes that
+// are themselves blocked sending); values above it only waste memory.
+func DepthForScatter(n, packetsPerPhase int) int {
+	if packetsPerPhase < 1 {
+		packetsPerPhase = 1
+	}
+	dests := 1<<uint(n) - 1
+	return (dests+packetsPerPhase-1)/packetsPerPhase + 2
+}
 
 // NewWithInjector creates an n-cube machine whose links and nodes suffer
 // the faults decided by inj: a dead node never runs its program and its
@@ -180,8 +196,15 @@ func (nd *Node) sendFaulty(to cube.NodeID, port int, msg Message) {
 		copies = 2
 	}
 	for i := 0; i < copies; i++ {
+		send := msg
+		if i > 0 {
+			// The duplicate gets its own Parts slice: the original's may be
+			// a pooled buffer the first receiver recycles (payload bytes
+			// are never recycled, so sharing Data is safe).
+			send.Parts = append([]Part(nil), msg.Parts...)
+		}
 		select {
-		case nd.m.inbox[to] <- Envelope{Message: msg, Port: port, From: nd.ID}:
+		case nd.m.inbox[to] <- Envelope{Message: send, Port: port, From: nd.ID}:
 		case <-nd.m.down:
 			panic(abortErr{})
 		}
@@ -203,6 +226,27 @@ func corruptCopy(msg Message) Message {
 	}
 	msg.Parts = parts
 	return msg
+}
+
+// Fanout transmits one message through each of the given ports, reusing
+// the same encoded message for every copy: all receivers share the Parts
+// slice and payload arrays. Receivers of a fanned-out message must treat
+// the envelope as read-only and must not recycle its Parts via PutParts
+// — sole-receiver ownership is what makes recycling safe.
+func (nd *Node) Fanout(ports []int, msg Message) {
+	for _, p := range ports {
+		nd.Send(p, msg)
+	}
+}
+
+// FanoutTo is Fanout addressed by neighbor id instead of port — the
+// natural form for tree collectives fanning one message out to a child
+// list. The same sharing contract applies: receivers must treat the
+// envelope as read-only and must not recycle its Parts.
+func (nd *Node) FanoutTo(tos []cube.NodeID, msg Message) {
+	for _, to := range tos {
+		nd.SendTo(to, msg)
+	}
 }
 
 // SendTo transmits msg to an adjacent node. It panics if to is not a

@@ -1,0 +1,53 @@
+package mpx
+
+import "sync"
+
+// partsPool recycles the []Part backing arrays of bundled messages.
+// Personalized communication allocates a parts slice per relayed bundle;
+// pooling them makes the steady-state relay path allocation-free for the
+// slice storage (payload bytes are owned by the operation and are never
+// pooled).
+var partsPool = sync.Pool{
+	New: func() any {
+		ps := make([]Part, 0, 16)
+		return &ps
+	},
+}
+
+// GetParts returns a parts buffer with length 0 and capacity at least
+// capacity, drawn from a process-wide pool. Pass it (sliced to its final
+// length) as Message.Parts; the sole receiver of that message becomes the
+// owner and may return it with PutParts.
+func GetParts(capacity int) []Part {
+	p := partsPool.Get().(*[]Part)
+	ps := *p
+	*p = nil
+	partsHeaderPool.Put(p)
+	if cap(ps) < capacity {
+		ps = make([]Part, 0, capacity)
+	}
+	return ps[:0]
+}
+
+// partsHeaderPool recycles the slice-header boxes so GetParts/PutParts
+// pairs settle into zero steady-state allocations.
+var partsHeaderPool = sync.Pool{New: func() any { return new([]Part) }}
+
+// PutParts returns a buffer obtained from GetParts to the pool. Only the
+// sole receiver of the message that carried it may call this, after it is
+// done reading: parts of a fanned-out (multi-receiver) message are shared
+// and must never be recycled. The parts' Data slices are not pooled and
+// may still be referenced elsewhere.
+func PutParts(ps []Part) {
+	if cap(ps) == 0 {
+		return
+	}
+	// Drop payload references so pooled buffers don't pin message bytes.
+	ps = ps[:cap(ps)]
+	for i := range ps {
+		ps[i] = Part{}
+	}
+	p := partsHeaderPool.Get().(*[]Part)
+	*p = ps[:0]
+	partsPool.Put(p)
+}

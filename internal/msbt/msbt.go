@@ -155,6 +155,20 @@ func MustTrees(n int, s cube.NodeID) []*tree.Tree {
 	return ts
 }
 
+// cache holds the canonical source-0 ERSBT family per dimension plus an
+// LRU of recent translations. Each ERSBT parent function depends only on
+// the relative address i XOR s, so the whole family at source s is the
+// XOR-translate of the family at 0 (edge-disjointness is preserved: XOR
+// relabeling is a bijection on directed edges).
+var cache = tree.NewCanonCache(MustTrees)
+
+// CachedTrees returns the n ERSBTs of the MSBT with source s from a
+// process-wide cache: the canonical family at source 0 is built once per
+// dimension and other sources are served by O(N) XOR-translation per
+// tree. The returned slice and trees are shared and immutable. Safe for
+// concurrent use.
+func CachedTrees(n int, s cube.NodeID) []*tree.Tree { return cache.Get(n, s) }
+
 // RootOf returns the root of the j-th ERSBT below the source: s XOR 2^j.
 func RootOf(j int, s cube.NodeID) cube.NodeID { return s ^ cube.NodeID(1)<<uint(j) }
 

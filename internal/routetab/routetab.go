@@ -38,10 +38,7 @@ type RootTable struct {
 // BuildRootTable constructs the root table for the n-cube BST using
 // depth-first transmission order within subtree 0.
 func BuildRootTable(n int) (*RootTable, error) {
-	t, err := bst.New(n, 0)
-	if err != nil {
-		return nil, err
-	}
+	t := bst.Cached(n, 0)
 	// Subtree 0 is rooted at node 1 (base(1) == 0).
 	var entries []cube.NodeID
 	for _, v := range t.SubtreeNodes(1) {
@@ -183,10 +180,7 @@ type TableSizeStats struct {
 // (depth-first needs ~ log^2 N bits per node, reversed breadth-first
 // ~ log^3 N).
 func TableSizeBits(n int, order Order) (TableSizeStats, error) {
-	t, err := bst.New(n, 0)
-	if err != nil {
-		return TableSizeStats{}, err
-	}
+	t := bst.Cached(n, 0)
 	stats := TableSizeStats{Order: order}
 	count := 0
 	for i := 0; i < t.Cube().Nodes(); i++ {

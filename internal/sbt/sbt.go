@@ -72,3 +72,16 @@ func MustNew(n int, s cube.NodeID) *tree.Tree {
 	}
 	return t
 }
+
+// cache holds the canonical source-0 SBT per dimension plus an LRU of
+// recent translations. The SBT parent function depends only on i XOR s,
+// so the tree at source s is the XOR-translate of the tree at 0.
+var cache = tree.NewCanonCache(func(n int, s cube.NodeID) []*tree.Tree {
+	return []*tree.Tree{MustNew(n, s)}
+})
+
+// Cached returns the SBT of the n-cube rooted at s from a process-wide
+// cache: the canonical tree at source 0 is built once per dimension and
+// other sources are served by O(N) XOR-translation. The returned tree is
+// shared and immutable. Safe for concurrent use.
+func Cached(n int, s cube.NodeID) *tree.Tree { return cache.Get(n, s)[0] }

@@ -22,22 +22,38 @@ import (
 	"repro/internal/tree"
 )
 
-// childrenBySubtreeSize returns the children of u ordered by decreasing
-// subtree size (the paper's "largest subtree first" rule), breaking ties
-// by port for determinism.
-func childrenBySubtreeSize(t *tree.Tree, u cube.NodeID) []cube.NodeID {
-	ch := append([]cube.NodeID(nil), t.Children(u)...)
-	sizes := make(map[cube.NodeID]int, len(ch))
-	for _, c := range ch {
-		sizes[c] = t.SubtreeSize(c)
+// lastIndex tracks, per (node, packet), the index of the transmission
+// delivering that packet to that node — the store-and-forward dependency
+// of every onward copy. Flat [node*packets + p] indexing, -1 for "node
+// holds the packet initially" (the source). Schedule sizes stay well
+// under 2^31 transmissions, so int32 halves the table.
+type lastIndex []int32
+
+func newLastIndex(nodes, packets int) lastIndex {
+	l := make(lastIndex, nodes*packets)
+	for i := range l {
+		l[i] = -1
 	}
-	sort.SliceStable(ch, func(a, b int) bool {
-		if sizes[ch[a]] != sizes[ch[b]] {
-			return sizes[ch[a]] > sizes[ch[b]]
-		}
-		return t.Cube().Port(u, ch[a]) < t.Cube().Port(u, ch[b])
-	})
-	return ch
+	return l
+}
+
+func (l lastIndex) reset() {
+	for i := range l {
+		l[i] = -1
+	}
+}
+
+// depsArena hands out 1-element dependency slices from one preallocated
+// buffer so broadcast emission does a single allocation for all Deps.
+// The capacity must cover every Put: sub-slices alias the buffer, so a
+// growth reallocation would orphan previously returned slices.
+type depsArena []int
+
+func newDepsArena(capacity int) depsArena { return make(depsArena, 0, capacity) }
+
+func (a *depsArena) put1(dep int) []int {
+	*a = append(*a, dep)
+	return (*a)[len(*a)-1:]
 }
 
 // BroadcastPipelined builds the packet-oriented broadcast of `packets`
@@ -45,29 +61,31 @@ func childrenBySubtreeSize(t *tree.Tree, u cube.NodeID) []cube.NodeID {
 // packet to all its children (largest subtree first) as soon as the packet
 // arrives. With all-port communication this attains ceil(M/B) + height - 1
 // routing steps on the SBT and TCBT.
+//
+// Emission is a linear sweep over the tree's precomputed breadth-first
+// order with exact preallocation: one slice for the transmissions, one
+// arena for all dependency lists, one flat last-delivery table.
 func BroadcastPipelined(t *tree.Tree, packets int, elems float64) []sim.Xmit {
-	var xs []sim.Xmit
-	// last[node][packet] = index of the transmission delivering packet to node.
-	last := map[cube.NodeID][]int{}
-	order := t.BreadthFirst()
+	count := (t.Size() - 1) * packets
+	xs := make([]sim.Xmit, 0, count)
+	arena := newDepsArena(count)
+	last := newLastIndex(t.Cube().Nodes(), packets)
 	maxFan, _ := t.MaxFanout()
-	for _, u := range order {
-		ch := childrenBySubtreeSize(t, u)
+	for _, u := range t.BreadthFirst() {
+		ch := t.ChildrenBySubtreeSize(u)
+		base := int(u) * packets
 		for p := 0; p < packets; p++ {
 			for rank, c := range ch {
 				var deps []int
-				if in, ok := last[u]; ok {
-					deps = []int{in[p]}
+				if in := last[base+p]; in >= 0 {
+					deps = arena.put1(int(in))
 				}
 				xs = append(xs, sim.Xmit{
 					From: u, To: c, Elems: elems,
 					Prio: int64(p*(maxFan+1) + rank),
 					Deps: deps,
 				})
-				if last[c] == nil {
-					last[c] = make([]int, packets)
-				}
-				last[c][p] = len(xs) - 1
+				last[int(c)*packets+p] = int32(len(xs) - 1)
 			}
 		}
 	}
@@ -80,26 +98,25 @@ func BroadcastPipelined(t *tree.Tree, packets int, elems float64) []sim.Xmit {
 // is the paper's recursive-halving broadcast with complexity
 // ceil(M/B) * log N routing steps.
 func BroadcastPortOriented(t *tree.Tree, packets int, elems float64) []sim.Xmit {
-	var xs []sim.Xmit
-	last := map[cube.NodeID][]int{}
-	order := t.BreadthFirst()
-	for _, u := range order {
-		ch := childrenBySubtreeSize(t, u)
+	count := (t.Size() - 1) * packets
+	xs := make([]sim.Xmit, 0, count)
+	arena := newDepsArena(count)
+	last := newLastIndex(t.Cube().Nodes(), packets)
+	for _, u := range t.BreadthFirst() {
+		ch := t.ChildrenBySubtreeSize(u)
+		base := int(u) * packets
 		for rank, c := range ch {
 			for p := 0; p < packets; p++ {
 				var deps []int
-				if in, ok := last[u]; ok {
-					deps = []int{in[p]}
+				if in := last[base+p]; in >= 0 {
+					deps = arena.put1(int(in))
 				}
 				xs = append(xs, sim.Xmit{
 					From: u, To: c, Elems: elems,
 					Prio: int64(rank*packets + p),
 					Deps: deps,
 				})
-				if last[c] == nil {
-					last[c] = make([]int, packets)
-				}
-				last[c][p] = len(xs) - 1
+				last[int(c)*packets+p] = int32(len(xs) - 1)
 			}
 		}
 	}
@@ -115,14 +132,18 @@ func BroadcastPortOriented(t *tree.Tree, packets int, elems float64) []sim.Xmit 
 // communication the whole broadcast of ceil(M/B) packets finishes in
 // ceil(M/B) + log N routing steps.
 func BroadcastMSBT(n int, s cube.NodeID, packetsPerTree int, elems float64) ([]sim.Xmit, error) {
-	trees, err := msbt.Trees(n, s)
-	if err != nil {
-		return nil, err
-	}
-	var xs []sim.Xmit
+	trees := msbt.CachedTrees(n, s)
+	N := 1 << uint(n)
+	count := n * (N - 1) * packetsPerTree
+	xs := make([]sim.Xmit, 0, count)
+	arena := newDepsArena(count)
+	last := newLastIndex(N, packetsPerTree)
 	for j, t := range trees {
-		last := map[cube.NodeID][]int{}
+		if j > 0 {
+			last.reset()
+		}
 		for _, u := range t.BreadthFirst() {
+			base := int(u) * packetsPerTree
 			for _, c := range t.Children(u) {
 				label, ok := msbt.Label(n, j, c, s)
 				if !ok {
@@ -130,18 +151,15 @@ func BroadcastMSBT(n int, s cube.NodeID, packetsPerTree int, elems float64) ([]s
 				}
 				for p := 0; p < packetsPerTree; p++ {
 					var deps []int
-					if in, ok := last[u]; ok {
-						deps = []int{in[p]}
+					if in := last[base+p]; in >= 0 {
+						deps = arena.put1(int(in))
 					}
 					xs = append(xs, sim.Xmit{
 						From: u, To: c, Elems: elems,
 						Prio: int64(label + p*n),
 						Deps: deps,
 					})
-					if last[c] == nil {
-						last[c] = make([]int, packetsPerTree)
-					}
-					last[c][p] = len(xs) - 1
+					last[int(c)*packetsPerTree+p] = int32(len(xs) - 1)
 				}
 			}
 		}
@@ -209,7 +227,7 @@ func ScatterTree(t *tree.Tree, m, b float64, order Order, il Interleave) ([]sim.
 		return nil, fmt.Errorf("sched: nonpositive M or B")
 	}
 	root := t.Root()
-	subRoots := childrenBySubtreeSize(t, root)
+	subRoots := t.ChildrenBySubtreeSize(root)
 
 	// Destination groups per subtree, in transmission order.
 	groups := make([][][]cube.NodeID, len(subRoots))
@@ -224,10 +242,10 @@ func ScatterTree(t *tree.Tree, m, b float64, order Order, il Interleave) ([]sim.
 	var emit func(u cube.NodeID, group []cube.NodeID, dep int)
 	emit = func(u cube.NodeID, group []cube.NodeID, dep int) {
 		// Partition the group among u's children subtrees.
-		for _, c := range childrenBySubtreeSize(t, u) {
+		for _, c := range t.ChildrenBySubtreeSize(u) {
 			var sub []cube.NodeID
 			for _, d := range group {
-				if inSubtree(t, c, d) {
+				if t.InSubtree(c, d) {
 					sub = append(sub, d)
 				}
 			}
@@ -360,20 +378,6 @@ func groupDests(dests []cube.NodeID, m, b float64) [][]cube.NodeID {
 	return out
 }
 
-// inSubtree reports whether d lies in the subtree rooted at c.
-func inSubtree(t *tree.Tree, c, d cube.NodeID) bool {
-	for {
-		if d == c {
-			return true
-		}
-		p, ok := t.Parent(d)
-		if !ok {
-			return false
-		}
-		d = p
-	}
-}
-
 // GatherTree builds the reverse of ScatterTree: every node owns M elements
 // destined for the root; data flows up the tree, merged per packet
 // capacity. It is the paper's "collection of data to a single node"
@@ -382,11 +386,18 @@ func GatherTree(t *tree.Tree, m, b float64) ([]sim.Xmit, error) {
 	if m <= 0 || b <= 0 {
 		return nil, fmt.Errorf("sched: nonpositive M or B")
 	}
-	var xs []sim.Xmit
 	// Post-order: children's uploads complete before the parent uploads
 	// their data onward. upIdx[v] = indices of transmissions arriving at v
 	// from its subtree.
-	upIdx := map[cube.NodeID][]int{}
+	count := 0
+	for _, v := range t.ReversedBreadthFirst() {
+		if v != t.Root() {
+			total := m * float64(t.SubtreeSize(v))
+			count += int((total + b - 1) / b)
+		}
+	}
+	xs := make([]sim.Xmit, 0, count)
+	upIdx := make([][]int, t.Cube().Nodes())
 	prio := int64(0)
 	post := t.ReversedBreadthFirst() // deepest first: children before parents
 	for _, v := range post {
@@ -416,8 +427,8 @@ func GatherTree(t *tree.Tree, m, b float64) ([]sim.Xmit, error) {
 // prefix). `elems` is the size of a partial result (it does not grow
 // upward: partials combine).
 func ReduceTree(t *tree.Tree, elems float64) []sim.Xmit {
-	var xs []sim.Xmit
-	upIdx := map[cube.NodeID][]int{}
+	xs := make([]sim.Xmit, 0, t.Size()-1)
+	upIdx := make([][]int, t.Cube().Nodes())
 	prio := int64(0)
 	for _, v := range t.ReversedBreadthFirst() {
 		if v == t.Root() {

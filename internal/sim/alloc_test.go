@@ -1,0 +1,37 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sbt"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestEngineSteadyStateZeroAllocs is the performance-pass guard: once an
+// Engine has run a schedule and its buffers are sized, re-running the
+// same shape must not allocate at all. A regression here means the event
+// loop (heaps, dependency CSR, candidate set, or Result refill) grew a
+// per-run or per-event allocation.
+func TestEngineSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc guard skipped in -short mode")
+	}
+	const n = 6
+	tr := sbt.MustNew(n, 0)
+	xs := sched.BroadcastPipelined(tr, 8, 1)
+	cfg := sim.Config{Dim: n, Model: model.AllPorts, Tau: 1, Tc: 0}
+	e := sim.NewEngine()
+	if _, err := e.Run(cfg, xs); err != nil {
+		t.Fatal(err)
+	}
+	perRun := testing.AllocsPerRun(10, func() {
+		if _, err := e.Run(cfg, xs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRun != 0 {
+		t.Errorf("warm engine allocates %.1f per run, want 0", perRun)
+	}
+}

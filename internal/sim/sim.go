@@ -32,16 +32,20 @@
 // executor attains their analytic bounds; for ad-hoc schedules it is a
 // faithful "what would the machine do" executor.
 //
-// The engine keeps one ready-queue per directed link, so each scheduling
-// decision is O(log N) in the cube dimension rather than in the number of
-// outstanding transmissions; half-million-transmission schedules (e.g.
-// Figure 5 at d = 7 with 16-byte packets) run in seconds.
+// The executor is an Engine whose state is entirely flat and reusable:
+// per-link ready min-heaps, one typed event heap, CSR dependency lists,
+// epoch-stamped affected-node sets, and a flat per-link busy table (the
+// Result's edge map is materialized once at the end). A warm Engine runs
+// a schedule with zero allocations in the steady-state event loop;
+// multi-million-transmission schedules (Figure 5 at d = 10-12 with
+// 16-byte packets) execute in seconds. The package-level Run draws
+// engines from a pool and returns an independent Result.
 package sim
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/cube"
 	"repro/internal/fault"
@@ -130,9 +134,117 @@ func (c *Config) cost(elems float64) float64 {
 	return packets*c.Tau + elems*c.Tc
 }
 
-// Run executes the transmissions on the simulated machine.
+// enginePool recycles engines (and so all their flat state) across
+// package-level Run calls.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
+// Run executes the transmissions on the simulated machine. The returned
+// Result is independent of any engine state; for repeated runs that must
+// not allocate, use an Engine directly.
 func Run(cfg Config, xs []Xmit) (*Result, error) {
-	cb := cube.New(cfg.Dim)
+	e := enginePool.Get().(*Engine)
+	defer enginePool.Put(e)
+	res, err := e.Run(cfg, xs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Finish:    append([]float64(nil), res.Finish...),
+		Start:     append([]float64(nil), res.Start...),
+		Makespan:  res.Makespan,
+		LinkBusy:  make(map[cube.Edge]float64, len(res.LinkBusy)),
+		Steps:     res.Steps,
+		Delivered: res.Delivered,
+	}
+	for k, v := range res.LinkBusy {
+		out.LinkBusy[k] = v
+	}
+	if res.Lost != nil {
+		out.Lost = append([]bool(nil), res.Lost...)
+	}
+	return out, nil
+}
+
+// event kinds in the engine's single time-ordered heap.
+const (
+	evDeliver = iota // id = transmission index: delivery completes
+	evRelease        // id = transmission index: its node resources release
+)
+
+type event struct {
+	t    float64
+	kind uint8
+	id   int32
+}
+
+// Engine executes transmission schedules, reusing all scratch state
+// between runs: after the first run of a given size, the steady-state
+// event loop performs no allocations. An Engine is not safe for
+// concurrent use; the Result returned by Run aliases engine-owned buffers
+// and is valid only until the next Run on the same engine (the
+// package-level Run copies it out).
+type Engine struct {
+	cfg Config
+	cb  *cube.Cube
+	n   int
+	xs  []Xmit
+
+	// Per-transmission state (length == len(xs)).
+	start, finish []float64
+	lost          []bool
+	depsLeft      []int32
+	depHead       []int32 // CSR offsets into depList; length len(xs)+1
+	depList       []int32 // dependents: depList[depHead[i]:depHead[i+1]] wait on i
+
+	// Per-directed-link state (length N*n), indexed by linkIndex.
+	ready    []xmitHeap
+	linkFree []float64
+	linkBusy []float64
+
+	// Per-node state (length N). Resource semantics per port model:
+	//   OneSendOrRecv:  chanFree — single shared resource
+	//   OneSendAndRecv: sendFree / recvFree
+	//   AllPorts:       unused
+	chanFree, sendFree, recvFree []float64
+
+	// Epoch-stamped affected-node set; a stamp equal to the current epoch
+	// marks membership, so clearing is a counter increment.
+	epoch    uint64
+	affStamp []uint64
+	affList  []cube.NodeID
+
+	// Indexed min-heap of nodes with a startable candidate transmission,
+	// keyed by candItem (unique (prio, idx) pairs, so the global minimum
+	// is deterministic). candPos[v] is v's heap position, -1 when absent.
+	candItem []readyItem
+	candPort []int32
+	candHeap []cube.NodeID
+	candPos  []int32
+
+	events eventHeap
+	queue  []int32 // scratch for fault-loss propagation
+
+	res         Result
+	resLinkBusy map[cube.Edge]float64
+}
+
+// NewEngine returns an empty engine; buffers are sized on first Run.
+func NewEngine() *Engine {
+	return &Engine{resLinkBusy: map[cube.Edge]float64{}}
+}
+
+// linkIndex maps the directed edge (from, port) to a dense index.
+func (e *Engine) linkIndex(from cube.NodeID, port int) int {
+	return int(from)*e.n + port
+}
+
+// Run executes the transmissions on the simulated machine. The returned
+// Result aliases engine-owned buffers: it is valid until the next Run.
+func (e *Engine) Run(cfg Config, xs []Xmit) (*Result, error) {
+	cb := e.cb
+	if cb == nil || cb.Dim() != cfg.Dim {
+		cb = cube.New(cfg.Dim)
+	}
 	if cfg.Overlap < 0 || cfg.Overlap >= 1 {
 		return nil, fmt.Errorf("sim: overlap %f out of [0,1)", cfg.Overlap)
 	}
@@ -154,190 +266,206 @@ func Run(cfg Config, xs []Xmit) (*Result, error) {
 		}
 	}
 
-	lost := lostSet(cfg, xs)
-	st := newState(cfg, cb, xs, lost)
-	st.run()
-
-	res := &Result{
-		Finish:   st.finish,
-		Start:    st.start,
-		LinkBusy: st.linkBusy,
-	}
-	if cfg.Faults != nil {
-		res.Lost = lost
-	}
-	var unit float64
-	uniform, unitSet := true, false
-	for i, x := range xs {
-		if lost[i] {
-			continue
-		}
-		if math.IsNaN(st.finish[i]) {
-			return nil, fmt.Errorf("sim: transmission %d never started (circular or unsatisfiable deps)", i)
-		}
-		res.Delivered++
-		if st.finish[i] > res.Makespan {
-			res.Makespan = st.finish[i]
-		}
-		if c := cfg.cost(x.Elems); !unitSet {
-			unit, unitSet = c, true
-		} else if c != unit {
-			uniform = false
+	e.cfg, e.cb, e.n, e.xs = cfg, cb, cfg.Dim, xs
+	e.reset()
+	e.buildDeps()
+	e.markLost()
+	for i := range xs {
+		if e.depsLeft[i] == 0 && !e.lost[i] {
+			x := &xs[i]
+			li := e.linkIndex(x.From, cb.Port(x.From, x.To))
+			e.ready[li].push(readyItem{prio: x.Prio, idx: i})
 		}
 	}
-	if uniform && unitSet && unit > 0 {
-		res.Steps = int(math.Round(res.Makespan / unit))
-	}
-	return res, nil
+	e.loop()
+	return e.finalize()
 }
 
-// lostSet marks the transmissions a fault plan prevents from delivering:
-// structurally impossible ones (dead sender, receiver or link) seed the
-// set, and loss flows forward through dependency edges — data that never
-// reached a node cannot be forwarded by it.
-func lostSet(cfg Config, xs []Xmit) []bool {
-	lost := make([]bool, len(xs))
-	p := cfg.Faults
+// reset resizes every buffer for the current run and clears carried-over
+// state. Buffers only grow; a warm engine re-running the same shape of
+// schedule allocates nothing.
+func (e *Engine) reset() {
+	m := len(e.xs)
+	N := e.cb.Nodes()
+	L := N * e.n
+
+	e.start = growF(e.start, m)
+	e.finish = growF(e.finish, m)
+	for i := range e.start {
+		e.start[i] = math.NaN()
+		e.finish[i] = math.NaN()
+	}
+	e.lost = growB(e.lost, m)
+	e.depsLeft = grow32(e.depsLeft, m)
+	clear(e.lost)
+
+	if cap(e.ready) < L {
+		old := e.ready
+		e.ready = make([]xmitHeap, L)
+		copy(e.ready, old) // keep the old heaps' capacity
+	} else {
+		e.ready = e.ready[:L]
+	}
+	for i := range e.ready {
+		e.ready[i].h = e.ready[i].h[:0]
+	}
+	e.linkFree = growF(e.linkFree, L)
+	e.linkBusy = growF(e.linkBusy, L)
+	clear(e.linkFree)
+	clear(e.linkBusy)
+
+	e.chanFree = growF(e.chanFree, N)
+	e.sendFree = growF(e.sendFree, N)
+	e.recvFree = growF(e.recvFree, N)
+	clear(e.chanFree)
+	clear(e.sendFree)
+	clear(e.recvFree)
+
+	// Stamps survive across runs: the epoch counter never resets, so a
+	// stale stamp can never equal a future epoch (fresh buffers start at
+	// zero and epochs start at one).
+	e.affStamp = growU(e.affStamp, N)
+	e.candItem = growRI(e.candItem, N)
+	e.candPort = grow32(e.candPort, N)
+	if cap(e.candPos) < N {
+		e.candPos = make([]int32, N)
+		for i := range e.candPos {
+			e.candPos[i] = -1
+		}
+	} else {
+		e.candPos = e.candPos[:N]
+	}
+	e.candHeap = e.candHeap[:0]
+	if cap(e.affList) < N {
+		e.affList = make([]cube.NodeID, 0, N)
+	}
+
+	e.events.h = e.events.h[:0]
+}
+
+// buildDeps assembles the CSR dependents lists and dependency counters.
+func (e *Engine) buildDeps() {
+	m := len(e.xs)
+	if cap(e.depHead) < m+1 {
+		e.depHead = make([]int32, m+1)
+	} else {
+		e.depHead = e.depHead[:m+1]
+		clear(e.depHead)
+	}
+	total := 0
+	for i := range e.xs {
+		deps := e.xs[i].Deps
+		e.depsLeft[i] = int32(len(deps))
+		total += len(deps)
+		for _, d := range deps {
+			e.depHead[d+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		e.depHead[i+1] += e.depHead[i]
+	}
+	e.depList = grow32(e.depList, total)
+	// Fill using depHead itself as the write cursor, then restore the
+	// offsets by shifting right — no separate cursor array.
+	for i := range e.xs {
+		for _, d := range e.xs[i].Deps {
+			e.depList[e.depHead[d]] = int32(i)
+			e.depHead[d]++
+		}
+	}
+	// depHead[d] now points one past d's range end == old depHead[d+1];
+	// restore by shifting right.
+	for d := m; d > 0; d-- {
+		e.depHead[d] = e.depHead[d-1]
+	}
+	e.depHead[0] = 0
+}
+
+// markLost seeds the lost set with structurally impossible transmissions
+// (dead sender, receiver or link) and propagates loss forward through
+// dependency edges — data that never reached a node cannot be forwarded
+// by it.
+func (e *Engine) markLost() {
+	p := e.cfg.Faults
 	if p == nil {
-		return lost
+		return
 	}
-	dependents := make([][]int, len(xs))
-	var queue []int
-	for i, x := range xs {
-		for _, d := range x.Deps {
-			dependents[d] = append(dependents[d], i)
-		}
+	e.queue = e.queue[:0]
+	for i := range e.xs {
+		x := &e.xs[i]
 		if p.NodeDead(x.From) || p.NodeDead(x.To) || p.LinkDead(x.From, x.To) {
-			lost[i] = true
-			queue = append(queue, i)
+			e.lost[i] = true
+			e.queue = append(e.queue, int32(i))
 		}
 	}
-	for len(queue) > 0 {
-		i := queue[0]
-		queue = queue[1:]
-		for _, d := range dependents[i] {
-			if !lost[d] {
-				lost[d] = true
-				queue = append(queue, d)
+	for k := 0; k < len(e.queue); k++ {
+		i := e.queue[k]
+		for _, d := range e.depList[e.depHead[i]:e.depHead[i+1]] {
+			if !e.lost[d] {
+				e.lost[d] = true
+				e.queue = append(e.queue, d)
 			}
 		}
 	}
-	return lost
 }
 
-// state is the mutable simulation state.
-type state struct {
-	cfg Config
-	cb  *cube.Cube
-	n   int
-	xs  []Xmit
-
-	start, finish []float64
-	started       []bool
-	lost          []bool
-	depsLeft      []int
-	dependents    [][]int
-
-	// ready[linkIndex] is a min-heap (by Prio, then index) of
-	// dependency-ready, unstarted transmissions for that directed link.
-	ready []xmitHeap
-
-	linkFree []float64 // per directed link
-	linkBusy map[cube.Edge]float64
-
-	// Node resources (indexed by node id); semantics per port model:
-	//   OneSendOrRecv:  chanFree — single shared resource
-	//   OneSendAndRecv: sendFree / recvFree
-	//   AllPorts:       unused
-	chanFree, sendFree, recvFree []float64
-
-	inflight map[float64][]int         // completion time -> transmissions
-	releases map[float64][]cube.NodeID // resource-release time -> nodes
-	events   timeHeap
-}
-
-// linkIndex maps the directed edge (from, port) to a dense index.
-func (st *state) linkIndex(from cube.NodeID, port int) int {
-	return int(from)*st.n + port
-}
-
-func newState(cfg Config, cb *cube.Cube, xs []Xmit, lost []bool) *state {
-	N := cb.Nodes()
-	st := &state{
-		cfg: cfg, cb: cb, n: cfg.Dim, xs: xs,
-		start:      make([]float64, len(xs)),
-		finish:     make([]float64, len(xs)),
-		started:    make([]bool, len(xs)),
-		lost:       lost,
-		depsLeft:   make([]int, len(xs)),
-		dependents: make([][]int, len(xs)),
-		ready:      make([]xmitHeap, N*cfg.Dim),
-		linkFree:   make([]float64, N*cfg.Dim),
-		linkBusy:   map[cube.Edge]float64{},
-		chanFree:   make([]float64, N),
-		sendFree:   make([]float64, N),
-		recvFree:   make([]float64, N),
-		inflight:   map[float64][]int{},
-		releases:   map[float64][]cube.NodeID{},
+// touch adds v to the current round's affected set.
+func (e *Engine) touch(v cube.NodeID) {
+	if e.affStamp[v] != e.epoch {
+		e.affStamp[v] = e.epoch
+		e.affList = append(e.affList, v)
 	}
-	for i, x := range xs {
-		st.start[i] = math.NaN()
-		st.finish[i] = math.NaN()
-		st.depsLeft[i] = len(x.Deps)
-		for _, d := range x.Deps {
-			st.dependents[d] = append(st.dependents[d], i)
-		}
-		if st.depsLeft[i] == 0 && !lost[i] {
-			li := st.linkIndex(x.From, cb.Port(x.From, x.To))
-			st.ready[li].push(readyItem{prio: x.Prio, idx: i})
-		}
-	}
-	return st
 }
 
-func (st *state) run() {
-	// Initial round: every node may have ready transmissions at t = 0.
-	affected := make(map[cube.NodeID]bool)
-	for _, x := range st.xs {
-		affected[x.From] = true
+// loop is the event loop: rounds of simultaneous (equal-time) deliveries
+// and resource releases, each followed by a greedy start pass over the
+// nodes the round affected.
+func (e *Engine) loop() {
+	e.epoch++
+	e.affList = e.affList[:0]
+	for i := range e.xs {
+		e.touch(e.xs[i].From)
 	}
-	st.attemptNodes(0, affected)
+	e.attemptNodes(0)
 
-	for st.events.Len() > 0 {
-		t := st.events.pop()
-		affected = map[cube.NodeID]bool{}
-		for _, i := range st.inflight[t] {
-			st.deliver(i, affected)
-		}
-		delete(st.inflight, t)
-		for _, v := range st.releases[t] {
-			// The node's own queues may proceed, and so may any neighbor
-			// whose head transmission targets this node.
-			affected[v] = true
-			for j := 0; j < st.n; j++ {
-				affected[st.cb.Neighbor(v, j)] = true
+	for e.events.len() > 0 {
+		t := e.events.h[0].t
+		e.epoch++
+		e.affList = e.affList[:0]
+		for e.events.len() > 0 && e.events.h[0].t == t {
+			ev := e.events.pop()
+			x := &e.xs[ev.id]
+			if ev.kind == evDeliver {
+				e.deliver(int(ev.id))
+			} else {
+				// Released nodes' own queues may proceed, and so may any
+				// neighbor whose head transmission targets them.
+				e.touch(x.From)
+				e.touch(x.To)
+				for j := 0; j < e.n; j++ {
+					e.touch(e.cb.Neighbor(x.From, j))
+					e.touch(e.cb.Neighbor(x.To, j))
+				}
 			}
 		}
-		delete(st.releases, t)
-		st.attemptNodes(t, affected)
+		e.attemptNodes(t)
 	}
 }
 
 // deliver marks transmission i delivered; nodes whose queues may have new
-// work are added to affected.
-func (st *state) deliver(i int, affected map[cube.NodeID]bool) {
-	x := st.xs[i]
-	for _, d := range st.dependents[i] {
-		st.depsLeft[d]--
-		if st.depsLeft[d] == 0 && !st.lost[d] {
-			dx := st.xs[d]
-			li := st.linkIndex(dx.From, st.cb.Port(dx.From, dx.To))
-			st.ready[li].push(readyItem{prio: dx.Prio, idx: d})
-			affected[dx.From] = true
+// work join the affected set.
+func (e *Engine) deliver(i int) {
+	for _, d := range e.depList[e.depHead[i]:e.depHead[i+1]] {
+		e.depsLeft[d]--
+		if e.depsLeft[d] == 0 && !e.lost[d] {
+			dx := &e.xs[d]
+			li := e.linkIndex(dx.From, e.cb.Port(dx.From, dx.To))
+			e.ready[li].push(readyItem{prio: dx.Prio, idx: int(d)})
+			e.touch(dx.From)
 		}
 	}
 	// The link From->To freed: its queue may proceed.
-	affected[x.From] = true
+	e.touch(e.xs[i].From)
 }
 
 // attemptNodes starts every transmission that can begin at time t from the
@@ -347,76 +475,128 @@ func (st *state) deliver(i int, affected map[cube.NodeID]bool) {
 // packet must beat the root injecting a newer one, exactly as the paper's
 // cycle-numbered schedules prescribe. Within one instant resources only
 // get busier, so candidates are recomputed just for the two endpoint
-// nodes of each started transmission.
-func (st *state) attemptNodes(t float64, affected map[cube.NodeID]bool) {
-	nodes := make([]cube.NodeID, 0, len(affected))
-	for v := range affected {
-		nodes = append(nodes, v)
+// nodes of each started transmission. (prio, idx) pairs are unique, so
+// the global minimum — and hence the schedule — is deterministic.
+func (e *Engine) attemptNodes(t float64) {
+	for _, v := range e.affList {
+		e.updateCand(v, t)
 	}
-	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
-
-	type cand struct {
-		item readyItem
-		port int
-		ok   bool
-	}
-	cands := make(map[cube.NodeID]cand, len(nodes))
-	for _, v := range nodes {
-		item, port, ok := st.bestCandidate(v, t)
-		cands[v] = cand{item, port, ok}
-	}
-	for {
-		var bestNode cube.NodeID
-		var best cand
-		found := false
-		for _, v := range nodes {
-			c := cands[v]
-			if !c.ok {
-				continue
-			}
-			if !found || c.item.less(best.item) {
-				found, bestNode, best = true, v, c
-			}
-		}
-		if !found {
-			return
-		}
+	for len(e.candHeap) > 0 {
+		v := e.candHeap[0]
+		item, port := e.candItem[v], e.candPort[v]
 		// Revalidate: an earlier start in this instant may have consumed
 		// the receiver or sender this candidate needs.
-		x := st.xs[best.item.idx]
-		if !st.senderFree(bestNode, t) || !st.receiverFree(x.To, t) ||
-			st.linkFree[st.linkIndex(bestNode, best.port)] > t {
-			item, port, ok := st.bestCandidate(bestNode, t)
-			cands[bestNode] = cand{item, port, ok}
+		x := &e.xs[item.idx]
+		if !e.senderFree(v, t) || !e.receiverFree(x.To, t) ||
+			e.linkFree[e.linkIndex(v, int(port))] > t {
+			e.updateCand(v, t)
 			continue
 		}
-		st.ready[st.linkIndex(bestNode, best.port)].pop()
-		st.startXmit(best.item.idx, best.port, t)
-		item, port, ok := st.bestCandidate(bestNode, t)
-		cands[bestNode] = cand{item, port, ok}
-		if _, tracked := cands[x.To]; tracked && x.To != bestNode {
-			item, port, ok = st.bestCandidate(x.To, t)
-			cands[x.To] = cand{item, port, ok}
+		e.ready[e.linkIndex(v, int(port))].pop()
+		e.startXmit(item.idx, int(port), t)
+		e.updateCand(v, t)
+		// Starting can only consume resources, never free them, so only
+		// nodes already holding a candidate need refreshing — and only
+		// the two endpoints changed.
+		if x.To != v && e.candPos[x.To] >= 0 {
+			e.updateCand(x.To, t)
 		}
+	}
+}
+
+// updateCand recomputes node v's best startable transmission and
+// repositions v in (or removes it from) the candidate heap.
+func (e *Engine) updateCand(v cube.NodeID, t float64) {
+	item, port, ok := e.bestCandidate(v, t)
+	if ok {
+		e.candItem[v], e.candPort[v] = item, int32(port)
+		if e.candPos[v] < 0 {
+			e.candHeap = append(e.candHeap, v)
+			e.candPos[v] = int32(len(e.candHeap) - 1)
+			e.candUp(int(e.candPos[v]))
+		} else {
+			i := int(e.candPos[v])
+			e.candDown(i)
+			e.candUp(int(e.candPos[v]))
+		}
+	} else if e.candPos[v] >= 0 {
+		e.candRemove(int(e.candPos[v]))
+	}
+}
+
+func (e *Engine) candLess(a, b cube.NodeID) bool {
+	return e.candItem[a].less(e.candItem[b])
+}
+
+func (e *Engine) candUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.candLess(e.candHeap[i], e.candHeap[p]) {
+			break
+		}
+		e.candSwap(i, p)
+		i = p
+	}
+}
+
+func (e *Engine) candDown(i int) {
+	n := len(e.candHeap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e.candLess(e.candHeap[l], e.candHeap[m]) {
+			m = l
+		}
+		if r < n && e.candLess(e.candHeap[r], e.candHeap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		e.candSwap(i, m)
+		i = m
+	}
+}
+
+func (e *Engine) candSwap(i, j int) {
+	e.candHeap[i], e.candHeap[j] = e.candHeap[j], e.candHeap[i]
+	e.candPos[e.candHeap[i]] = int32(i)
+	e.candPos[e.candHeap[j]] = int32(j)
+}
+
+func (e *Engine) candRemove(i int) {
+	n := len(e.candHeap) - 1
+	v := e.candHeap[i]
+	e.candPos[v] = -1
+	if i != n {
+		moved := e.candHeap[n]
+		e.candHeap[i] = moved
+		e.candPos[moved] = int32(i)
+		e.candHeap = e.candHeap[:n]
+		e.candDown(i)
+		e.candUp(int(e.candPos[moved]))
+	} else {
+		e.candHeap = e.candHeap[:n]
 	}
 }
 
 // bestCandidate returns the lowest-priority transmission node v could
 // start at time t across its per-port ready queues, or ok == false.
-func (st *state) bestCandidate(v cube.NodeID, t float64) (readyItem, int, bool) {
-	if !st.senderFree(v, t) {
+func (e *Engine) bestCandidate(v cube.NodeID, t float64) (readyItem, int, bool) {
+	if !e.senderFree(v, t) {
 		return readyItem{}, 0, false
 	}
 	bestPort := -1
 	var best readyItem
-	for p := 0; p < st.n; p++ {
-		li := st.linkIndex(v, p)
-		h := &st.ready[li]
-		if h.Len() == 0 || st.linkFree[li] > t {
+	base := int(v) * e.n
+	for p := 0; p < e.n; p++ {
+		li := base + p
+		h := &e.ready[li]
+		if len(h.h) == 0 || e.linkFree[li] > t {
 			continue
 		}
 		item := h.peek()
-		if !st.receiverFree(st.xs[item.idx].To, t) {
+		if !e.receiverFree(e.xs[item.idx].To, t) {
 			continue
 		}
 		if bestPort < 0 || item.less(best) {
@@ -429,53 +609,135 @@ func (st *state) bestCandidate(v cube.NodeID, t float64) (readyItem, int, bool) 
 	return best, bestPort, true
 }
 
-func (st *state) senderFree(v cube.NodeID, t float64) bool {
-	switch st.cfg.Model {
+func (e *Engine) senderFree(v cube.NodeID, t float64) bool {
+	switch e.cfg.Model {
 	case model.OneSendOrRecv:
-		return st.chanFree[v] <= t
+		return e.chanFree[v] <= t
 	case model.OneSendAndRecv:
-		return st.sendFree[v] <= t
+		return e.sendFree[v] <= t
 	default:
 		return true
 	}
 }
 
-func (st *state) receiverFree(v cube.NodeID, t float64) bool {
-	switch st.cfg.Model {
+func (e *Engine) receiverFree(v cube.NodeID, t float64) bool {
+	switch e.cfg.Model {
 	case model.OneSendOrRecv:
-		return st.chanFree[v] <= t
+		return e.chanFree[v] <= t
 	case model.OneSendAndRecv:
-		return st.recvFree[v] <= t
+		return e.recvFree[v] <= t
 	default:
 		return true
 	}
 }
 
-func (st *state) startXmit(i, port int, t float64) {
-	x := st.xs[i]
-	d := st.cfg.cost(x.Elems)
-	st.started[i] = true
-	st.start[i] = t
+func (e *Engine) startXmit(i, port int, t float64) {
+	x := &e.xs[i]
+	d := e.cfg.cost(x.Elems)
+	e.start[i] = t
 	fin := t + d
-	st.finish[i] = fin
-	li := st.linkIndex(x.From, port)
-	st.linkFree[li] = fin
-	st.linkBusy[cube.Edge{From: x.From, To: x.To}] += d
-	st.inflight[fin] = append(st.inflight[fin], i)
-	st.events.push(fin)
-	if st.cfg.Model != model.AllPorts {
-		rel := t + d*(1-st.cfg.Overlap)
-		switch st.cfg.Model {
+	e.finish[i] = fin
+	li := e.linkIndex(x.From, port)
+	e.linkFree[li] = fin
+	e.linkBusy[li] += d
+	e.events.push(event{t: fin, kind: evDeliver, id: int32(i)})
+	if e.cfg.Model != model.AllPorts {
+		rel := t + d*(1-e.cfg.Overlap)
+		switch e.cfg.Model {
 		case model.OneSendOrRecv:
-			st.chanFree[x.From] = rel
-			st.chanFree[x.To] = rel
+			e.chanFree[x.From] = rel
+			e.chanFree[x.To] = rel
 		case model.OneSendAndRecv:
-			st.sendFree[x.From] = rel
-			st.recvFree[x.To] = rel
+			e.sendFree[x.From] = rel
+			e.recvFree[x.To] = rel
 		}
-		st.releases[rel] = append(st.releases[rel], x.From, x.To)
-		st.events.push(rel)
+		e.events.push(event{t: rel, kind: evRelease, id: int32(i)})
 	}
+}
+
+// finalize assembles the engine-owned Result: makespan, delivered count,
+// uniform-cost step count, and the per-edge busy map from the flat table.
+func (e *Engine) finalize() (*Result, error) {
+	res := &e.res
+	res.Finish = e.finish
+	res.Start = e.start
+	res.Makespan = 0
+	res.Delivered = 0
+	res.Steps = 0
+	res.Lost = nil
+	if e.cfg.Faults != nil {
+		res.Lost = e.lost
+	}
+	var unit float64
+	uniform, unitSet := true, false
+	for i := range e.xs {
+		if e.lost[i] {
+			continue
+		}
+		if math.IsNaN(e.finish[i]) {
+			return nil, fmt.Errorf("sim: transmission %d never started (circular or unsatisfiable deps)", i)
+		}
+		res.Delivered++
+		if e.finish[i] > res.Makespan {
+			res.Makespan = e.finish[i]
+		}
+		if c := e.cfg.cost(e.xs[i].Elems); !unitSet {
+			unit, unitSet = c, true
+		} else if c != unit {
+			uniform = false
+		}
+	}
+	if uniform && unitSet && unit > 0 {
+		res.Steps = int(math.Round(res.Makespan / unit))
+	}
+	clear(e.resLinkBusy)
+	for li, busy := range e.linkBusy {
+		if busy == 0 {
+			continue
+		}
+		from := cube.NodeID(li / e.n)
+		e.resLinkBusy[cube.Edge{From: from, To: e.cb.Neighbor(from, li%e.n)}] = busy
+	}
+	res.LinkBusy = e.resLinkBusy
+	return res, nil
+}
+
+// Buffer growth helpers: reslice when capacity suffices, reallocate
+// otherwise. Contents are unspecified; callers clear what needs clearing.
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growU(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growRI(s []readyItem, n int) []readyItem {
+	if cap(s) < n {
+		return make([]readyItem, n)
+	}
+	return s[:n]
 }
 
 // readyItem is a heap entry: a dependency-ready transmission.
@@ -496,7 +758,6 @@ type xmitHeap struct {
 	h []readyItem
 }
 
-func (q *xmitHeap) Len() int        { return len(q.h) }
 func (q *xmitHeap) peek() readyItem { return q.h[0] }
 
 func (q *xmitHeap) push(v readyItem) {
@@ -542,19 +803,22 @@ func (q *xmitHeap) siftDown(i int) {
 	}
 }
 
-// timeHeap is a binary min-heap of event times, deduplicating at pop.
-type timeHeap struct {
-	h []float64
+// eventHeap is a binary min-heap of events ordered by time. Events with
+// equal times form one simultaneous round; their pop order within the
+// round is irrelevant (deliveries and releases only accumulate state for
+// the round's start pass).
+type eventHeap struct {
+	h []event
 }
 
-func (t *timeHeap) Len() int { return len(t.h) }
+func (t *eventHeap) len() int { return len(t.h) }
 
-func (t *timeHeap) push(v float64) {
+func (t *eventHeap) push(v event) {
 	t.h = append(t.h, v)
 	i := len(t.h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if t.h[p] <= t.h[i] {
+		if t.h[p].t <= t.h[i].t {
 			break
 		}
 		t.h[p], t.h[i] = t.h[i], t.h[p]
@@ -562,29 +826,26 @@ func (t *timeHeap) push(v float64) {
 	}
 }
 
-// pop removes and returns the minimum time, coalescing duplicates.
-func (t *timeHeap) pop() float64 {
+func (t *eventHeap) pop() event {
 	v := t.h[0]
-	for len(t.h) > 0 && t.h[0] == v {
-		n := len(t.h) - 1
-		t.h[0] = t.h[n]
-		t.h = t.h[:n]
-		if n > 0 {
-			t.siftDown(0)
-		}
+	n := len(t.h) - 1
+	t.h[0] = t.h[n]
+	t.h = t.h[:n]
+	if n > 0 {
+		t.siftDown(0)
 	}
 	return v
 }
 
-func (t *timeHeap) siftDown(i int) {
+func (t *eventHeap) siftDown(i int) {
 	n := len(t.h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && t.h[l] < t.h[m] {
+		if l < n && t.h[l].t < t.h[m].t {
 			m = l
 		}
-		if r < n && t.h[r] < t.h[m] {
+		if r < n && t.h[r].t < t.h[m].t {
 			m = r
 		}
 		if m == i {

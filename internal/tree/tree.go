@@ -6,6 +6,16 @@
 // Every routing structure in Ho & Johnsson (SBT, the ERSBTs of the MSBT,
 // BST, TCBT, Hamiltonian path) is materialized through this package so the
 // same validation and scheduling code applies to all of them.
+//
+// The representation is flat and index-based (no per-node maps or
+// pointers): children live in one contiguous buffer addressed by per-node
+// offsets, and the preorder sequence, subtree sizes, and breadth-first
+// orders are precomputed at construction. Traversal methods therefore
+// return shared sub-slices in O(1) — callers must treat them as read-only
+// — and schedule emission over a tree is a linear sweep. Trees are
+// immutable once built, so one tree may be shared freely across
+// goroutines; Translate produces the XOR-translated tree rooted at any
+// other source in O(N) without re-validation (see CanonCache).
 package tree
 
 import (
@@ -19,17 +29,30 @@ import (
 // NoParent marks the root in parent arrays.
 const NoParent = -1
 
-// Tree is a rooted spanning tree (or subtree) of a cube, stored as a parent
-// array plus derived children lists and levels.
+// Tree is a rooted spanning tree (or subtree) of a cube, stored as a
+// parent array plus flat derived structures: a CSR-style children buffer,
+// the preorder sequence with per-node positions and subtree sizes, and
+// both breadth-first orders.
 type Tree struct {
-	c        *cube.Cube
-	root     cube.NodeID
-	parent   []int32 // parent[i], or NoParent for the root and non-members
-	member   []bool  // member[i]: node i belongs to this tree
-	children [][]cube.NodeID
-	level    []int32 // distance from root in tree edges; -1 for non-members
-	height   int
-	size     int
+	c      *cube.Cube
+	root   cube.NodeID
+	parent []int32 // parent[i], or NoParent for the root and non-members
+	member []bool  // member[i]: node i belongs to this tree
+	level  []int32 // distance from root in tree edges; -1 for non-members
+
+	childOff []int32       // children of i are childBuf[childOff[i]:childOff[i+1]]
+	childBuf []cube.NodeID // children in increasing port order
+	sizeBuf  []cube.NodeID // children in decreasing subtree-size order (port tiebreak)
+
+	pre     []cube.NodeID // members in preorder (children visited in port order)
+	preIdx  []int32       // position of i in pre; -1 for non-members
+	subSize []int32       // subtree size of i (including i); 0 for non-members
+
+	bfs []cube.NodeID // members level by level, within a level by parent order
+	rbf []cube.NodeID // deepest level first (paper §5.2 reversed breadth-first)
+
+	height int
+	size   int
 }
 
 // ParentFunc gives the parent of node i, with ok == false exactly when i is
@@ -54,12 +77,11 @@ func FromParentFunc(c *cube.Cube, root cube.NodeID, pf ParentFunc) (*Tree, error
 func FromParentFuncSubset(c *cube.Cube, root cube.NodeID, pf ParentFunc, members []cube.NodeID) (*Tree, error) {
 	n := c.Nodes()
 	t := &Tree{
-		c:        c,
-		root:     root,
-		parent:   make([]int32, n),
-		member:   make([]bool, n),
-		children: make([][]cube.NodeID, n),
-		level:    make([]int32, n),
+		c:      c,
+		root:   root,
+		parent: make([]int32, n),
+		member: make([]bool, n),
+		level:  make([]int32, n),
 	}
 	for i := range t.parent {
 		t.parent[i] = NoParent
@@ -129,25 +151,203 @@ func FromParentFuncSubset(c *cube.Cube, root cube.NodeID, pf ParentFunc, members
 			return nil, err
 		}
 	}
-	// Children lists, sorted by port for determinism.
+	t.size = len(members)
+	t.buildDerived(members)
+	return t, nil
+}
+
+// buildDerived fills every flat derived structure (children buffers,
+// preorder, subtree sizes, breadth-first orders, height) from the
+// validated parent array and levels. Cost: O(N + size·log maxFanout).
+func (t *Tree) buildDerived(members []cube.NodeID) {
+	n := t.c.Nodes()
+	// Children counts -> offsets -> fill, then sort each range by port.
+	t.childOff = make([]int32, n+1)
 	for _, m := range members {
-		if m == root {
-			continue
+		if m != t.root {
+			t.childOff[t.parent[m]+1]++
 		}
-		p := cube.NodeID(t.parent[m])
-		t.children[p] = append(t.children[p], m)
 		if int(t.level[m]) > t.height {
 			t.height = int(t.level[m])
 		}
 	}
-	for i := range t.children {
-		ch := t.children[i]
-		sort.Slice(ch, func(a, b int) bool {
-			return t.c.Port(cube.NodeID(i), ch[a]) < t.c.Port(cube.NodeID(i), ch[b])
+	for i := 0; i < n; i++ {
+		t.childOff[i+1] += t.childOff[i]
+	}
+	t.childBuf = make([]cube.NodeID, t.size-1)
+	fill := make([]int32, n)
+	for _, m := range members {
+		if m == t.root {
+			continue
+		}
+		p := t.parent[m]
+		t.childBuf[t.childOff[p]+fill[p]] = m
+		fill[p]++
+	}
+	// Port order == ascending relative address p^child == ascending child
+	// XOR parent; insertion sort per range (fanout <= cube dimension).
+	for _, m := range members {
+		sortByKey(t.childBuf[t.childOff[m]:t.childOff[m+1]], func(c cube.NodeID) int32 {
+			return int32(c ^ m)
 		})
 	}
-	t.size = len(members)
-	return t, nil
+
+	// Preorder via explicit stack, children pushed in reverse port order.
+	t.pre = make([]cube.NodeID, 0, t.size)
+	t.preIdx = make([]int32, n)
+	for i := range t.preIdx {
+		t.preIdx[i] = -1
+	}
+	stack := make([]cube.NodeID, 0, t.height+2)
+	stack = append(stack, t.root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.preIdx[v] = int32(len(t.pre))
+		t.pre = append(t.pre, v)
+		ch := t.childBuf[t.childOff[v]:t.childOff[v+1]]
+		for k := len(ch) - 1; k >= 0; k-- {
+			stack = append(stack, ch[k])
+		}
+	}
+
+	// Subtree sizes: reverse preorder accumulation into the parent.
+	t.subSize = make([]int32, n)
+	for k := len(t.pre) - 1; k >= 0; k-- {
+		v := t.pre[k]
+		t.subSize[v]++
+		if v != t.root {
+			t.subSize[t.parent[v]] += t.subSize[v]
+		}
+	}
+
+	// Children by decreasing subtree size (the paper's "largest subtree
+	// first" transmission rule), ties by port.
+	// The sort is stable and the input is already port-ordered, so equal
+	// sizes keep the port tiebreak for free.
+	t.sizeBuf = append([]cube.NodeID(nil), t.childBuf...)
+	for _, m := range members {
+		sortByKey(t.sizeBuf[t.childOff[m]:t.childOff[m+1]], func(c cube.NodeID) int32 {
+			return -t.subSize[c]
+		})
+	}
+
+	// Breadth-first and reversed breadth-first orders.
+	t.bfs = make([]cube.NodeID, 0, t.size)
+	t.bfs = append(t.bfs, t.root)
+	for k := 0; k < len(t.bfs); k++ {
+		v := t.bfs[k]
+		t.bfs = append(t.bfs, t.childBuf[t.childOff[v]:t.childOff[v+1]]...)
+	}
+	t.rbf = make([]cube.NodeID, 0, t.size)
+	levelStart := make([]int, 0, t.height+2)
+	cur := int32(-1)
+	for k, v := range t.bfs {
+		if t.level[v] != cur {
+			levelStart = append(levelStart, k)
+			cur = t.level[v]
+		}
+	}
+	levelStart = append(levelStart, len(t.bfs))
+	for l := len(levelStart) - 2; l >= 0; l-- {
+		t.rbf = append(t.rbf, t.bfs[levelStart[l]:levelStart[l+1]]...)
+	}
+}
+
+// sortByKey insertion-sorts ids ascending by key(id). Stable; ranges are
+// child lists, at most cube-dimension long.
+func sortByKey(ids []cube.NodeID, key func(cube.NodeID) int32) {
+	for i := 1; i < len(ids); i++ {
+		v, kv := ids[i], key(ids[i])
+		j := i - 1
+		for j >= 0 && key(ids[j]) > kv {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+}
+
+// Translate returns the tree XOR-translated by `by`: node v of t becomes
+// node v XOR by, rooted at Root() XOR by. Every spanning structure of the
+// paper is translation-invariant (its parent function depends only on the
+// relative address i XOR s), so the tree at an arbitrary source is the
+// translate of the canonical tree at source 0 — Translate rebuilds all
+// flat structures by relabeling in O(N) with no re-validation. Ports are
+// preserved by XOR, so child orders, preorder, and both breadth-first
+// orders translate position for position.
+func Translate(t *Tree, by cube.NodeID) *Tree {
+	if by == 0 {
+		return t
+	}
+	n := t.c.Nodes()
+	out := &Tree{
+		c:      t.c,
+		root:   t.root ^ by,
+		parent: make([]int32, n),
+		member: make([]bool, n),
+		level:  make([]int32, n),
+
+		childOff: make([]int32, n+1),
+		childBuf: make([]cube.NodeID, len(t.childBuf)),
+		sizeBuf:  make([]cube.NodeID, len(t.sizeBuf)),
+
+		pre:     make([]cube.NodeID, len(t.pre)),
+		preIdx:  make([]int32, n),
+		subSize: make([]int32, n),
+
+		bfs: make([]cube.NodeID, len(t.bfs)),
+		rbf: make([]cube.NodeID, len(t.rbf)),
+
+		height: t.height,
+		size:   t.size,
+	}
+	for v := 0; v < n; v++ {
+		w := cube.NodeID(v) ^ by
+		out.member[w] = t.member[v]
+		out.level[w] = t.level[v]
+		out.preIdx[w] = t.preIdx[v]
+		out.subSize[w] = t.subSize[v]
+		if p := t.parent[v]; p == NoParent {
+			out.parent[w] = NoParent
+		} else {
+			out.parent[w] = p ^ int32(by)
+		}
+	}
+	// Child ranges move with their node; within a range the port order is
+	// XOR-invariant, so buffers translate element for element once offsets
+	// are rebuilt for the relabeled nodes.
+	for v := 0; v < n; v++ {
+		w := int(cube.NodeID(v) ^ by)
+		out.childOff[w+1] = t.childOff[v+1] - t.childOff[v]
+	}
+	for i := 0; i < n; i++ {
+		out.childOff[i+1] += out.childOff[i]
+	}
+	for v := 0; v < n; v++ {
+		w := int(cube.NodeID(v) ^ by)
+		src := t.childBuf[t.childOff[v]:t.childOff[v+1]]
+		srcSz := t.sizeBuf[t.childOff[v]:t.childOff[v+1]]
+		dst := out.childBuf[out.childOff[w]:out.childOff[w+1]]
+		dstSz := out.sizeBuf[out.childOff[w]:out.childOff[w+1]]
+		for k := range src {
+			dst[k] = src[k] ^ by
+			dstSz[k] = srcSz[k] ^ by
+		}
+	}
+	for k, v := range t.pre {
+		out.pre[k] = v ^ by
+	}
+	for k, v := range t.bfs {
+		out.bfs[k] = v ^ by
+	}
+	for k, v := range t.rbf {
+		out.rbf[k] = v ^ by
+	}
+	// preIdx positions are structural and already copied above, but the
+	// translated pre sequence defines them; keep them consistent for
+	// non-members too (-1 copied verbatim).
+	return out
 }
 
 // Cube returns the underlying cube.
@@ -176,7 +376,17 @@ func (t *Tree) Parent(i cube.NodeID) (cube.NodeID, bool) {
 
 // Children returns the children of i in increasing port order. The returned
 // slice is shared; callers must not modify it.
-func (t *Tree) Children(i cube.NodeID) []cube.NodeID { return t.children[i] }
+func (t *Tree) Children(i cube.NodeID) []cube.NodeID {
+	return t.childBuf[t.childOff[i]:t.childOff[i+1]]
+}
+
+// ChildrenBySubtreeSize returns the children of i ordered by decreasing
+// subtree size (the paper's "largest subtree first" transmission rule),
+// ties broken by port. Precomputed; the returned slice is shared and must
+// not be modified.
+func (t *Tree) ChildrenBySubtreeSize(i cube.NodeID) []cube.NodeID {
+	return t.sizeBuf[t.childOff[i]:t.childOff[i+1]]
+}
 
 // Level returns the level of i (root is level 0), or -1 for non-members.
 func (t *Tree) Level(i cube.NodeID) int { return int(t.level[i]) }
@@ -185,24 +395,23 @@ func (t *Tree) Level(i cube.NodeID) int { return int(t.level[i]) }
 func (t *Tree) Height() int { return t.height }
 
 // IsLeaf reports whether i is a member with no children.
-func (t *Tree) IsLeaf(i cube.NodeID) bool { return t.member[i] && len(t.children[i]) == 0 }
+func (t *Tree) IsLeaf(i cube.NodeID) bool {
+	return t.member[i] && t.childOff[i] == t.childOff[i+1]
+}
 
 // Fanout returns the out-degree of node i.
-func (t *Tree) Fanout(i cube.NodeID) int { return len(t.children[i]) }
+func (t *Tree) Fanout(i cube.NodeID) int { return int(t.childOff[i+1] - t.childOff[i]) }
 
 // MaxFanout returns the maximum out-degree over all members, and the
 // maximum over nodes at each level (indexed by level).
 func (t *Tree) MaxFanout() (max int, perLevel []int) {
 	perLevel = make([]int, t.height+1)
-	for i := range t.children {
-		if !t.member[i] {
-			continue
-		}
-		f := len(t.children[i])
+	for _, v := range t.pre {
+		f := t.Fanout(v)
 		if f > max {
 			max = f
 		}
-		l := t.level[i]
+		l := t.level[v]
 		if f > perLevel[l] {
 			perLevel[l] = f
 		}
@@ -213,51 +422,45 @@ func (t *Tree) MaxFanout() (max int, perLevel []int) {
 // LevelCounts returns the number of member nodes at each level.
 func (t *Tree) LevelCounts() []int {
 	out := make([]int, t.height+1)
-	for i, m := range t.member {
-		if m {
-			out[t.level[i]]++
-		}
+	for _, v := range t.pre {
+		out[t.level[v]]++
 	}
 	return out
 }
 
 // SubtreeSize returns the number of nodes in the subtree rooted at i
-// (including i), or 0 for non-members.
-func (t *Tree) SubtreeSize(i cube.NodeID) int {
-	if !t.member[i] {
-		return 0
-	}
-	size := 1
-	for _, ch := range t.children[i] {
-		size += t.SubtreeSize(ch)
-	}
-	return size
-}
+// (including i), or 0 for non-members. O(1): sizes are precomputed.
+func (t *Tree) SubtreeSize(i cube.NodeID) int { return int(t.subSize[i]) }
 
 // SubtreeNodes returns the nodes of the subtree rooted at i in preorder.
+// The returned slice is a shared view of the precomputed preorder; callers
+// must not modify it.
 func (t *Tree) SubtreeNodes(i cube.NodeID) []cube.NodeID {
 	if !t.member[i] {
 		return nil
 	}
-	var out []cube.NodeID
-	var walk func(v cube.NodeID)
-	walk = func(v cube.NodeID) {
-		out = append(out, v)
-		for _, ch := range t.children[v] {
-			walk(ch)
-		}
+	k := t.preIdx[i]
+	return t.pre[k : k+t.subSize[i]]
+}
+
+// InSubtree reports whether d lies in the subtree rooted at anc, in O(1)
+// via preorder intervals.
+func (t *Tree) InSubtree(anc, d cube.NodeID) bool {
+	if !t.member[anc] || !t.member[d] {
+		return false
 	}
-	walk(i)
-	return out
+	k := t.preIdx[d]
+	return k >= t.preIdx[anc] && k < t.preIdx[anc]+t.subSize[anc]
 }
 
 // RootSubtreeSizes returns, for each child of the root in port order of the
 // root's child list, the size of that child's subtree. In the paper's
 // terminology these are the sizes of "the subtrees" (subtrees of the root).
 func (t *Tree) RootSubtreeSizes() []int {
-	out := make([]int, len(t.children[t.root]))
-	for k, ch := range t.children[t.root] {
-		out[k] = t.SubtreeSize(ch)
+	ch := t.Children(t.root)
+	out := make([]int, len(ch))
+	for k, c := range ch {
+		out[k] = int(t.subSize[c])
 	}
 	return out
 }
@@ -268,22 +471,24 @@ func (t *Tree) NodesAtDistanceInSubtree(i cube.NodeID, j int) int {
 	if !t.member[i] {
 		return 0
 	}
-	if j == 0 {
-		return 1
+	// The subtree occupies a contiguous preorder interval; count members
+	// at the right absolute level inside it.
+	want := t.level[i] + int32(j)
+	count := 0
+	for _, v := range t.SubtreeNodes(i) {
+		if t.level[v] == want {
+			count++
+		}
 	}
-	total := 0
-	for _, ch := range t.children[i] {
-		total += t.NodesAtDistanceInSubtree(ch, j-1)
-	}
-	return total
+	return count
 }
 
 // Edges returns the tree's directed edges, oriented away from the root
 // (parent -> child), in preorder.
 func (t *Tree) Edges() []cube.Edge {
 	out := make([]cube.Edge, 0, t.size-1)
-	for _, v := range t.SubtreeNodes(t.root) {
-		for _, ch := range t.children[v] {
+	for _, v := range t.pre {
+		for _, ch := range t.Children(v) {
 			out = append(out, cube.Edge{From: v, To: ch})
 		}
 	}
@@ -307,41 +512,19 @@ func (t *Tree) PathToRoot(i cube.NodeID) []cube.NodeID {
 }
 
 // PreOrder returns all members in depth-first preorder (children visited in
-// port order).
-func (t *Tree) PreOrder() []cube.NodeID { return t.SubtreeNodes(t.root) }
+// port order). The returned slice is shared; callers must not modify it.
+func (t *Tree) PreOrder() []cube.NodeID { return t.pre }
 
 // BreadthFirst returns all members level by level, within a level in the
-// order their parents appear.
-func (t *Tree) BreadthFirst() []cube.NodeID {
-	out := make([]cube.NodeID, 0, t.size)
-	frontier := []cube.NodeID{t.root}
-	for len(frontier) > 0 {
-		out = append(out, frontier...)
-		var next []cube.NodeID
-		for _, v := range frontier {
-			next = append(next, t.children[v]...)
-		}
-		frontier = next
-	}
-	return out
-}
+// order their parents appear. The returned slice is shared; callers must
+// not modify it.
+func (t *Tree) BreadthFirst() []cube.NodeID { return t.bfs }
 
 // ReversedBreadthFirst returns members in a breadth-first traversal starting
 // from the last level (the "reversed breadth-first" transmission order of
-// paper §5.2): deepest level first, root last.
-func (t *Tree) ReversedBreadthFirst() []cube.NodeID {
-	bf := t.BreadthFirst()
-	byLevel := make([][]cube.NodeID, t.height+1)
-	for _, v := range bf {
-		l := t.level[v]
-		byLevel[l] = append(byLevel[l], v)
-	}
-	out := make([]cube.NodeID, 0, t.size)
-	for l := t.height; l >= 0; l-- {
-		out = append(out, byLevel[l]...)
-	}
-	return out
-}
+// paper §5.2): deepest level first, root last. The returned slice is
+// shared; callers must not modify it.
+func (t *Tree) ReversedBreadthFirst() []cube.NodeID { return t.rbf }
 
 // VerifyChildrenFunc checks that a children function is consistent with
 // this tree's parent structure: children(i) must equal the stored child
@@ -353,7 +536,7 @@ func (t *Tree) VerifyChildrenFunc(children func(i cube.NodeID) []cube.NodeID) er
 			continue
 		}
 		got := children(id)
-		want := t.children[id]
+		want := t.Children(id)
 		if len(got) != len(want) {
 			return fmt.Errorf("tree: node %d: children func gives %d children, tree has %d", id, len(got), len(want))
 		}
