@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// bench3Result is one transport-throughput measurement recorded in
+// BENCH_3.json: a collective job of `rounds` back-to-back operations on
+// one backend, with mesh setup amortized over the rounds.
+type bench3Result struct {
+	Name      string `json:"name"`
+	Transport string `json:"transport"` // "inproc" or "tcp"
+	Dim       int    `json:"dim"`
+	Rounds    int    `json:"rounds"`
+	// BytesPerRound is delivered payload: what the non-root ranks
+	// received, not wire overhead.
+	BytesPerRound int64   `json:"bytes_per_round"`
+	WallSeconds   float64 `json:"wall_s"`
+	MBPerS        float64 `json:"mb_per_s"`
+}
+
+// bench3File is the BENCH_3.json schema.
+type bench3File struct {
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Note       string         `json:"note"`
+	Benchmarks []bench3Result `json:"benchmarks"`
+}
+
+// bench3Runners are the two transport backends under comparison: the
+// in-process channel transport and loopback TCP sockets (one endpoint
+// per node, checksummed frames).
+var bench3Runners = []struct {
+	name string
+	run  func(n int, program func(c *comm.Comm) error) error
+}{
+	{"inproc", comm.Run},
+	{"tcp", comm.RunTCP},
+}
+
+// runBench3 measures MSBT broadcast and BST scatter throughput on both
+// transports for d = 4..8 and writes the JSON record to path. Each job
+// runs rounds collectives back to back inside ONE mesh, so connect
+// and teardown cost is amortized — the number approximates steady-state
+// collective goodput, not job startup.
+func runBench3(path string) error {
+	const (
+		rounds    = 8
+		bcastM    = 64 << 10 // broadcast payload bytes
+		scatterPP = 1 << 10  // scatter payload bytes per rank
+	)
+	out := bench3File{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note: fmt.Sprintf("delivered-payload goodput, %d rounds per job, mesh setup amortized; "+
+			"tcp = one loopback endpoint per node, wire-framed + CRC", rounds),
+	}
+	for _, r := range bench3Runners {
+		for d := 4; d <= 8; d++ {
+			N := 1 << uint(d)
+			bb := int64(bcastM) * int64(N-1)
+			res, err := bench3Measure("BcastMSBT", r.name, d, rounds, bb, r.run, bcastJob(rounds, bcastM))
+			if err != nil {
+				return err
+			}
+			out.Benchmarks = append(out.Benchmarks, res)
+			sb := int64(scatterPP) * int64(N-1)
+			res, err = bench3Measure("ScatterBST", r.name, d, rounds, sb, r.run, scatterJob(rounds, scatterPP))
+			if err != nil {
+				return err
+			}
+			out.Benchmarks = append(out.Benchmarks, res)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// bench3Measure times one job (after a warm-up job at d=4 scale is
+// pointless — the mesh IS the warm-up; rounds amortize it).
+func bench3Measure(name, transport string, d, rounds int, bytesPerRound int64,
+	run func(int, func(*comm.Comm) error) error, job func(*comm.Comm) error) (bench3Result, error) {
+	start := time.Now()
+	if err := run(d, job); err != nil {
+		return bench3Result{}, fmt.Errorf("bench3 %s/%s d=%d: %w", name, transport, d, err)
+	}
+	wall := time.Since(start)
+	mbps := float64(bytesPerRound) * float64(rounds) / wall.Seconds() / (1 << 20)
+	fmt.Printf("Bench3%s/%s/d=%d %10.3fs %12.1f MB/s\n", name, transport, d, wall.Seconds(), mbps)
+	return bench3Result{
+		Name: name, Transport: transport, Dim: d, Rounds: rounds,
+		BytesPerRound: bytesPerRound, WallSeconds: wall.Seconds(), MBPerS: mbps,
+	}, nil
+}
+
+// bcastJob broadcasts an mbytes payload from rank 0 down the n
+// edge-disjoint ERSBTs, rounds times back to back.
+func bcastJob(rounds, mbytes int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		data := make([]byte, mbytes)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		for r := 0; r < rounds; r++ {
+			var in []byte
+			if c.Rank() == 0 {
+				in = data
+			}
+			got, err := c.BcastMSBT(0, in)
+			if err != nil {
+				return err
+			}
+			if len(got) != mbytes {
+				return fmt.Errorf("rank %d round %d: %d bytes, want %d", c.Rank(), r, len(got), mbytes)
+			}
+		}
+		return nil
+	}
+}
+
+// scatterJob scatters perRank bytes to every rank from root 0 over the
+// balanced spanning tree, rounds times back to back.
+func scatterJob(rounds, perRank int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		var data [][]byte
+		if c.Rank() == 0 {
+			data = make([][]byte, c.Size())
+			for i := range data {
+				data[i] = make([]byte, perRank)
+				data[i][0] = byte(i)
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			var in [][]byte
+			if c.Rank() == 0 {
+				in = data
+			}
+			mine, err := c.Scatter(0, in)
+			if err != nil {
+				return err
+			}
+			if len(mine) != perRank || mine[0] != byte(c.Rank()) {
+				return fmt.Errorf("rank %d round %d: wrong scatter payload", c.Rank(), r)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLaunchEightProcessCube builds the hypercomm binary and runs
+// `launch -n 3`: eight real OS processes, one cube node each, every
+// link a TCP socket. Every rank must verify the MSBT broadcast and the
+// BST scatter payloads and report OK.
+func TestLaunchEightProcessCube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 9 processes")
+	}
+	bin := filepath.Join(t.TempDir(), "hypercomm")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hypercomm: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "launch", "-n", "3", "-m", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("launch: %v\n%s", err, out)
+	}
+	text := string(out)
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(text, "OK "+string(rune('0'+i))+":") {
+			t.Errorf("node %d never reported OK:\n%s", i, text)
+		}
+	}
+	if !strings.Contains(text, "launch: 8 processes") {
+		t.Errorf("missing launch summary:\n%s", text)
+	}
+}
+
+// TestServeExplicitPeers exercises the two-terminal workflow in one
+// test: two serve processes with fixed ports and an explicit -peers
+// list, no launcher in between.
+func TestServeExplicitPeers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 2 processes")
+	}
+	bin := filepath.Join(t.TempDir(), "hypercomm")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hypercomm: %v\n%s", err, out)
+	}
+	const a0, a1 = "127.0.0.1:29480", "127.0.0.1:29481"
+	peers := a0 + "," + a1
+	c0 := exec.Command(bin, "serve", "-n", "1", "-id", "0", "-listen", a0, "-peers", peers)
+	c1 := exec.Command(bin, "serve", "-n", "1", "-id", "1", "-listen", a1, "-peers", peers)
+	if err := c0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out1, err1 := c1.CombinedOutput()
+	err0 := c0.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("serve pair failed: node0=%v node1=%v\n%s", err0, err1, out1)
+	}
+	if !strings.Contains(string(out1), "OK 1:") {
+		t.Errorf("node 1 never reported OK:\n%s", out1)
+	}
+}

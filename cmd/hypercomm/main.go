@@ -11,6 +11,14 @@
 //	verify    -n DIM -s SOURCE
 //	ablate    -n DIM
 //	route     -n DIM -perm {bitrev|transpose|random}
+//	serve     -n DIM -id NODE [-listen ADDR] [-peers A0,A1,...] [-m BYTES]
+//	launch    -n DIM [-m BYTES]
+//
+// serve runs ONE node of the cube in this OS process, carrying every
+// cube link over a TCP socket (checksummed frames, see internal/wire);
+// launch spawns a full 2^n-process cube on localhost, wires the
+// processes together and verifies an MSBT broadcast and a BST scatter
+// end to end.
 //
 // broadcast, scatter and verify accept fault-injection flags: -faults
 // COUNT, -fault-kind {links|nodes|neighbor|drop|corrupt|duplicate|none}
@@ -70,6 +78,10 @@ func main() {
 		err = cmdAblate(os.Args[2:])
 	case "route":
 		err = cmdRoute(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "launch":
+		err = cmdLaunch(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -81,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch> [flags]
 run "hypercomm <subcommand> -h" for flags`)
 }
 

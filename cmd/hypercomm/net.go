@@ -1,0 +1,239 @@
+// The networked subcommands: `serve` runs one node of a multi-process
+// cube over the TCP transport, `launch` spawns a whole cube of serve
+// processes on localhost and verifies the collectives end to end.
+//
+// Peer discovery has two modes. With -peers, every process is told the
+// full address list up front (the two-terminal workflow: fixed -listen
+// ports, same -peers on both sides). Without it, serve prints
+// "ADDR <id> <addr>" on stdout and waits for a "PEERS <a0> <a1> ..."
+// line on stdin — the handshake `launch` drives for its children.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/transport"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	n := fs.Int("n", 3, "cube dimension")
+	id := fs.Int("id", 0, "node this process hosts")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address (port 0 = pick a free one)")
+	peersS := fs.String("peers", "", "comma-separated listen addresses of all 2^n nodes in node order (empty = stdio handshake: print ADDR, read PEERS)")
+	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	fs.Parse(args)
+
+	if *id < 0 || *id >= 1<<uint(*n) {
+		return fmt.Errorf("serve: node id %d outside the %d-cube", *id, *n)
+	}
+	tr, err := transport.NewTCP(transport.TCPOptions{
+		Dim:    *n,
+		Locals: []cube.NodeID{cube.NodeID(*id)},
+		Listen: *listen,
+		Depth:  comm.CollectiveDepth(*n),
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	var peers []string
+	if *peersS != "" {
+		peers = strings.Split(*peersS, ",")
+		if len(peers) != 1<<uint(*n) {
+			return fmt.Errorf("serve: -peers lists %d addresses, a %d-cube has %d nodes", len(peers), *n, 1<<uint(*n))
+		}
+	} else {
+		fmt.Printf("ADDR %d %s\n", *id, tr.Addr())
+		sc := bufio.NewScanner(os.Stdin)
+		if !sc.Scan() {
+			return fmt.Errorf("serve: stdin closed before the PEERS line arrived")
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 1+1<<uint(*n) || fields[0] != "PEERS" {
+			return fmt.Errorf("serve: want %q line with %d addresses, got %q", "PEERS", 1<<uint(*n), sc.Text())
+		}
+		peers = fields[1:]
+	}
+	if err := tr.Connect(peers); err != nil {
+		return err
+	}
+	return comm.RunOn(mpx.NewWithTransport(tr, nil), nodeProgram(*m))
+}
+
+// nodeProgram is the workload every serve process runs: an MSBT
+// broadcast (payload chunked down the n edge-disjoint ERSBTs), a BST
+// scatter, a gather round-trip proving every rank's payload back at the
+// root, and a closing barrier. All expected values are derived
+// deterministically from the rank, so each process verifies its own
+// deliveries with no shared memory.
+func nodeProgram(mbytes int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		const root = cube.NodeID(0)
+		data := make([]byte, mbytes)
+		rand.New(rand.NewSource(7)).Read(data) // same bytes in every process
+
+		var in []byte
+		if c.Rank() == root {
+			in = data
+		}
+		got, err := c.BcastMSBT(root, in)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("rank %d reassembled a wrong broadcast payload (%d bytes)", c.Rank(), len(got))
+		}
+
+		personal := make([][]byte, c.Size())
+		for i := range personal {
+			personal[i] = []byte(fmt.Sprintf("personal-%d", i))
+		}
+		var ins [][]byte
+		if c.Rank() == root {
+			ins = personal
+		}
+		mine, err := c.Scatter(root, ins)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(mine, personal[c.Rank()]) {
+			return fmt.Errorf("rank %d got scatter payload %q", c.Rank(), mine)
+		}
+		all, err := c.Gather(root, mine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == root {
+			for i := range all {
+				if !bytes.Equal(all[i], personal[i]) {
+					return fmt.Errorf("gather slot %d wrong at the root", i)
+				}
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		fmt.Printf("OK %d: msbt broadcast %dB + bst scatter/gather verified\n", c.Rank(), len(got))
+		return nil
+	}
+}
+
+func cmdLaunch(args []string) error {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
+	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	fs.Parse(args)
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	N := 1 << uint(*n)
+	children := make([]*exec.Cmd, N)
+	stdins := make([]*bufio.Writer, N)
+	scanners := make([]*bufio.Scanner, N)
+	killAll := func() {
+		for _, cmd := range children {
+			if cmd != nil && cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	}
+	for i := 0; i < N; i++ {
+		cmd := exec.Command(exe, "serve",
+			"-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m))
+		cmd.Stderr = os.Stderr
+		inPipe, err := cmd.StdinPipe()
+		if err != nil {
+			killAll()
+			return err
+		}
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			killAll()
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			killAll()
+			return fmt.Errorf("launch: starting node %d: %w", i, err)
+		}
+		children[i] = cmd
+		stdins[i] = bufio.NewWriter(inPipe)
+		scanners[i] = bufio.NewScanner(outPipe)
+	}
+
+	// Phase 1: collect every child's ADDR announcement.
+	peers := make([]string, N)
+	for i, sc := range scanners {
+		if !sc.Scan() {
+			killAll()
+			return fmt.Errorf("launch: node %d exited before announcing its address", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 || fields[0] != "ADDR" || fields[1] != fmt.Sprint(i) {
+			killAll()
+			return fmt.Errorf("launch: node %d announced %q, want \"ADDR %d <addr>\"", i, sc.Text(), i)
+		}
+		peers[i] = fields[2]
+	}
+
+	// Phase 2: hand the full address list to every child.
+	peerLine := "PEERS " + strings.Join(peers, " ") + "\n"
+	for i, w := range stdins {
+		if _, err := w.WriteString(peerLine); err != nil || w.Flush() != nil {
+			killAll()
+			return fmt.Errorf("launch: feeding peers to node %d: %v", i, err)
+		}
+	}
+
+	// Phase 3: relay child output and wait for the verdicts.
+	var mu sync.Mutex
+	okSeen := make([]bool, N)
+	var wg sync.WaitGroup
+	for i, sc := range scanners {
+		wg.Add(1)
+		go func(i int, sc *bufio.Scanner) {
+			defer wg.Done()
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.HasPrefix(line, fmt.Sprintf("OK %d:", i)) {
+					mu.Lock()
+					okSeen[i] = true
+					mu.Unlock()
+				}
+				fmt.Printf("[node %d] %s\n", i, line)
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	var firstErr error
+	for i, cmd := range children {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("launch: node %d: %w", i, err)
+			killAll() // abort the job: a dead rank would hang the rest
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for i, ok := range okSeen {
+		if !ok {
+			return fmt.Errorf("launch: node %d exited cleanly but never reported OK", i)
+		}
+	}
+	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter over TCP\n", N)
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mpx"
 	"repro/internal/msbt"
 	"repro/internal/sbt"
+	"repro/internal/transport"
 )
 
 // Comm is the per-node communicator handle.
@@ -71,7 +72,24 @@ func RunFaulty(n int, inj fault.Injector, program func(c *Comm) error) error {
 	// into each message, so DepthForScatter with that bundling bounds the
 	// in-flight count; the per-node pump drains inboxes continuously, so
 	// depth is throughput headroom, not a deadlock concern.
-	m := mpx.NewWithInjector(n, mpx.DepthForScatter(n, 1<<uint(n)/2), inj)
+	return RunOn(mpx.NewWithInjector(n, CollectiveDepth(n), inj), program)
+}
+
+// CollectiveDepth is the inbox depth Comm's collectives assume: scatter
+// bundles a whole subtree (up to N/2 destinations) into each message.
+// Machines built elsewhere (e.g. over TCP transports) should size their
+// inboxes with it before handing them to RunOn.
+func CollectiveDepth(n int) int {
+	return mpx.DepthForScatter(n, 1<<uint(n)/2)
+}
+
+// RunOn executes program wrapped in a communicator on every node hosted
+// by m's transport, then shuts the machine down. A single-process cube
+// is one RunOn over an in-process machine (what Run does); a cube spread
+// over several OS processes is one RunOn per process, each over a
+// machine built on a connected TCP transport (internal/transport).
+func RunOn(m *mpx.Machine, program func(c *Comm) error) error {
+	n := m.Cube().Dim()
 	defer m.Shutdown() // release pumps still blocked in Recv
 	return m.Run(func(nd *mpx.Node) error {
 		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}, abandoned: map[int]bool{}}
@@ -86,6 +104,68 @@ func RunFaulty(n int, inj fault.Injector, program func(c *Comm) error) error {
 		}
 		return err
 	})
+}
+
+// RunTCP is Run with every cube link carried over a loopback TCP
+// socket: one transport endpoint per node, connected into a full cube
+// mesh, one machine per endpoint — the single-process twin of a
+// multi-process `hypercomm launch` deployment. Collective programs run
+// unchanged; only the transport underneath differs.
+func RunTCP(n int, program func(c *Comm) error) error {
+	size := 1 << uint(n)
+	depth := CollectiveDepth(n)
+	trs := make([]*transport.TCP, size)
+	peers := make([]string, size)
+	defer func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	}()
+	for i := range trs {
+		tr, err := transport.NewTCP(transport.TCPOptions{
+			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
+		})
+		if err != nil {
+			return err
+		}
+		trs[i] = tr
+		peers[i] = tr.Addr()
+	}
+	var wg sync.WaitGroup
+	connErrs := make([]error, size)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *transport.TCP) {
+			defer wg.Done()
+			connErrs[i] = tr.Connect(peers)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range connErrs {
+		if err != nil {
+			return err
+		}
+	}
+	errs := make(chan error, size)
+	for _, tr := range trs {
+		go func(tr *transport.TCP) {
+			errs <- RunOn(mpx.NewWithTransport(tr, nil), program)
+		}(tr)
+	}
+	var first error
+	for i := 0; i < size; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			// Abort the job: shut every endpoint down so ranks blocked
+			// in collectives unblock instead of deadlocking the run.
+			for _, tr := range trs {
+				tr.Close()
+			}
+		}
+	}
+	return first
 }
 
 // pump moves inbox messages into the tag-matched mailbox until stopped.
@@ -153,10 +233,23 @@ func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
 			return mpx.Envelope{}, err
 		}
 		if c.stopped {
-			return mpx.Envelope{}, fmt.Errorf("comm: node %d: machine stopped while waiting for tag %d", c.nd.ID, tag)
+			return mpx.Envelope{}, c.stoppedErr(fmt.Sprintf("tag %d", tag))
 		}
 		c.cond.Wait()
 	}
+}
+
+// stoppedErr explains why the machine stopped underneath a blocked
+// receive. A transport-level connection failure — a crashed peer
+// process, a severed socket — is surfaced as such, wrapping the
+// *mpx.PeerError that names the dead neighbor; that is a different
+// diagnosis from a collective sequence mismatch (see staleLocked) and
+// from an ordinary shutdown caused by some rank erroring out.
+func (c *Comm) stoppedErr(waitingFor string) error {
+	if perr := c.nd.PeerError(); perr != nil {
+		return fmt.Errorf("comm: node %d: connection lost while waiting for %s: %w", c.nd.ID, waitingFor, perr)
+	}
+	return fmt.Errorf("comm: node %d: machine stopped while waiting for %s", c.nd.ID, waitingFor)
 }
 
 // staleLocked scans the mailbox (mu held) for a message whose subtag
@@ -462,7 +555,7 @@ func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
 			}
 		}
 		if c.stopped {
-			return mpx.Envelope{}, fmt.Errorf("comm: node %d: machine stopped during all-node collective", c.nd.ID)
+			return mpx.Envelope{}, c.stoppedErr("all-node collective traffic")
 		}
 		c.cond.Wait()
 	}

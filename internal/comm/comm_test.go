@@ -10,6 +10,26 @@ import (
 	"repro/internal/cube"
 )
 
+// runners are the transport backends every collective test runs
+// against: the in-process channel transport (Run) and loopback TCP
+// sockets (RunTCP). The collective programs are identical — the
+// transport choice must be invisible to them.
+var runners = []struct {
+	name string
+	run  func(n int, program func(c *Comm) error) error
+}{
+	{"chan", Run},
+	{"tcp", RunTCP},
+}
+
+// eachTransport runs the test body once per transport backend.
+func eachTransport(t *testing.T, fn func(t *testing.T, run func(int, func(*Comm) error) error)) {
+	t.Helper()
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) { fn(t, r.run) })
+	}
+}
+
 func add64(a, b []byte) []byte {
 	s := binary.LittleEndian.Uint64(a) + binary.LittleEndian.Uint64(b)
 	return binary.LittleEndian.AppendUint64(nil, s)
@@ -18,270 +38,292 @@ func add64(a, b []byte) []byte {
 func u64(v uint64) []byte { return binary.LittleEndian.AppendUint64(nil, v) }
 
 func TestBcast(t *testing.T) {
-	for _, n := range []int{1, 3, 5} {
-		for _, root := range []cube.NodeID{0, cube.NodeID(1<<uint(n) - 1)} {
-			msg := []byte("broadcast-me")
-			err := Run(n, func(c *Comm) error {
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		for _, n := range []int{1, 3, 5} {
+			for _, root := range []cube.NodeID{0, cube.NodeID(1<<uint(n) - 1)} {
+				msg := []byte("broadcast-me")
+				err := run(n, func(c *Comm) error {
+					var in []byte
+					if c.Rank() == root {
+						in = msg
+					}
+					got, err := c.Bcast(root, in)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, msg) {
+						return fmt.Errorf("rank %d got %q", c.Rank(), got)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d root=%d: %v", n, root, err)
+				}
+			}
+		}
+	})
+}
+
+func TestBcastMSBT(t *testing.T) {
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		for _, n := range []int{1, 3, 6} {
+			msg := bytes.Repeat([]byte("chunky"), 50) // 300 bytes, odd vs n
+			err := run(n, func(c *Comm) error {
 				var in []byte
-				if c.Rank() == root {
+				if c.Rank() == 2%(1<<uint(n)) {
 					in = msg
 				}
-				got, err := c.Bcast(root, in)
+				got, err := c.BcastMSBT(cube.NodeID(2%(1<<uint(n))), in)
 				if err != nil {
 					return err
 				}
 				if !bytes.Equal(got, msg) {
-					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+					return fmt.Errorf("rank %d reassembled %d bytes", c.Rank(), len(got))
 				}
 				return nil
 			})
 			if err != nil {
-				t.Fatalf("n=%d root=%d: %v", n, root, err)
+				t.Fatalf("n=%d: %v", n, err)
 			}
 		}
-	}
+	})
 }
 
-func TestBcastMSBT(t *testing.T) {
-	for _, n := range []int{1, 3, 6} {
-		msg := bytes.Repeat([]byte("chunky"), 50) // 300 bytes, odd vs n
-		err := Run(n, func(c *Comm) error {
-			var in []byte
-			if c.Rank() == 2%(1<<uint(n)) {
-				in = msg
+func TestScatterGatherRoundTrip(t *testing.T) {
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		n := 5
+		N := 1 << uint(n)
+		root := cube.NodeID(9)
+		payloads := make([][]byte, N)
+		for i := range payloads {
+			payloads[i] = []byte(fmt.Sprintf("to-%d", i))
+		}
+		err := run(n, func(c *Comm) error {
+			var in [][]byte
+			if c.Rank() == root {
+				in = payloads
 			}
-			got, err := c.BcastMSBT(cube.NodeID(2%(1<<uint(n))), in)
+			mine, err := c.Scatter(root, in)
 			if err != nil {
 				return err
 			}
-			if !bytes.Equal(got, msg) {
-				return fmt.Errorf("rank %d reassembled %d bytes", c.Rank(), len(got))
+			if want := fmt.Sprintf("to-%d", c.Rank()); string(mine) != want {
+				return fmt.Errorf("rank %d got %q", c.Rank(), mine)
+			}
+			// Round-trip: gather the payloads back at the root.
+			all, err := c.Gather(root, mine)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				for i := range all {
+					if !bytes.Equal(all[i], payloads[i]) {
+						return fmt.Errorf("gather slot %d wrong", i)
+					}
+				}
+			} else if all != nil {
+				return fmt.Errorf("non-root received gather result")
 			}
 			return nil
 		})
 		if err != nil {
-			t.Fatalf("n=%d: %v", n, err)
+			t.Fatal(err)
 		}
-	}
-}
-
-func TestScatterGatherRoundTrip(t *testing.T) {
-	n := 5
-	N := 1 << uint(n)
-	root := cube.NodeID(9)
-	payloads := make([][]byte, N)
-	for i := range payloads {
-		payloads[i] = []byte(fmt.Sprintf("to-%d", i))
-	}
-	err := Run(n, func(c *Comm) error {
-		var in [][]byte
-		if c.Rank() == root {
-			in = payloads
-		}
-		mine, err := c.Scatter(root, in)
-		if err != nil {
-			return err
-		}
-		if want := fmt.Sprintf("to-%d", c.Rank()); string(mine) != want {
-			return fmt.Errorf("rank %d got %q", c.Rank(), mine)
-		}
-		// Round-trip: gather the payloads back at the root.
-		all, err := c.Gather(root, mine)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == root {
-			for i := range all {
-				if !bytes.Equal(all[i], payloads[i]) {
-					return fmt.Errorf("gather slot %d wrong", i)
-				}
-			}
-		} else if all != nil {
-			return fmt.Errorf("non-root received gather result")
-		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestReduceAndAllReduce(t *testing.T) {
-	n := 4
-	N := uint64(1) << uint(n)
-	wantSum := N * (N - 1) / 2
-	err := Run(n, func(c *Comm) error {
-		res, err := c.Reduce(0, u64(uint64(c.Rank())), add64)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			if got := binary.LittleEndian.Uint64(res); got != wantSum {
-				return fmt.Errorf("reduce got %d", got)
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		n := 4
+		N := uint64(1) << uint(n)
+		wantSum := N * (N - 1) / 2
+		err := run(n, func(c *Comm) error {
+			res, err := c.Reduce(0, u64(uint64(c.Rank())), add64)
+			if err != nil {
+				return err
 			}
-		} else if res != nil {
-			return fmt.Errorf("non-root got reduce result")
-		}
-		all, err := c.AllReduce(u64(uint64(c.Rank())), add64)
+			if c.Rank() == 0 {
+				if got := binary.LittleEndian.Uint64(res); got != wantSum {
+					return fmt.Errorf("reduce got %d", got)
+				}
+			} else if res != nil {
+				return fmt.Errorf("non-root got reduce result")
+			}
+			all, err := c.AllReduce(u64(uint64(c.Rank())), add64)
+			if err != nil {
+				return err
+			}
+			if got := binary.LittleEndian.Uint64(all); got != wantSum {
+				return fmt.Errorf("rank %d allreduce got %d", c.Rank(), got)
+			}
+			return nil
+		})
 		if err != nil {
-			return err
+			t.Fatal(err)
 		}
-		if got := binary.LittleEndian.Uint64(all); got != wantSum {
-			return fmt.Errorf("rank %d allreduce got %d", c.Rank(), got)
-		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestScanOrdering(t *testing.T) {
-	n := 4
-	concat := func(a, b []byte) []byte { return append(append([]byte(nil), a...), b...) }
-	err := Run(n, func(c *Comm) error {
-		got, err := c.Scan([]byte{byte('a' + c.Rank()%26)}, concat)
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		n := 4
+		concat := func(a, b []byte) []byte { return append(append([]byte(nil), a...), b...) }
+		err := run(n, func(c *Comm) error {
+			got, err := c.Scan([]byte{byte('a' + c.Rank()%26)}, concat)
+			if err != nil {
+				return err
+			}
+			want := make([]byte, 0, int(c.Rank())+1)
+			for i := 0; i <= int(c.Rank()); i++ {
+				want = append(want, byte('a'+i%26))
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("rank %d scan %q want %q", c.Rank(), got, want)
+			}
+			return nil
+		})
 		if err != nil {
-			return err
+			t.Fatal(err)
 		}
-		want := make([]byte, 0, int(c.Rank())+1)
-		for i := 0; i <= int(c.Rank()); i++ {
-			want = append(want, byte('a'+i%26))
-		}
-		if !bytes.Equal(got, want) {
-			return fmt.Errorf("rank %d scan %q want %q", c.Rank(), got, want)
-		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestAllGatherAndAllToAll(t *testing.T) {
-	n := 4
-	N := 1 << uint(n)
-	err := Run(n, func(c *Comm) error {
-		all, err := c.AllGather([]byte(fmt.Sprintf("from-%d", c.Rank())))
-		if err != nil {
-			return err
-		}
-		for r := 0; r < N; r++ {
-			if want := fmt.Sprintf("from-%d", r); string(all[r]) != want {
-				return fmt.Errorf("rank %d allgather[%d] = %q", c.Rank(), r, all[r])
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		n := 4
+		N := 1 << uint(n)
+		err := run(n, func(c *Comm) error {
+			all, err := c.AllGather([]byte(fmt.Sprintf("from-%d", c.Rank())))
+			if err != nil {
+				return err
 			}
-		}
-		outbound := make([][]byte, N)
-		for d := range outbound {
-			outbound[d] = []byte(fmt.Sprintf("%d>%d", c.Rank(), d))
-		}
-		got, err := c.AllToAll(outbound)
-		if err != nil {
-			return err
-		}
-		for r := 0; r < N; r++ {
-			if want := fmt.Sprintf("%d>%d", r, c.Rank()); string(got[r]) != want {
-				return fmt.Errorf("rank %d alltoall[%d] = %q", c.Rank(), r, got[r])
+			for r := 0; r < N; r++ {
+				if want := fmt.Sprintf("from-%d", r); string(all[r]) != want {
+					return fmt.Errorf("rank %d allgather[%d] = %q", c.Rank(), r, all[r])
+				}
 			}
+			outbound := make([][]byte, N)
+			for d := range outbound {
+				outbound[d] = []byte(fmt.Sprintf("%d>%d", c.Rank(), d))
+			}
+			got, err := c.AllToAll(outbound)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < N; r++ {
+				if want := fmt.Sprintf("%d>%d", r, c.Rank()); string(got[r]) != want {
+					return fmt.Errorf("rank %d alltoall[%d] = %q", c.Rank(), r, got[r])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestCollectiveSequencesCompose(t *testing.T) {
-	// Many collectives back to back: sequence stamping must keep streams
-	// separated even with nodes running ahead.
-	n := 3
-	err := Run(n, func(c *Comm) error {
-		for round := 0; round < 20; round++ {
-			msg := []byte{byte(round)}
-			var in []byte
-			if c.Rank() == 0 {
-				in = msg
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		// Many collectives back to back: sequence stamping must keep streams
+		// separated even with nodes running ahead.
+		n := 3
+		err := run(n, func(c *Comm) error {
+			for round := 0; round < 20; round++ {
+				msg := []byte{byte(round)}
+				var in []byte
+				if c.Rank() == 0 {
+					in = msg
+				}
+				got, err := c.Bcast(0, in)
+				if err != nil {
+					return err
+				}
+				if got[0] != byte(round) {
+					return fmt.Errorf("round %d: rank %d got %d", round, c.Rank(), got[0])
+				}
+				sum, err := c.AllReduce(u64(uint64(round)), add64)
+				if err != nil {
+					return err
+				}
+				if binary.LittleEndian.Uint64(sum) != uint64(round)*8 {
+					return fmt.Errorf("round %d: allreduce wrong", round)
+				}
 			}
-			got, err := c.Bcast(0, in)
-			if err != nil {
-				return err
-			}
-			if got[0] != byte(round) {
-				return fmt.Errorf("round %d: rank %d got %d", round, c.Rank(), got[0])
-			}
-			sum, err := c.AllReduce(u64(uint64(round)), add64)
-			if err != nil {
-				return err
-			}
-			if binary.LittleEndian.Uint64(sum) != uint64(round)*8 {
-				return fmt.Errorf("round %d: allreduce wrong", round)
-			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestBarrier(t *testing.T) {
-	err := Run(4, func(c *Comm) error {
-		for i := 0; i < 5; i++ {
-			if err := c.Barrier(); err != nil {
-				return err
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		err := run(4, func(c *Comm) error {
+			for i := 0; i < 5; i++ {
+				if err := c.Barrier(); err != nil {
+					return err
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }
 
 func TestErrorAbortsJob(t *testing.T) {
-	// One rank erroring must not deadlock ranks blocked in a collective.
-	sentinel := errors.New("rank failure")
-	err := Run(3, func(c *Comm) error {
-		if c.Rank() == 5 {
-			return sentinel // never joins the broadcast
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		// One rank erroring must not deadlock ranks blocked in a collective.
+		sentinel := errors.New("rank failure")
+		err := run(3, func(c *Comm) error {
+			if c.Rank() == 5 {
+				return sentinel // never joins the broadcast
+			}
+			var in []byte
+			if c.Rank() == 0 {
+				in = []byte("x")
+			}
+			_, err := c.Bcast(0, in)
+			return err
+		})
+		if err == nil {
+			t.Fatal("job completed despite failing rank")
 		}
-		var in []byte
-		if c.Rank() == 0 {
-			in = []byte("x")
-		}
-		_, err := c.Bcast(0, in)
-		return err
 	})
-	if err == nil {
-		t.Fatal("job completed despite failing rank")
-	}
 }
 
 func TestScatterValidatesPayloadCount(t *testing.T) {
-	err := Run(2, func(c *Comm) error {
-		var in [][]byte
-		if c.Rank() == 0 {
-			in = make([][]byte, 3) // wrong: need 4
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		err := run(2, func(c *Comm) error {
+			var in [][]byte
+			if c.Rank() == 0 {
+				in = make([][]byte, 3) // wrong: need 4
+			}
+			_, err := c.Scatter(0, in)
+			return err
+		})
+		if err == nil {
+			t.Fatal("bad payload count accepted")
 		}
-		_, err := c.Scatter(0, in)
-		return err
 	})
-	if err == nil {
-		t.Fatal("bad payload count accepted")
-	}
 }
 
 func TestRankSizeDim(t *testing.T) {
-	err := Run(3, func(c *Comm) error {
-		if c.Dim() != 3 || c.Size() != 8 {
-			return fmt.Errorf("dim %d size %d", c.Dim(), c.Size())
+	eachTransport(t, func(t *testing.T, run func(int, func(*Comm) error) error) {
+		err := run(3, func(c *Comm) error {
+			if c.Dim() != 3 || c.Size() != 8 {
+				return fmt.Errorf("dim %d size %d", c.Dim(), c.Size())
+			}
+			if int(c.Rank()) >= c.Size() {
+				return fmt.Errorf("rank %d out of range", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		if int(c.Rank()) >= c.Size() {
-			return fmt.Errorf("rank %d out of range", c.Rank())
-		}
-		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 }

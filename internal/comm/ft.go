@@ -92,7 +92,7 @@ func (c *Comm) recvTagWait(tag int, d time.Duration) (mpx.Envelope, bool, error)
 			return mpx.Envelope{}, false, err
 		}
 		if c.stopped {
-			return mpx.Envelope{}, false, fmt.Errorf("comm: node %d: machine stopped while waiting for tag %d", c.nd.ID, tag)
+			return mpx.Envelope{}, false, c.stoppedErr(fmt.Sprintf("tag %d", tag))
 		}
 		if !time.Now().Before(deadline) {
 			return mpx.Envelope{}, false, nil
@@ -126,7 +126,7 @@ func (c *Comm) recvSeqAnyWait(d time.Duration) (mpx.Envelope, bool, error) {
 			}
 		}
 		if c.stopped {
-			return mpx.Envelope{}, false, fmt.Errorf("comm: node %d: machine stopped during fault-tolerant collective", c.nd.ID)
+			return mpx.Envelope{}, false, c.stoppedErr("fault-tolerant collective traffic")
 		}
 		if !time.Now().Before(deadline) {
 			return mpx.Envelope{}, false, nil

@@ -17,7 +17,18 @@ import (
 // Inbox sizing: each node receives exactly one message, so depth 1 is
 // deadlock-free.
 func Broadcast(topo Topology, data []byte) ([][]byte, error) {
-	m := mpx.New(topo.Dim, 1)
+	return BroadcastOn(mpx.New(topo.Dim, 1), topo, data)
+}
+
+// BroadcastOn is Broadcast over an existing machine: the node program
+// runs only on the machine's hosted nodes, so a cube spread across
+// several transports (one machine each — e.g. TCP endpoints hosting a
+// subcube apiece) broadcasts by calling BroadcastOn on every machine
+// with the same topology; only topo.Root's host consults data. The
+// returned slice is cube-sized with the hosted nodes' slots filled in.
+// The caller owns the machine's lifecycle (Shutdown after all machines
+// of the cube finish).
+func BroadcastOn(m *mpx.Machine, topo Topology, data []byte) ([][]byte, error) {
 	got := make([][]byte, m.Cube().Nodes())
 	err := m.Run(func(nd *mpx.Node) error {
 		var payload []byte

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/transport"
+)
+
+// TestBroadcastOnSplitMesh spreads a 4-cube over two TCP transport
+// endpoints (one subcube each: links inside a half stay in-process,
+// links across the bisection are real sockets) and runs the SBT
+// broadcast with one BroadcastOn machine per endpoint. Every node of
+// both halves must end up holding the payload.
+func TestBroadcastOnSplitMesh(t *testing.T) {
+	const dim = 4
+	data := []byte("split-mesh broadcast payload")
+	topo := SBTTopology(dim, 3) // root in the low half
+
+	halves := [][]cube.NodeID{}
+	for h := 0; h < 2; h++ {
+		ids := []cube.NodeID{}
+		for i := 0; i < 8; i++ {
+			ids = append(ids, cube.NodeID(h*8+i))
+		}
+		halves = append(halves, ids)
+	}
+	trs := make([]*transport.TCP, 2)
+	peers := make([]string, 1<<dim)
+	for h, ids := range halves {
+		tr, err := transport.NewTCP(transport.TCPOptions{
+			Dim: dim, Locals: ids, HandshakeTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[h] = tr
+		defer tr.Close()
+		for _, id := range ids {
+			peers[id] = tr.Addr()
+		}
+	}
+	var cwg sync.WaitGroup
+	connErrs := make([]error, 2)
+	for h, tr := range trs {
+		cwg.Add(1)
+		go func(h int, tr *transport.TCP) {
+			defer cwg.Done()
+			connErrs[h] = tr.Connect(peers)
+		}(h, tr)
+	}
+	cwg.Wait()
+	for h, err := range connErrs {
+		if err != nil {
+			t.Fatalf("Connect half %d: %v", h, err)
+		}
+	}
+
+	results := make([][][]byte, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for h, tr := range trs {
+		wg.Add(1)
+		go func(h int, tr *transport.TCP) {
+			defer wg.Done()
+			results[h], errs[h] = BroadcastOn(mpx.NewWithTransport(tr, nil), topo, data)
+		}(h, tr)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			t.Fatalf("BroadcastOn half %d: %v", h, err)
+		}
+	}
+	for h, ids := range halves {
+		for _, id := range ids {
+			if !bytes.Equal(results[h][id], data) {
+				t.Errorf("node %d (half %d) holds %q", id, h, results[h][id])
+			}
+		}
+	}
+}

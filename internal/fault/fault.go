@@ -75,6 +75,11 @@ type Outcome struct {
 	Delay     time.Duration
 }
 
+// IsZero reports whether the outcome delivers the message untouched, so
+// transports can take their fault-free fast path without enumerating
+// every field.
+func (o Outcome) IsZero() bool { return o == Outcome{} }
+
 // Injector is consulted by the message-passing runtime on every send. A
 // nil Injector means a fault-free machine; implementations must be safe
 // for concurrent use (one goroutine per node).

@@ -1,0 +1,154 @@
+package mpx
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+)
+
+// ChanTransport is the in-process Transport: it hosts every node of the
+// cube in one OS process and delivers envelopes over buffered channels.
+// The fault-free send path performs a single channel operation and zero
+// allocations (guarded by bench_test.go); an optional fault.Injector
+// applies message rules at this boundary, exactly where the TCP
+// transport applies them to encoded frames.
+type ChanTransport struct {
+	c      *cube.Cube
+	inbox  []chan Envelope
+	locals []cube.NodeID
+
+	// inj, when non-nil, is consulted on every send; nil means a
+	// fault-free transport and costs one pointer test per send.
+	inj fault.Injector
+
+	// down is closed by Close, unblocking every Send/Recv.
+	down     chan struct{}
+	downOnce sync.Once
+}
+
+// NewChanTransport returns an in-process transport for an n-cube whose
+// per-node inboxes buffer up to depth messages. inj, when non-nil,
+// injects message faults on every crossing.
+func NewChanTransport(n, depth int, inj fault.Injector) *ChanTransport {
+	if depth < 1 {
+		depth = 1
+	}
+	c := cube.New(n)
+	t := &ChanTransport{
+		c:      c,
+		inbox:  make([]chan Envelope, c.Nodes()),
+		locals: make([]cube.NodeID, c.Nodes()),
+		inj:    inj,
+		down:   make(chan struct{}),
+	}
+	for i := range t.inbox {
+		t.inbox[i] = make(chan Envelope, depth)
+		t.locals[i] = cube.NodeID(i)
+	}
+	return t
+}
+
+// Cube returns the topology.
+func (t *ChanTransport) Cube() *cube.Cube { return t.c }
+
+// Locals returns every node of the cube: the in-process transport hosts
+// them all.
+func (t *ChanTransport) Locals() []cube.NodeID { return t.locals }
+
+// Inbox returns the receive channel of node id.
+func (t *ChanTransport) Inbox(id cube.NodeID) <-chan Envelope { return t.inbox[id] }
+
+// Done is closed when the transport shuts down.
+func (t *ChanTransport) Done() <-chan struct{} { return t.down }
+
+// Close shuts the transport down, permanently unblocking every sender
+// and receiver. Idempotent.
+func (t *ChanTransport) Close() error {
+	t.downOnce.Do(func() { close(t.down) })
+	return nil
+}
+
+// Send delivers msg from node `from` through the given port. It blocks
+// while the receiver's inbox is full and returns ErrDown after Close.
+func (t *ChanTransport) Send(from cube.NodeID, port int, msg Message) error {
+	to := t.c.Neighbor(from, port)
+	if t.inj != nil {
+		return t.sendFaulty(from, to, port, msg)
+	}
+	return t.sendClean(from, to, port, msg)
+}
+
+// sendClean is the untouched-delivery path, shared by the fault-free
+// machine and by faulty sends whose Outcome.IsZero().
+func (t *ChanTransport) sendClean(from, to cube.NodeID, port int, msg Message) error {
+	select {
+	case t.inbox[to] <- Envelope{Message: msg, Port: port, From: from}:
+		return nil
+	case <-t.down:
+		return ErrDown
+	}
+}
+
+// sendFaulty is the injector-mediated send path: dead endpoints and dead
+// links silently swallow the message; rule outcomes are applied in the
+// sender's goroutine (a delay blocks the sender, like a slow link).
+func (t *ChanTransport) sendFaulty(from, to cube.NodeID, port int, msg Message) error {
+	inj := t.inj
+	if inj.NodeDead(from) || inj.NodeDead(to) || inj.LinkDead(from, to) {
+		return nil
+	}
+	out := inj.OnSend(from, to)
+	if out.IsZero() {
+		return t.sendClean(from, to, port, msg)
+	}
+	if out.Drop {
+		return nil
+	}
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	if out.Corrupt {
+		msg = CorruptCopy(msg)
+	}
+	copies := 1
+	if out.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		send := msg
+		if i > 0 {
+			// The duplicate gets its own Parts slice: the original's may be
+			// a pooled buffer the first receiver recycles (payload bytes
+			// are never recycled, so sharing Data is safe).
+			send.Parts = append([]Part(nil), msg.Parts...)
+		}
+		select {
+		case t.inbox[to] <- Envelope{Message: send, Port: port, From: from}:
+		case <-t.down:
+			return ErrDown
+		}
+	}
+	return nil
+}
+
+// CorruptCopy returns msg with every part's payload deep-copied and its
+// first byte flipped; checksums (Part.Sum) are left intact so receivers
+// can detect the damage. Empty payloads pass through unharmed. Transports
+// use it to apply a Corrupt fault outcome to an in-process delivery (on
+// the wire, the TCP transport instead flips encoded frame bytes, which
+// the receiver's CRC catches).
+func CorruptCopy(msg Message) Message {
+	parts := make([]Part, len(msg.Parts))
+	for i, p := range msg.Parts {
+		q := p
+		if len(p.Data) > 0 {
+			q.Data = append([]byte(nil), p.Data...)
+			q.Data[0] ^= 0xFF
+		}
+		parts[i] = q
+	}
+	msg.Parts = parts
+	return msg
+}

@@ -1,10 +1,19 @@
 // Package mpx is a message-passing multicomputer runtime modelled on the
 // Intel iPSC's programming interface: one concurrently executing node per
-// cube address (a goroutine), communicating by messages that travel only
-// between cube neighbors. Node programs communicate exclusively through
-// Send/Recv, so an algorithm written against this package is genuinely
-// distributed — each node derives its routing decisions locally from its
-// own address, exactly as the paper's routing algorithms require.
+// cube address, communicating by messages that travel only between cube
+// neighbors. Node programs communicate exclusively through Send/Recv, so
+// an algorithm written against this package is genuinely distributed —
+// each node derives its routing decisions locally from its own address,
+// exactly as the paper's routing algorithms require.
+//
+// Messages move through a Transport. The in-process ChanTransport (the
+// default behind New) hosts every node in one process and delivers over
+// buffered channels with a zero-allocation fast path; the TCP transport
+// in internal/transport hosts one or more nodes per OS process and
+// carries the same messages over real sockets with length-prefixed,
+// checksummed frames (internal/wire). A Machine built over any transport
+// runs programs only on the nodes that transport hosts, so a multi-
+// process cube is simply one Machine per process.
 //
 // Each node owns a single buffered inbox (like the iPSC's receive queue);
 // Send(port, msg) enqueues into the neighbor's inbox and Recv dequeues in
@@ -17,11 +26,14 @@
 // A machine may be built with a fault.Injector (NewWithInjector): dead
 // nodes never schedule their programs, dead links silently drop, and
 // message rules can drop, duplicate, delay or corrupt individual
-// crossings. The fault-free path is untouched — a nil injector costs one
-// pointer test per send and no allocations.
+// crossings. Fault rules are applied at the transport boundary — over
+// TCP, a corrupted crossing damages the encoded frame on the wire and is
+// caught by the receiver's CRC check. The fault-free path is untouched —
+// a nil injector costs one pointer test per send and no allocations.
 package mpx
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -69,20 +81,73 @@ type Envelope struct {
 	From cube.NodeID
 }
 
-// Machine is a Boolean-cube multicomputer.
-type Machine struct {
-	c     *cube.Cube
-	inbox []chan Envelope
+// ErrDown is returned by Transport.Send when the transport was shut down
+// (a peer finished, panicked, or the machine was closed). Node.Send
+// translates it into the abort panic that unwinds a node program.
+var ErrDown = errors.New("mpx: machine shut down")
 
-	// inj, when non-nil, is consulted on every send and when scheduling
-	// node programs; nil means a fault-free machine and costs nothing on
-	// the send path beyond a single pointer test.
+// Transport moves envelopes between cube nodes. The runtime ships two
+// implementations: ChanTransport (in-process buffered channels, the
+// default) and the TCP transport in internal/transport (real sockets,
+// one or more hosted nodes per OS process). Implementations must be safe
+// for concurrent use by every hosted node.
+type Transport interface {
+	// Send delivers msg from node `from` (which must be hosted by this
+	// transport) through the given port, blocking while the receiver
+	// lacks buffer space. It returns ErrDown after Close, or a transport
+	// failure (e.g. a *PeerError for a severed TCP link).
+	Send(from cube.NodeID, port int, msg Message) error
+	// Inbox returns the receive channel of a hosted node.
+	Inbox(id cube.NodeID) <-chan Envelope
+	// Done is closed when the transport shuts down, unblocking receivers.
+	Done() <-chan struct{}
+	// Locals lists the nodes hosted by this transport, ascending.
+	Locals() []cube.NodeID
+	// Cube returns the topology.
+	Cube() *cube.Cube
+	// Close shuts the transport down: senders and receivers unblock, and
+	// network-backed implementations flush and close their links
+	// gracefully. Close is idempotent.
+	Close() error
+}
+
+// PeerErrorer is an optional Transport extension reporting the first
+// connection-level failure observed on one of a hosted node's links —
+// a crashed neighbor process, a severed socket. The in-process
+// ChanTransport never reports one.
+type PeerErrorer interface {
+	PeerError(id cube.NodeID) error
+}
+
+// PeerError is a transport-level link failure: the connection carrying
+// traffic between Self and Peer died (without a graceful shutdown
+// announcement). Collectives surface it distinctly from protocol errors
+// such as a collective sequence mismatch.
+type PeerError struct {
+	Self, Peer cube.NodeID
+	Err        error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("mpx: node %d: link to peer %d failed: %v", e.Self, e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Machine is a Boolean-cube multicomputer over a Transport. It runs node
+// programs for the transport's hosted nodes; a machine over the default
+// ChanTransport hosts the whole cube in one process.
+type Machine struct {
+	c  *cube.Cube
+	tr Transport
+
+	// inj, when non-nil, is consulted when scheduling node programs (dead
+	// nodes never run); message-level faults are the transport's concern.
 	inj fault.Injector
 
-	// down is closed when a node program panics, unblocking every other
-	// node's Send/Recv so the machine shuts down instead of deadlocking.
-	down     chan struct{}
-	downOnce sync.Once
+	locals []cube.NodeID
+	inbox  []<-chan Envelope // indexed by node ID; nil for remote nodes
+	done   <-chan struct{}
 }
 
 // New creates an n-cube machine whose per-node inboxes buffer up to depth
@@ -114,18 +179,27 @@ func DepthForScatter(n, packetsPerPhase int) int {
 // may drop, duplicate, delay or corrupt individual crossings. A nil inj
 // yields exactly the fault-free machine of New.
 func NewWithInjector(n, depth int, inj fault.Injector) *Machine {
-	if depth < 1 {
-		depth = 1
-	}
-	c := cube.New(n)
+	return NewWithTransport(NewChanTransport(n, depth, inj), inj)
+}
+
+// NewWithTransport creates a machine over an existing transport. Run
+// executes programs only on the transport's hosted nodes, so a cube
+// spread over several OS processes is one NewWithTransport machine per
+// process (see internal/transport for the TCP transport). inj, when
+// non-nil, suppresses scheduling of dead hosted nodes; message faults
+// belong to the transport itself.
+func NewWithTransport(tr Transport, inj fault.Injector) *Machine {
+	c := tr.Cube()
 	m := &Machine{
-		c:     c,
-		inbox: make([]chan Envelope, c.Nodes()),
-		inj:   inj,
-		down:  make(chan struct{}),
+		c:      c,
+		tr:     tr,
+		inj:    inj,
+		locals: tr.Locals(),
+		inbox:  make([]<-chan Envelope, c.Nodes()),
+		done:   tr.Done(),
 	}
-	for i := range m.inbox {
-		m.inbox[i] = make(chan Envelope, depth)
+	for _, id := range m.locals {
+		m.inbox[id] = tr.Inbox(id)
 	}
 	return m
 }
@@ -136,16 +210,32 @@ type abortErr struct{}
 
 func (abortErr) Error() string { return "mpx: machine aborted: a peer node panicked" }
 
+// transportAbort is the panic value carrying a transport failure out of
+// a blocked Send; Run converts it into the node's error return instead
+// of propagating the panic.
+type transportAbort struct{ err error }
+
 // Shutdown permanently unblocks every goroutine waiting in Send or Recv on
-// this machine (they panic with an internal abort value). Call it after
-// Run returns when auxiliary goroutines (e.g. inbox pumps) may still be
-// blocked; the machine must not be used afterwards.
-func (m *Machine) Shutdown() {
-	m.downOnce.Do(func() { close(m.down) })
-}
+// this machine (they panic with an internal abort value) and closes the
+// underlying transport. Call it after Run returns when auxiliary
+// goroutines (e.g. inbox pumps) may still be blocked; the machine must
+// not be used afterwards.
+func (m *Machine) Shutdown() { m.tr.Close() }
 
 // Cube returns the machine's topology.
 func (m *Machine) Cube() *cube.Cube { return m.c }
+
+// Transport returns the machine's transport.
+func (m *Machine) Transport() Transport { return m.tr }
+
+// PeerError reports the first connection-level failure recorded on one
+// of node id's links, or nil — always nil for in-process transports.
+func (m *Machine) PeerError(id cube.NodeID) error {
+	if pe, ok := m.tr.(PeerErrorer); ok {
+		return pe.PeerError(id)
+	}
+	return nil
+}
 
 // Node is the per-node handle passed to node programs.
 type Node struct {
@@ -156,76 +246,22 @@ type Node struct {
 // Dim returns the cube dimension.
 func (nd *Node) Dim() int { return nd.m.c.Dim() }
 
+// PeerError reports the first connection-level failure on one of this
+// node's links (nil on in-process transports). Collectives consult it to
+// tell a crashed neighbor from a slow one.
+func (nd *Node) PeerError() error { return nd.m.PeerError(nd.ID) }
+
 // Send transmits msg through the given port (to the neighbor differing in
 // bit `port`). It blocks while the receiver's inbox is full. On a machine
 // with a fault injector the message may be lost, duplicated, delayed or
 // corrupted; the fault-free path is a single nil test.
 func (nd *Node) Send(port int, msg Message) {
-	to := nd.m.c.Neighbor(nd.ID, port)
-	if nd.m.inj != nil {
-		nd.sendFaulty(to, port, msg)
-		return
-	}
-	select {
-	case nd.m.inbox[to] <- Envelope{Message: msg, Port: port, From: nd.ID}:
-	case <-nd.m.down:
-		panic(abortErr{})
-	}
-}
-
-// sendFaulty is the injector-mediated send path: dead endpoints and dead
-// links silently swallow the message; rule outcomes are applied in the
-// sender's goroutine (a delay blocks the sender, like a slow link).
-func (nd *Node) sendFaulty(to cube.NodeID, port int, msg Message) {
-	inj := nd.m.inj
-	if inj.NodeDead(nd.ID) || inj.NodeDead(to) || inj.LinkDead(nd.ID, to) {
-		return
-	}
-	out := inj.OnSend(nd.ID, to)
-	if out.Drop {
-		return
-	}
-	if out.Delay > 0 {
-		time.Sleep(out.Delay)
-	}
-	if out.Corrupt {
-		msg = corruptCopy(msg)
-	}
-	copies := 1
-	if out.Duplicate {
-		copies = 2
-	}
-	for i := 0; i < copies; i++ {
-		send := msg
-		if i > 0 {
-			// The duplicate gets its own Parts slice: the original's may be
-			// a pooled buffer the first receiver recycles (payload bytes
-			// are never recycled, so sharing Data is safe).
-			send.Parts = append([]Part(nil), msg.Parts...)
-		}
-		select {
-		case nd.m.inbox[to] <- Envelope{Message: send, Port: port, From: nd.ID}:
-		case <-nd.m.down:
+	if err := nd.m.tr.Send(nd.ID, port, msg); err != nil {
+		if err == ErrDown {
 			panic(abortErr{})
 		}
+		panic(transportAbort{err})
 	}
-}
-
-// corruptCopy returns msg with every part's payload deep-copied and its
-// first byte flipped; checksums (Part.Sum) are left intact so receivers
-// can detect the damage. Empty payloads pass through unharmed.
-func corruptCopy(msg Message) Message {
-	parts := make([]Part, len(msg.Parts))
-	for i, p := range msg.Parts {
-		q := p
-		if len(p.Data) > 0 {
-			q.Data = append([]byte(nil), p.Data...)
-			q.Data[0] ^= 0xFF
-		}
-		parts[i] = q
-	}
-	msg.Parts = parts
-	return msg
 }
 
 // Fanout transmits one message through each of the given ports, reusing
@@ -265,9 +301,21 @@ func (nd *Node) Recv() Envelope {
 	select {
 	case env := <-nd.m.inbox[nd.ID]:
 		return env
-	case <-nd.m.down:
-		panic(abortErr{})
+	case <-nd.m.done:
+		nd.abortDown()
 	}
+	panic("unreachable")
+}
+
+// abortDown unwinds a node blocked on a shut-down machine. When the
+// shutdown was caused by one of this node's own links failing (a crashed
+// peer process), the unwind carries that transport error so Run reports
+// it; otherwise the node is collateral of someone else's abort.
+func (nd *Node) abortDown() {
+	if err := nd.m.PeerError(nd.ID); err != nil {
+		panic(transportAbort{err})
+	}
+	panic(abortErr{})
 }
 
 // RecvTimeout waits up to d for the next message, returning ok == false
@@ -281,21 +329,24 @@ func (nd *Node) RecvTimeout(d time.Duration) (Envelope, bool) {
 		return env, true
 	case <-t.C:
 		return Envelope{}, false
-	case <-nd.m.down:
-		panic(abortErr{})
+	case <-nd.m.done:
+		nd.abortDown()
 	}
+	panic("unreachable")
 }
 
-// Run executes program concurrently on every node and waits for all of
-// them. The first non-nil error is returned (others are dropped); a
-// panicking node propagates its panic after all other nodes finish. On a
-// machine with a fault injector, dead nodes never schedule their program.
+// Run executes program concurrently on every node hosted by the
+// machine's transport and waits for all of them. The first non-nil error
+// is returned (others are dropped); a panicking node propagates its
+// panic after all other nodes finish; a transport failure (severed TCP
+// link) is returned as that node's error. On a machine with a fault
+// injector, dead nodes never schedule their program.
 func (m *Machine) Run(program func(nd *Node) error) error {
 	var wg sync.WaitGroup
-	errs := make(chan error, m.c.Nodes())
-	panics := make(chan any, m.c.Nodes())
-	for i := 0; i < m.c.Nodes(); i++ {
-		if m.inj != nil && m.inj.NodeDead(cube.NodeID(i)) {
+	errs := make(chan error, len(m.locals))
+	panics := make(chan any, len(m.locals))
+	for _, id := range m.locals {
+		if m.inj != nil && m.inj.NodeDead(id) {
 			continue
 		}
 		wg.Add(1)
@@ -303,17 +354,22 @@ func (m *Machine) Run(program func(nd *Node) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					if _, aborted := r.(abortErr); !aborted {
+					switch v := r.(type) {
+					case abortErr:
+						// A peer died; this node was collateral.
+					case transportAbort:
+						errs <- fmt.Errorf("node %d: transport: %w", id, v.err)
+					default:
 						panics <- r
 					}
 					// Unblock every node still waiting in Send/Recv.
-					m.downOnce.Do(func() { close(m.down) })
+					m.tr.Close()
 				}
 			}()
 			if err := program(&Node{ID: id, m: m}); err != nil {
 				errs <- fmt.Errorf("node %d: %w", id, err)
 			}
-		}(cube.NodeID(i))
+		}(id)
 	}
 	wg.Wait()
 	close(errs)

@@ -1,0 +1,37 @@
+// Package testleak is a tiny goroutine-leak guard for tests: Check
+// snapshots runtime.NumGoroutine and, at cleanup, fails the test if the
+// count has not returned to baseline. Transport pumps, flushers and node
+// goroutines must all exit when a Machine's run ends — a stuck goroutine
+// here is a real shutdown bug, not noise.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and registers a cleanup
+// that re-checks it. Exiting goroutines are asynchronous, so the
+// comparison retries for up to two seconds before declaring a leak.
+func Check(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var n int
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
+	})
+}

@@ -1,0 +1,600 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+	"repro/internal/mpx"
+	"repro/internal/wire"
+)
+
+// coalesceLimit bounds the per-link write buffer: a send that grows it
+// past this flushes synchronously, providing backpressure against a slow
+// peer instead of unbounded buffering.
+const coalesceLimit = 256 << 10
+
+// closeFlushTimeout bounds the final flush (pending frames + BYE) that
+// Close attempts on every link.
+const closeFlushTimeout = 2 * time.Second
+
+// TCPOptions configures a TCP transport endpoint.
+type TCPOptions struct {
+	// Dim is the cube dimension.
+	Dim int
+	// Locals are the nodes this process hosts (at least one). A
+	// single-node process is the canonical deployment; hosting several
+	// nodes lets one process own a subcube (links between two hosted
+	// nodes never touch a socket).
+	Locals []cube.NodeID
+	// Listen is the listen address; empty means "127.0.0.1:0" (pick a
+	// free port — read it back with Addr).
+	Listen string
+	// Depth is the per-node inbox depth; 0 means DepthForScatter(Dim, 1).
+	Depth int
+	// Injector, when non-nil, applies message faults to every crossing
+	// at the transport boundary. Corrupt outcomes flip encoded frame
+	// bytes so the receiver's CRC detects them.
+	Injector fault.Injector
+	// HandshakeTimeout bounds Connect: dial retries (a peer may not be
+	// listening yet) and handshake reads. 0 means 30s.
+	HandshakeTimeout time.Duration
+}
+
+// TCP is a socket-backed mpx.Transport: every cube link whose endpoints
+// live in different processes is one TCP connection carrying
+// length-prefixed, CRC-checksummed frames (internal/wire). Writes
+// coalesce into a per-link buffer drained by a flusher goroutine; a read
+// pump per link decodes frames into the hosted node's inbox.
+//
+// Lifecycle: NewTCP binds the listener (Addr reports the port),
+// Connect(peers) establishes every neighbor link with a
+// version/dim/identity handshake, Close flushes, announces shutdown
+// (BYE) and tears everything down. An unannounced connection loss — a
+// crashed peer — is recorded as a *mpx.PeerError and shuts the
+// transport down so hosted nodes abort instead of hanging.
+type TCP struct {
+	c    *cube.Cube
+	opt  TCPOptions
+	ln   net.Listener
+	self string // bound listen address
+
+	local  []bool
+	locals []cube.NodeID
+	inbox  []chan mpx.Envelope
+
+	// links is indexed by int(local)*dim+port; nil when the neighbor is
+	// hosted locally (direct inbox delivery) or the node is not local.
+	links []*link
+
+	down     chan struct{}
+	downOnce sync.Once
+	wg       sync.WaitGroup
+
+	// crcDropped counts frames discarded by the receive-side checksum —
+	// the observable effect of in-flight corruption.
+	crcDropped atomic.Int64
+}
+
+// link is one neighbor connection from a hosted node.
+type link struct {
+	t          *TCP
+	self, peer cube.NodeID
+	port       int
+	conn       net.Conn
+
+	mu      sync.Mutex // guards pending, err
+	pending []byte     // frames awaiting flush
+	err     error      // first failure (*mpx.PeerError), sticky
+
+	kick chan struct{} // cap-1 flusher doorbell
+
+	wmu      sync.Mutex // serializes conn writes
+	flushbuf []byte     // swap buffer written under wmu
+}
+
+// NewTCP binds the transport's listener; Connect must be called before
+// any Send. The returned transport hosts opts.Locals.
+func NewTCP(opts TCPOptions) (*TCP, error) {
+	if len(opts.Locals) == 0 {
+		return nil, errors.New("transport: TCPOptions.Locals is empty")
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = mpx.DepthForScatter(opts.Dim, 1)
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 30 * time.Second
+	}
+	c := cube.New(opts.Dim)
+	t := &TCP{
+		c:      c,
+		opt:    opts,
+		local:  make([]bool, c.Nodes()),
+		inbox:  make([]chan mpx.Envelope, c.Nodes()),
+		links:  make([]*link, c.Nodes()*opts.Dim),
+		down:   make(chan struct{}),
+		locals: append([]cube.NodeID(nil), opts.Locals...),
+	}
+	sort.Slice(t.locals, func(i, j int) bool { return t.locals[i] < t.locals[j] })
+	for _, id := range t.locals {
+		if int(id) >= c.Nodes() {
+			return nil, fmt.Errorf("transport: local node %d outside the %d-cube", id, opts.Dim)
+		}
+		if t.local[id] {
+			return nil, fmt.Errorf("transport: local node %d listed twice", id)
+		}
+		t.local[id] = true
+		t.inbox[id] = make(chan mpx.Envelope, opts.Depth)
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", opts.Listen, err)
+	}
+	t.ln = ln
+	t.self = ln.Addr().String()
+	return t, nil
+}
+
+// Addr returns the bound listen address ("host:port") other endpoints
+// must be given as this transport's peers entry.
+func (t *TCP) Addr() string { return t.self }
+
+// Cube returns the topology.
+func (t *TCP) Cube() *cube.Cube { return t.c }
+
+// Locals returns the hosted nodes, ascending.
+func (t *TCP) Locals() []cube.NodeID { return t.locals }
+
+// Inbox returns the receive channel of a hosted node.
+func (t *TCP) Inbox(id cube.NodeID) <-chan mpx.Envelope { return t.inbox[id] }
+
+// Done is closed when the transport shuts down.
+func (t *TCP) Done() <-chan struct{} { return t.down }
+
+// CRCDropped reports how many received frames the checksum rejected.
+func (t *TCP) CRCDropped() int64 { return t.crcDropped.Load() }
+
+// linkIndex locates the link slot for a hosted node's port.
+func (t *TCP) linkIndex(id cube.NodeID, port int) int { return int(id)*t.opt.Dim + port }
+
+// Connect establishes every neighbor link: peers[j] is the listen
+// address of the transport hosting node j (entries for our own locals
+// are ignored). For each cube edge crossing a process boundary, the
+// endpoint with the smaller node ID dials and the larger accepts; the
+// handshake carries protocol version, cube dimension and both node IDs,
+// and either side rejects a mismatch. Dials retry until
+// HandshakeTimeout so endpoints may start in any order.
+func (t *TCP) Connect(peers []string) error {
+	if len(peers) != t.c.Nodes() {
+		t.Close()
+		return fmt.Errorf("transport: Connect wants %d peer addresses, got %d", t.c.Nodes(), len(peers))
+	}
+	deadline := time.Now().Add(t.opt.HandshakeTimeout)
+
+	type dialTarget struct {
+		self, peer cube.NodeID
+		port       int
+	}
+	var dials []dialTarget
+	expectAccepts := 0
+	for _, id := range t.locals {
+		for d := 0; d < t.opt.Dim; d++ {
+			peer := t.c.Neighbor(id, d)
+			if t.local[peer] {
+				continue
+			}
+			if id < peer {
+				dials = append(dials, dialTarget{id, peer, d})
+			} else {
+				expectAccepts++
+			}
+		}
+	}
+
+	type result struct {
+		l   *link
+		err error
+	}
+	results := make(chan result, len(dials)+expectAccepts)
+
+	// Accept side: the peer's handshake tells us which link it is.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for n := 0; n < expectAccepts; {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				select {
+				case <-t.down:
+				default:
+					results <- result{err: fmt.Errorf("transport: accept: %w", err)}
+				}
+				return
+			}
+			l, err := t.acceptHandshake(conn, deadline)
+			if err != nil {
+				conn.Close()
+				results <- result{err: err}
+				return
+			}
+			results <- result{l: l}
+			n++
+		}
+	}()
+
+	for _, dt := range dials {
+		go func(dt dialTarget) {
+			l, err := t.dialHandshake(dt.self, dt.peer, dt.port, peers[dt.peer], deadline)
+			results <- result{l, err}
+		}(dt)
+	}
+
+	var links []*link
+	var firstErr error
+	timeout := time.NewTimer(time.Until(deadline) + time.Second)
+	defer timeout.Stop()
+collect:
+	for i := 0; i < len(dials)+expectAccepts; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				firstErr = r.err
+				break collect
+			}
+			links = append(links, r.l)
+		case <-timeout.C:
+			firstErr = fmt.Errorf("transport: node(s) %v: handshake timed out after %v", t.locals, t.opt.HandshakeTimeout)
+			break collect
+		}
+	}
+	if firstErr != nil {
+		t.Close()
+		for _, l := range links {
+			l.conn.Close()
+		}
+		return firstErr
+	}
+
+	// Every expected connection is up: the listener's job is done (there
+	// is no reconnection protocol), so the accept loop can end.
+	t.ln.Close()
+	<-acceptDone
+
+	for _, l := range links {
+		t.links[t.linkIndex(l.self, l.port)] = l
+		t.wg.Add(2)
+		go l.readPump()
+		go l.flusher()
+	}
+	return nil
+}
+
+// dialHandshake connects self→peer, retrying while the peer's listener
+// is not up yet, and validates the echoed handshake.
+func (t *TCP) dialHandshake(self, peer cube.NodeID, port int, addr string, deadline time.Time) (*link, error) {
+	backoff := 20 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			l, err := t.finishDial(conn, self, peer, port, deadline)
+			if err == nil {
+				return l, nil
+			}
+			conn.Close()
+			return nil, err
+		}
+		select {
+		case <-t.down:
+			return nil, mpx.ErrDown
+		case <-time.After(backoff):
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("transport: node %d: dialing peer %d at %s: %w", self, peer, addr, err)
+		}
+	}
+}
+
+func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, deadline time.Time) (*link, error) {
+	conn.SetDeadline(deadline)
+	hs := wire.AppendHandshake(nil, wire.Handshake{Dim: t.opt.Dim, From: self, To: peer})
+	if _, err := conn.Write(hs); err != nil {
+		return nil, fmt.Errorf("transport: node %d: handshake write to peer %d: %w", self, peer, err)
+	}
+	echo, err := wire.ReadHandshake(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d: handshake reply from peer %d: %w", self, peer, err)
+	}
+	if echo.Dim != t.opt.Dim || echo.From != peer || echo.To != self {
+		return nil, fmt.Errorf("transport: node %d: peer %d answered as node %d of a %d-cube (want node %d of a %d-cube)",
+			self, peer, echo.From, echo.Dim, peer, t.opt.Dim)
+	}
+	conn.SetDeadline(time.Time{})
+	return t.newLink(self, peer, port, conn), nil
+}
+
+// acceptHandshake validates an inbound handshake and echoes it.
+func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) {
+	conn.SetDeadline(deadline)
+	hs, err := wire.ReadHandshake(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading handshake: %w", err)
+	}
+	if hs.Dim != t.opt.Dim {
+		return nil, fmt.Errorf("transport: peer %d speaks a %d-cube, this is a %d-cube", hs.From, hs.Dim, t.opt.Dim)
+	}
+	if int(hs.To) >= t.c.Nodes() || !t.local[hs.To] {
+		return nil, fmt.Errorf("transport: handshake for node %d, which is not hosted here", hs.To)
+	}
+	port := t.c.Port(hs.To, hs.From)
+	if port < 0 {
+		return nil, fmt.Errorf("transport: handshake from node %d, not a neighbor of %d", hs.From, hs.To)
+	}
+	if t.links[t.linkIndex(hs.To, port)] != nil {
+		return nil, fmt.Errorf("transport: duplicate connection for link %d<->%d", hs.To, hs.From)
+	}
+	echo := wire.AppendHandshake(nil, wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From})
+	if _, err := conn.Write(echo); err != nil {
+		return nil, fmt.Errorf("transport: handshake echo to node %d: %w", hs.From, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return t.newLink(hs.To, hs.From, port, conn), nil
+}
+
+func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn) *link {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are already coalesced by the write buffer; Nagle on top
+		// would only add latency.
+		tc.SetNoDelay(true)
+	}
+	return &link{t: t, self: self, peer: peer, port: port, conn: conn, kick: make(chan struct{}, 1)}
+}
+
+// Send delivers msg from a hosted node through the given port. Local
+// neighbors are delivered in process; remote neighbors get an encoded
+// frame appended to the link's coalescing buffer. Fault outcomes apply
+// here, at the transport boundary.
+func (t *TCP) Send(from cube.NodeID, port int, msg mpx.Message) error {
+	select {
+	case <-t.down:
+		return mpx.ErrDown
+	default:
+	}
+	if int(from) >= len(t.local) || !t.local[from] {
+		return fmt.Errorf("transport: node %d is not hosted by this endpoint", from)
+	}
+	to := t.c.Neighbor(from, port)
+	var out fault.Outcome
+	if inj := t.opt.Injector; inj != nil {
+		if inj.NodeDead(from) || inj.NodeDead(to) || inj.LinkDead(from, to) {
+			return nil
+		}
+		out = inj.OnSend(from, to)
+		if out.Drop {
+			return nil
+		}
+		if out.Delay > 0 {
+			time.Sleep(out.Delay)
+		}
+	}
+	if t.local[to] {
+		return t.deliverLocal(from, to, port, msg, out)
+	}
+	l := t.links[t.linkIndex(from, port)]
+	if l == nil {
+		return fmt.Errorf("transport: node %d has no link on port %d (Connect not run?)", from, port)
+	}
+	return l.send(msg, out)
+}
+
+// deliverLocal is the in-process path for a link whose both endpoints
+// are hosted here — semantically identical to ChanTransport.
+func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out fault.Outcome) error {
+	if out.Corrupt {
+		msg = mpx.CorruptCopy(msg)
+	}
+	copies := 1
+	if out.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		send := msg
+		if i > 0 {
+			send.Parts = append([]mpx.Part(nil), msg.Parts...)
+		}
+		select {
+		case t.inbox[to] <- mpx.Envelope{Message: send, Port: port, From: from}:
+		case <-t.down:
+			return mpx.ErrDown
+		}
+	}
+	return nil
+}
+
+// send encodes msg into the link's coalescing buffer and wakes the
+// flusher; oversized buffers flush synchronously for backpressure.
+func (l *link) send(msg mpx.Message, out fault.Outcome) error {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	start := len(l.pending)
+	l.pending = wire.AppendFrame(l.pending, msg)
+	if out.Corrupt {
+		// Damage the frame on the wire: flip one body byte after the CRC
+		// was computed. The receiver's checksum rejects the frame — the
+		// real detection path, not a simulated one.
+		if b := wire.BodyStart(l.pending[start:]); b >= 0 && start+b < len(l.pending)-4 {
+			l.pending[start+b] ^= 0xFF
+		}
+	}
+	if out.Duplicate {
+		l.pending = wire.AppendFrame(l.pending, msg)
+	}
+	big := len(l.pending) >= coalesceLimit
+	l.mu.Unlock()
+	if big {
+		return l.flush()
+	}
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flush writes the accumulated frames. Senders keep appending to the
+// pending buffer while a previous batch is on the wire — that window is
+// the write coalescing.
+func (l *link) flush() error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.pending, l.flushbuf = l.flushbuf[:0], l.pending
+	data := l.flushbuf
+	l.mu.Unlock()
+	if len(data) == 0 {
+		return nil
+	}
+	if _, err := l.conn.Write(data); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// fail records the first failure on this link (sticky) as a PeerError.
+func (l *link) fail(err error) error {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = &mpx.PeerError{Self: l.self, Peer: l.peer, Err: err}
+	}
+	err = l.err
+	l.mu.Unlock()
+	return err
+}
+
+// flusher drains the coalescing buffer until shutdown.
+func (l *link) flusher() {
+	defer l.t.wg.Done()
+	for {
+		select {
+		case <-l.kick:
+			l.flush() // failures are sticky in l.err
+		case <-l.t.down:
+			return
+		}
+	}
+}
+
+// readPump decodes inbound frames into the hosted node's inbox. A
+// checksum-rejected frame is counted and dropped (the stream stays
+// aligned). A BYE frame ends the pump quietly — the peer shut down in
+// good order. Any other stream failure is a crashed peer: it is recorded
+// and the whole transport shuts down so hosted nodes abort instead of
+// waiting forever.
+func (l *link) readPump() {
+	defer l.t.wg.Done()
+	r := wire.NewReader(bufio.NewReaderSize(l.conn, 64<<10))
+	for {
+		msg, err := r.ReadFrame()
+		switch {
+		case err == nil:
+		case errors.Is(err, wire.ErrChecksum):
+			l.t.crcDropped.Add(1)
+			continue
+		case errors.Is(err, wire.ErrBye):
+			return
+		default:
+			select {
+			case <-l.t.down:
+				// Shutdown raced the read: not a peer failure.
+			default:
+				if err == io.EOF {
+					err = errors.New("connection closed without shutdown announcement (peer crashed?)")
+				}
+				l.fail(err)
+				l.t.Close()
+			}
+			return
+		}
+		select {
+		case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
+		case <-l.t.down:
+			return
+		}
+	}
+}
+
+// PeerError reports the first connection-level failure recorded on one
+// of node id's links (implements mpx.PeerErrorer).
+func (t *TCP) PeerError(id cube.NodeID) error {
+	if int(id) >= len(t.local) || !t.local[id] {
+		return nil
+	}
+	for d := 0; d < t.opt.Dim; d++ {
+		if l := t.links[t.linkIndex(id, d)]; l != nil {
+			l.mu.Lock()
+			err := l.err
+			l.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts the transport down: every link gets a bounded final flush
+// of pending frames plus a BYE announcement, then its connection is
+// closed; the listener stops; pumps and flushers drain out. Idempotent,
+// safe to call from pump goroutines.
+func (t *TCP) Close() error {
+	t.downOnce.Do(func() {
+		close(t.down)
+		t.ln.Close()
+		for _, l := range t.links {
+			if l != nil {
+				l.shutdown()
+			}
+		}
+	})
+	return nil
+}
+
+// shutdown flushes what it can, announces BYE and closes the connection.
+func (l *link) shutdown() {
+	// Bound the final write AND force any in-flight conn.Write (a
+	// flusher stuck on a stalled peer) to return so wmu frees up.
+	l.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	l.wmu.Lock()
+	l.mu.Lock()
+	l.pending = wire.AppendBye(l.pending)
+	data := l.pending
+	broken := l.err != nil
+	l.mu.Unlock()
+	if !broken {
+		l.conn.Write(data) // best effort; the conn is closing anyway
+	}
+	l.conn.Close()
+	l.wmu.Unlock()
+}

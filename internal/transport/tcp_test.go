@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/fault"
+	"repro/internal/mpx"
+	"repro/internal/testleak"
+	"repro/internal/wire"
+)
+
+// payload is the deterministic per-edge test payload.
+func payload(from, to cube.NodeID) []byte {
+	return []byte(fmt.Sprintf("edge %d->%d", from, to))
+}
+
+// mesh builds one TCP transport per hosting set and connects the full
+// cube. hosts[i] lists the nodes of endpoint i; cleanup closes all.
+func mesh(t *testing.T, dim int, hosts [][]cube.NodeID, injs []fault.Injector) []*TCP {
+	t.Helper()
+	trs := make([]*TCP, len(hosts))
+	peers := make([]string, 1<<uint(dim))
+	for i, locals := range hosts {
+		var inj fault.Injector
+		if injs != nil {
+			inj = injs[i]
+		}
+		tr, err := NewTCP(TCPOptions{Dim: dim, Locals: locals, Injector: inj, HandshakeTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("NewTCP(%v): %v", locals, err)
+		}
+		trs[i] = tr
+		t.Cleanup(func() { tr.Close() })
+		for _, id := range locals {
+			peers[id] = tr.Addr()
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(trs))
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *TCP) {
+			defer wg.Done()
+			errs[i] = tr.Connect(peers)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Connect endpoint %d: %v", i, err)
+		}
+	}
+	return trs
+}
+
+// runAll runs program on a Machine per transport and joins the errors.
+func runAll(trs []*TCP, program func(nd *mpx.Node) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(trs))
+	for _, tr := range trs {
+		wg.Add(1)
+		go func(tr *TCP) {
+			defer wg.Done()
+			if err := mpx.NewWithTransport(tr, nil).Run(program); err != nil {
+				errs <- err
+			}
+		}(tr)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// neighborExchange is the canonical transport exerciser: every node
+// sends a distinct payload to each neighbor, then receives dim messages
+// and verifies sender, arrival port and bytes.
+func neighborExchange(nd *mpx.Node) error {
+	dim := nd.Dim()
+	for d := 0; d < dim; d++ {
+		nd.Send(d, mpx.Message{Tag: int(nd.ID), Parts: []mpx.Part{
+			{Dest: nd.ID ^ cube.NodeID(1<<uint(d)), Data: payload(nd.ID, nd.ID^cube.NodeID(1<<uint(d)))},
+		}})
+	}
+	for i := 0; i < dim; i++ {
+		env, ok := nd.RecvTimeout(10 * time.Second)
+		if !ok {
+			return fmt.Errorf("timed out after %d of %d messages", i, dim)
+		}
+		want := nd.ID ^ cube.NodeID(1<<uint(env.Port))
+		if env.From != want {
+			return fmt.Errorf("port %d delivered From=%d, want %d", env.Port, env.From, want)
+		}
+		if got, want := string(env.Parts[0].Data), string(payload(env.From, nd.ID)); got != want {
+			return fmt.Errorf("payload %q, want %q", got, want)
+		}
+	}
+	return nil
+}
+
+// TestTCPOneProcessPerNode runs a 3-cube as eight endpoints, one node
+// each — every cube link is a real socket.
+func TestTCPOneProcessPerNode(t *testing.T) {
+	testleak.Check(t)
+	dim := 3
+	hosts := make([][]cube.NodeID, 1<<uint(dim))
+	for i := range hosts {
+		hosts[i] = []cube.NodeID{cube.NodeID(i)}
+	}
+	trs := mesh(t, dim, hosts, nil)
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		tr.Close()
+		for _, id := range tr.Locals() {
+			if err := tr.PeerError(id); err != nil {
+				t.Errorf("node %d: unexpected peer error after graceful close: %v", id, err)
+			}
+		}
+	}
+}
+
+// TestTCPSplitCube hosts each half of a 3-cube in one endpoint: links
+// inside a half are direct inbox deliveries, links across are sockets,
+// and node programs cannot tell the difference.
+func TestTCPSplitCube(t *testing.T) {
+	testleak.Check(t)
+	trs := mesh(t, 3, [][]cube.NodeID{{0, 1, 2, 3}, {4, 5, 6, 7}}, nil)
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPHandshakeRejectsDimMismatch connects a raw socket speaking the
+// wrong cube dimension and expects the accepting endpoint to refuse it.
+func TestTCPHandshakeRejectsDimMismatch(t *testing.T) {
+	tr, err := NewTCP(TCPOptions{Dim: 1, Locals: []cube.NodeID{1}, HandshakeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	connectErr := make(chan error, 1)
+	go func() { connectErr <- tr.Connect([]string{"unused", tr.Addr()}) }()
+
+	conn, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Claim to be node 0 of a 4-cube.
+	if _, err := conn.Write(wire.AppendHandshake(nil, wire.Handshake{Dim: 4, From: 0, To: 1})); err != nil {
+		t.Fatal(err)
+	}
+	err = <-connectErr
+	if err == nil || !strings.Contains(err.Error(), "cube") {
+		t.Fatalf("Connect err = %v, want dimension mismatch", err)
+	}
+}
+
+// TestTCPFaultCorruptExercisesChecksum injects a Corrupt fault on the
+// wire: the sender flips a byte of the encoded frame after the CRC was
+// computed, and the receiver's checksum — the real one — must reject it.
+func TestTCPFaultCorruptExercisesChecksum(t *testing.T) {
+	testleak.Check(t)
+	plan := fault.NewPlan(1).AddRule(fault.Rule{
+		Link: cube.Edge{From: 0, To: 1}, Kind: fault.Corrupt, Nth: 0,
+	})
+	trs := mesh(t, 1,
+		[][]cube.NodeID{{0}, {1}},
+		[]fault.Injector{plan.Injector(), plan.Injector()})
+	err := runAll(trs, func(nd *mpx.Node) error {
+		if nd.ID == 0 {
+			nd.Send(0, mpx.Message{Tag: 1, Parts: []mpx.Part{{Dest: 1, Data: []byte("first: corrupted on the wire")}}})
+			nd.Send(0, mpx.Message{Tag: 2, Parts: []mpx.Part{{Dest: 1, Data: []byte("second: intact")}}})
+			return nil
+		}
+		env, ok := nd.RecvTimeout(10 * time.Second)
+		if !ok {
+			return errors.New("no message survived")
+		}
+		if env.Tag != 2 {
+			return fmt.Errorf("received tag %d, want 2 (the corrupted frame must be dropped)", env.Tag)
+		}
+		if _, spurious := nd.RecvTimeout(200 * time.Millisecond); spurious {
+			return errors.New("the corrupted frame was delivered anyway")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trs[1].CRCDropped(); got != 1 {
+		t.Fatalf("receiver dropped %d frames by checksum, want 1", got)
+	}
+}
+
+// TestTCPFaultDropAndDuplicate applies drop and duplicate rules at the
+// transport boundary of a socket link.
+func TestTCPFaultDropAndDuplicate(t *testing.T) {
+	testleak.Check(t)
+	plan := fault.NewPlan(1).
+		AddRule(fault.Rule{Link: cube.Edge{From: 0, To: 1}, Kind: fault.Duplicate, Nth: fault.EveryMessage}).
+		AddRule(fault.Rule{Link: cube.Edge{From: 1, To: 0}, Kind: fault.Drop, Nth: fault.EveryMessage})
+	trs := mesh(t, 1,
+		[][]cube.NodeID{{0}, {1}},
+		[]fault.Injector{plan.Injector(), plan.Injector()})
+	err := runAll(trs, func(nd *mpx.Node) error {
+		if nd.ID == 0 {
+			nd.Send(0, mpx.Message{Tag: 7, Parts: []mpx.Part{{Dest: 1, Data: []byte("dup me")}}})
+			if _, ok := nd.RecvTimeout(300 * time.Millisecond); ok {
+				return errors.New("message crossed a link that drops everything")
+			}
+			return nil
+		}
+		nd.Send(0, mpx.Message{Tag: 9, Parts: []mpx.Part{{Dest: 0, Data: []byte("never arrives")}}})
+		for i := 0; i < 2; i++ {
+			env, ok := nd.RecvTimeout(10 * time.Second)
+			if !ok {
+				return fmt.Errorf("got %d copies, want 2 (duplicate rule)", i)
+			}
+			if env.Tag != 7 || string(env.Parts[0].Data) != "dup me" {
+				return fmt.Errorf("copy %d mangled: %+v", i, env.Message)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPFaultPeerCrashSurfacesPeerError severs a connection without the
+// BYE announcement (a crashed peer process) and expects the survivor to
+// record a *mpx.PeerError naming the dead neighbor, shut down, and
+// report the failure from Machine.Run instead of hanging.
+func TestTCPFaultPeerCrashSurfacesPeerError(t *testing.T) {
+	testleak.Check(t)
+	tr, err := NewTCP(TCPOptions{Dim: 1, Locals: []cube.NodeID{0}, HandshakeTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// A raw listener plays node 1: handshake correctly, then crash.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := wire.ReadHandshake(conn); err != nil {
+			conn.Close()
+			return
+		}
+		conn.Write(wire.AppendHandshake(nil, wire.Handshake{Dim: 1, From: 1, To: 0}))
+		time.Sleep(50 * time.Millisecond) // let Connect finish
+		conn.Close()                      // crash: no BYE
+	}()
+
+	if err := tr.Connect([]string{tr.Addr(), ln.Addr().String()}); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	err = mpx.NewWithTransport(tr, nil).Run(func(nd *mpx.Node) error {
+		nd.Recv() // blocks until the link dies and the transport aborts us
+		return errors.New("received a message from a crashed peer")
+	})
+	var pe *mpx.PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run err = %v, want a *mpx.PeerError", err)
+	}
+	if pe.Self != 0 || pe.Peer != 1 {
+		t.Fatalf("PeerError names link %d->%d, want 0->1", pe.Self, pe.Peer)
+	}
+	select {
+	case <-tr.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("transport did not shut down after the peer crash")
+	}
+}
+
+// TestTCPCoalescedBurst pushes enough traffic through one link to roll
+// the coalescing buffer over its flush threshold repeatedly, checking
+// count, order and integrity on the far side.
+func TestTCPCoalescedBurst(t *testing.T) {
+	testleak.Check(t)
+	const msgs = 2000
+	trs := mesh(t, 1, [][]cube.NodeID{{0}, {1}}, nil)
+	err := runAll(trs, func(nd *mpx.Node) error {
+		if nd.ID == 0 {
+			body := make([]byte, 512)
+			for i := range body {
+				body[i] = byte(i)
+			}
+			for i := 0; i < msgs; i++ {
+				nd.Send(0, mpx.Message{Tag: i, Parts: []mpx.Part{{Dest: 1, Data: body}}})
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			env, ok := nd.RecvTimeout(20 * time.Second)
+			if !ok {
+				return fmt.Errorf("timed out at message %d/%d", i, msgs)
+			}
+			if env.Tag != i {
+				return fmt.Errorf("message %d arrived with tag %d: ordering broken", i, env.Tag)
+			}
+			if len(env.Parts[0].Data) != 512 || env.Parts[0].Data[100] != 100 {
+				return fmt.Errorf("message %d payload damaged", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInProcNoGoroutineLeak asserts the goroutine count returns to
+// baseline after a run over the in-process transport.
+func TestInProcNoGoroutineLeak(t *testing.T) {
+	testleak.Check(t)
+	tr := NewInProc(4, 8, nil)
+	m := mpx.NewWithTransport(tr, nil)
+	if err := m.Run(neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+	m.Shutdown()
+}
+
+// TestTCPNoGoroutineLeak asserts pumps and flushers all exit after a
+// graceful run-and-close over the TCP transport. (mesh registers Close
+// via t.Cleanup, which runs before testleak's check.)
+func TestTCPNoGoroutineLeak(t *testing.T) {
+	testleak.Check(t)
+	trs := mesh(t, 2, [][]cube.NodeID{{0, 2}, {1, 3}}, nil)
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
+}

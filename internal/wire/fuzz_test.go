@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mpx"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the decoder. The invariants:
+// the decoder never panics, never over-consumes, and any frame it
+// accepts re-encodes to a frame that decodes to the same message
+// (round-trip stability). Run with `go test -fuzz FuzzDecodeFrame
+// ./internal/wire` to explore beyond the seed corpus.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: every sample message's valid encoding, a BYE frame,
+	// and targeted mutants (truncation, flipped body, flipped length,
+	// flipped version, oversized length claim).
+	for _, msg := range sampleMessages() {
+		frame := AppendFrame(nil, msg)
+		f.Add(frame)
+		if len(frame) > 3 {
+			f.Add(frame[:len(frame)/2])
+			mut := append([]byte(nil), frame...)
+			mut[len(mut)/2] ^= 0x10
+			f.Add(mut)
+			mut2 := append([]byte(nil), frame...)
+			mut2[2] ^= 0x81
+			f.Add(mut2)
+		}
+	}
+	f.Add(AppendBye(nil))
+	f.Add([]byte{Version + 1, KindData, 3, 1, 2, 3, 0, 0, 0, 0})
+	f.Add([]byte{Version, KindData, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := DecodeFrame(data)
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if err != nil {
+			return
+		}
+		// Accepted frames must round-trip exactly.
+		re := AppendFrame(nil, msg)
+		msg2, _, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame fails to decode: %v", err)
+		}
+		if !msgEqual(msg, msg2) {
+			t.Fatalf("round-trip instability:\nfirst  %#v\nsecond %#v", msg, msg2)
+		}
+		// The streaming reader must agree with the slice decoder.
+		sm, serr := NewReader(bytes.NewReader(data)).ReadFrame()
+		if serr != nil {
+			t.Fatalf("Reader rejects a frame DecodeFrame accepted: %v", serr)
+		}
+		if !msgEqual(sm, msg) {
+			t.Fatal("Reader and DecodeFrame disagree")
+		}
+	})
+}
+
+// FuzzRoundTrip builds structured messages from fuzzed primitives and
+// checks encode/decode identity — the constructive dual of
+// FuzzDecodeFrame's adversarial direction.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(0, uint16(3), 7, []byte("hello"), uint32(9))
+	f.Add(-100, uint16(0), -1, []byte{}, uint32(0))
+	f.Add(1<<30, uint16(1000), 1<<40, bytes.Repeat([]byte{7}, 500), uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, tag int, dest uint16, offset int, data []byte, sum uint32) {
+		msg := mpx.Message{Tag: tag, Parts: []mpx.Part{
+			{Dest: 0, Data: data},
+			{Dest: 1, Offset: offset, Data: data, Sum: sum},
+			{Dest: 1 << 20, Offset: -offset, Sum: sum / 2},
+		}}
+		_ = dest
+		frame := AppendFrame(nil, msg)
+		got, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("consumed %d of %d", n, len(frame))
+		}
+		if !msgEqual(got, msg) {
+			t.Fatal("round trip mismatch")
+		}
+		// A flipped body byte must never pass the checksum.
+		if body := BodyStart(frame); body >= 0 && body < len(frame)-4 {
+			frame[body] ^= 0xFF
+			if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("body flip: err=%v, want checksum failure", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package wire is the length-prefixed, checksummed frame codec that
+// carries mpx.Message values over a byte stream (a TCP neighbor link in
+// internal/transport). The paper's runtime exchanges messages only
+// between cube neighbors, so a link never multiplexes traffic for third
+// parties: one frame is one mpx.Message crossing one link.
+//
+// Frame layout (all integers are unsigned varints unless noted):
+//
+//	+---------+------+- - - - - - - - - - - - - - - - - - -+
+//	| version | kind |  data frames only:                   |
+//	|  1 byte | 1 b  |  bodyLen | body | crc32(body) (4 B)  |
+//	+---------+------+- - - - - - - - - - - - - - - - - - -+
+//
+//	body = zigzag(Tag) | nparts | part*
+//	part = Dest | zigzag(Offset) | len(Data) | Data | Sum
+//
+// The version byte pins the protocol (mismatches fail the handshake and
+// every frame); the kind byte separates data frames from the BYE control
+// frame a transport sends before closing a link gracefully, so the peer
+// can tell an orderly shutdown from a crashed process. The CRC-32 (IEEE)
+// trailer covers the body: a frame damaged in flight is detected and
+// dropped by the receiver without desynchronizing the stream (the length
+// prefix still frames it), which is exactly the path fault-injected
+// corruption exercises in the TCP transport.
+//
+// The codec never panics on hostile input: truncated, oversized and
+// bit-flipped frames all return errors (fuzzed in fuzz_test.go).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// Version is the wire protocol version. Both the per-link handshake and
+// every frame carry it; a mismatch is a hard error.
+const Version = 1
+
+// Frame kinds.
+const (
+	// KindData frames carry one encoded mpx.Message.
+	KindData = 0
+	// KindBye announces an orderly link shutdown: no more frames will
+	// follow, and the coming EOF is not a peer failure.
+	KindBye = 1
+)
+
+// MaxBody bounds a frame body, protecting receivers from a corrupted or
+// hostile length prefix asking for gigabytes.
+const MaxBody = 64 << 20
+
+var (
+	// ErrChecksum reports a frame whose body failed CRC verification.
+	// The frame was consumed whole: the stream remains usable.
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	// ErrVersion reports a version byte other than Version.
+	ErrVersion = errors.New("wire: protocol version mismatch")
+	// ErrBye is returned by ReadFrame when the peer announces an orderly
+	// shutdown of the link.
+	ErrBye = errors.New("wire: peer closed the link")
+	// ErrTruncated reports a frame that ends before its declared length.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCorrupt reports a structurally invalid frame body (bad varint,
+	// part lengths exceeding the body, unknown kind...).
+	ErrCorrupt = errors.New("wire: malformed frame")
+)
+
+// zigzag encodes a signed int so small magnitudes stay small.
+func zigzag(v int) uint64 { return uint64((int64(v) << 1) ^ (int64(v) >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int { return int(int64(u>>1) ^ -int64(u&1)) }
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// bodyLen returns the encoded body size of msg.
+func bodyLen(msg mpx.Message) int {
+	n := uvarintLen(zigzag(msg.Tag)) + uvarintLen(uint64(len(msg.Parts)))
+	for _, p := range msg.Parts {
+		n += uvarintLen(uint64(p.Dest)) +
+			uvarintLen(zigzag(p.Offset)) +
+			uvarintLen(uint64(len(p.Data))) + len(p.Data) +
+			uvarintLen(uint64(p.Sum))
+	}
+	return n
+}
+
+// AppendFrame appends one encoded data frame carrying msg to dst and
+// returns the extended slice. It allocates only when dst lacks capacity,
+// so a transport can coalesce many frames into one reused buffer.
+func AppendFrame(dst []byte, msg mpx.Message) []byte {
+	body := bodyLen(msg)
+	dst = append(dst, Version, KindData)
+	dst = binary.AppendUvarint(dst, uint64(body))
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, zigzag(msg.Tag))
+	dst = binary.AppendUvarint(dst, uint64(len(msg.Parts)))
+	for _, p := range msg.Parts {
+		dst = binary.AppendUvarint(dst, uint64(p.Dest))
+		dst = binary.AppendUvarint(dst, zigzag(p.Offset))
+		dst = binary.AppendUvarint(dst, uint64(len(p.Data)))
+		dst = append(dst, p.Data...)
+		dst = binary.AppendUvarint(dst, uint64(p.Sum))
+	}
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// AppendBye appends the orderly-shutdown control frame to dst.
+func AppendBye(dst []byte) []byte { return append(dst, Version, KindBye) }
+
+// BodyStart returns the offset of the first body byte of the data frame
+// at the start of buf, or -1 if buf does not begin with a well-formed
+// data-frame header. Transports use it to flip body bytes when injecting
+// in-flight corruption: damage past this offset is caught by the CRC
+// without desynchronizing the stream.
+func BodyStart(buf []byte) int {
+	if len(buf) < 2 || buf[0] != Version || buf[1] != KindData {
+		return -1
+	}
+	n, k := binary.Uvarint(buf[2:])
+	if k <= 0 || n == 0 {
+		return -1
+	}
+	return 2 + k
+}
+
+// DecodeFrame decodes the frame at the start of buf, returning the
+// message, the number of bytes consumed, and an error. ErrBye marks a
+// consumed shutdown frame. On ErrChecksum the frame was consumed whole
+// (n covers it); every other error leaves n at the bytes it could parse.
+func DecodeFrame(buf []byte) (mpx.Message, int, error) {
+	if len(buf) < 2 {
+		return mpx.Message{}, 0, ErrTruncated
+	}
+	if buf[0] != Version {
+		return mpx.Message{}, 0, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, buf[0], Version)
+	}
+	switch buf[1] {
+	case KindBye:
+		return mpx.Message{}, 2, ErrBye
+	case KindData:
+	default:
+		return mpx.Message{}, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, buf[1])
+	}
+	blen, k := binary.Uvarint(buf[2:])
+	if k <= 0 {
+		return mpx.Message{}, 0, fmt.Errorf("%w: bad body length", ErrCorrupt)
+	}
+	if blen > MaxBody {
+		return mpx.Message{}, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+	}
+	hdr := 2 + k
+	total := hdr + int(blen) + 4
+	if len(buf) < total {
+		return mpx.Message{}, 0, ErrTruncated
+	}
+	body := buf[hdr : hdr+int(blen)]
+	want := binary.LittleEndian.Uint32(buf[hdr+int(blen):])
+	if crc32.ChecksumIEEE(body) != want {
+		return mpx.Message{}, total, ErrChecksum
+	}
+	msg, err := decodeBody(body)
+	if err != nil {
+		return mpx.Message{}, total, err
+	}
+	return msg, total, nil
+}
+
+// decodeBody parses a CRC-verified frame body. The returned message owns
+// freshly copied payload bytes (body may be a reused read buffer).
+func decodeBody(body []byte) (mpx.Message, error) {
+	var msg mpx.Message
+	tag, n, ok := readUvarint(body)
+	if !ok {
+		return msg, fmt.Errorf("%w: bad tag", ErrCorrupt)
+	}
+	body = body[n:]
+	msg.Tag = unzigzag(tag)
+	nparts, n, ok := readUvarint(body)
+	if !ok {
+		return msg, fmt.Errorf("%w: bad part count", ErrCorrupt)
+	}
+	body = body[n:]
+	// Each part costs at least 4 encoded bytes; a count beyond that is a
+	// lie and must not drive the allocation below.
+	if nparts > uint64(len(body)/4)+1 {
+		return msg, fmt.Errorf("%w: %d parts in %d body bytes", ErrCorrupt, nparts, len(body))
+	}
+	if nparts > 0 {
+		msg.Parts = make([]mpx.Part, 0, nparts)
+	}
+	for i := uint64(0); i < nparts; i++ {
+		var p mpx.Part
+		dest, n, ok := readUvarint(body)
+		if !ok {
+			return msg, fmt.Errorf("%w: part %d dest", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Dest = cube.NodeID(dest)
+		off, n, ok := readUvarint(body)
+		if !ok {
+			return msg, fmt.Errorf("%w: part %d offset", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Offset = unzigzag(off)
+		dlen, n, ok := readUvarint(body)
+		if !ok || dlen > uint64(len(body)-n) {
+			return msg, fmt.Errorf("%w: part %d data length", ErrCorrupt, i)
+		}
+		body = body[n:]
+		if dlen > 0 {
+			p.Data = append([]byte(nil), body[:dlen]...)
+			body = body[dlen:]
+		}
+		sum, n, ok := readUvarint(body)
+		if !ok || sum > 0xFFFFFFFF {
+			return msg, fmt.Errorf("%w: part %d checksum", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Sum = uint32(sum)
+		msg.Parts = append(msg.Parts, p)
+	}
+	if len(body) != 0 {
+		return msg, fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(body))
+	}
+	return msg, nil
+}
+
+// readUvarint is binary.Uvarint with an ok flag instead of sign tricks.
+func readUvarint(b []byte) (uint64, int, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v, n, true
+}
+
+// Reader decodes frames from a byte stream, reusing one internal buffer
+// across frames (decoded payloads are copied out, so they never alias it).
+type Reader struct {
+	r   io.Reader
+	hdr [2]byte
+	buf []byte
+}
+
+// NewReader returns a frame reader over r. Wrap r in a bufio.Reader if
+// it issues unbuffered syscalls.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadFrame reads the next frame. It returns ErrBye on an orderly
+// shutdown frame and ErrChecksum for a damaged-but-framed body (the
+// stream stays aligned; the caller may keep reading). Any other error is
+// terminal for the stream.
+func (r *Reader) ReadFrame() (mpx.Message, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return mpx.Message{}, err
+	}
+	if r.hdr[0] != Version {
+		return mpx.Message{}, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, r.hdr[0], Version)
+	}
+	switch r.hdr[1] {
+	case KindBye:
+		return mpx.Message{}, ErrBye
+	case KindData:
+	default:
+		return mpx.Message{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, r.hdr[1])
+	}
+	blen, err := readUvarintFrom(r.r)
+	if err != nil {
+		return mpx.Message{}, fmt.Errorf("%w: bad body length", ErrCorrupt)
+	}
+	if blen > MaxBody {
+		return mpx.Message{}, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+	}
+	need := int(blen) + 4
+	if cap(r.buf) < need {
+		r.buf = make([]byte, need)
+	}
+	r.buf = r.buf[:need]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return mpx.Message{}, err
+	}
+	body := r.buf[:blen]
+	want := binary.LittleEndian.Uint32(r.buf[blen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return mpx.Message{}, ErrChecksum
+	}
+	return decodeBody(body)
+}
+
+// readUvarintFrom reads a varint byte by byte (frames are length-framed,
+// so over-reads past the varint would steal body bytes).
+func readUvarintFrom(r io.Reader) (uint64, error) {
+	var v uint64
+	var b [1]byte
+	for shift := uint(0); shift < 64; shift += 7 {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		v |= uint64(b[0]&0x7F) << shift
+		if b[0] < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// Handshake opens every neighbor link: the dialing side announces who it
+// is and which node it wants, the accepting side echoes the pair back.
+// Dim and Version mismatches kill the connection before any frame flows.
+type Handshake struct {
+	Dim      int
+	From, To cube.NodeID
+}
+
+// handshake layout: magic (4) | version (1) | dim (1) | from (4, LE) | to (4, LE).
+const handshakeLen = 14
+
+var handshakeMagic = [4]byte{'H', 'C', 'U', 'B'}
+
+// AppendHandshake appends the encoded handshake to dst.
+func AppendHandshake(dst []byte, h Handshake) []byte {
+	dst = append(dst, handshakeMagic[:]...)
+	dst = append(dst, Version, byte(h.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.From))
+	return binary.LittleEndian.AppendUint32(dst, uint32(h.To))
+}
+
+// ReadHandshake reads and validates one handshake from r.
+func ReadHandshake(r io.Reader) (Handshake, error) {
+	var buf [handshakeLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Handshake{}, err
+	}
+	if [4]byte(buf[:4]) != handshakeMagic {
+		return Handshake{}, fmt.Errorf("%w: bad handshake magic %q", ErrCorrupt, buf[:4])
+	}
+	if buf[4] != Version {
+		return Handshake{}, fmt.Errorf("%w: peer speaks version %d, want %d", ErrVersion, buf[4], Version)
+	}
+	return Handshake{
+		Dim:  int(buf[5]),
+		From: cube.NodeID(binary.LittleEndian.Uint32(buf[6:10])),
+		To:   cube.NodeID(binary.LittleEndian.Uint32(buf[10:14])),
+	}, nil
+}
