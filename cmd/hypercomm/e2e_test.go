@@ -5,7 +5,19 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// buildHypercomm compiles the CLI into the test's temp dir once.
+func buildHypercomm(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hypercomm")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hypercomm: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // TestLaunchEightProcessCube builds the hypercomm binary and runs
 // `launch -n 3`: eight real OS processes, one cube node each, every
@@ -15,11 +27,7 @@ func TestLaunchEightProcessCube(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns 9 processes")
 	}
-	bin := filepath.Join(t.TempDir(), "hypercomm")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building hypercomm: %v\n%s", err, out)
-	}
+	bin := buildHypercomm(t)
 	out, err := exec.Command(bin, "launch", "-n", "3", "-m", "4096").CombinedOutput()
 	if err != nil {
 		t.Fatalf("launch: %v\n%s", err, out)
@@ -42,11 +50,7 @@ func TestServeExplicitPeers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns 2 processes")
 	}
-	bin := filepath.Join(t.TempDir(), "hypercomm")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building hypercomm: %v\n%s", err, out)
-	}
+	bin := buildHypercomm(t)
 	const a0, a1 = "127.0.0.1:29480", "127.0.0.1:29481"
 	peers := a0 + "," + a1
 	c0 := exec.Command(bin, "serve", "-n", "1", "-id", "0", "-listen", a0, "-peers", peers)
@@ -61,5 +65,79 @@ func TestServeExplicitPeers(t *testing.T) {
 	}
 	if !strings.Contains(string(out1), "OK 1:") {
 		t.Errorf("node 1 never reported OK:\n%s", out1)
+	}
+}
+
+// TestChaosEightProcessSurvivesFaults is the multi-process soak from
+// the acceptance bar: `chaos -n 3` spawns eight resilient serve
+// processes, each running a seeded chaos agent that kills, flaps and
+// delays its own live TCP connections while lockstep MSBT broadcast +
+// BST scatter/gather rounds flow. The drill itself fails unless every
+// rank verified every payload AND at least one fault was actually
+// injected mid-run, so a passing exit code is the whole assertion; the
+// output checks below just pin the report format.
+func TestChaosEightProcessSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 9 processes")
+	}
+	bin := buildHypercomm(t)
+	out, err := exec.Command(bin, "chaos", "-n", "3", "-m", "4096",
+		"-for", "1200ms", "-seed", "7", "-min-events", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("chaos drill failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for i := 0; i < 8; i++ {
+		if !strings.Contains(text, "OK "+string(rune('0'+i))+":") {
+			t.Errorf("node %d never reported OK:\n%s", i, text)
+		}
+	}
+	if !strings.Contains(text, "CHAOS ") {
+		t.Errorf("no injected fault was logged:\n%s", text)
+	}
+	if !strings.Contains(text, "STATS ") {
+		t.Errorf("children ran with -v but printed no STATS line:\n%s", text)
+	}
+	if !strings.Contains(text, "survived") {
+		t.Errorf("missing chaos summary:\n%s", text)
+	}
+}
+
+// TestChaosKillNodeFailsFastNamingPeer is the budget-exhaustion half
+// of the acceptance bar: kill one of the eight processes outright and
+// require the run to FAIL fast — survivors exhaust their reconnect
+// budgets and name the dead peer — rather than hang. The chaos command
+// encodes exactly that verdict (it exits nonzero on a hang, a false
+// OK, or an unnamed failure), so again the exit code carries the
+// assertion; the wall-clock bound below catches a near-hang that
+// squeaks under the command's own generous timeout.
+func TestChaosKillNodeFailsFastNamingPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 9 processes")
+	}
+	bin := buildHypercomm(t)
+	start := time.Now()
+	out, err := exec.Command(bin, "chaos", "-n", "3", "-m", "4096",
+		"-for", "10s", "-kill-node", "5", "-kill-after", "150ms",
+		"-budget", "500ms", "-attempts", "20", "-deadline", "2s").CombinedOutput()
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budget-exhaustion drill failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "budget-exhaustion drill passed") {
+		t.Errorf("missing drill verdict:\n%s", text)
+	}
+	if !strings.Contains(text, "link to peer 5 failed") {
+		t.Errorf("no survivor named the dead peer 5:\n%s", text)
+	}
+	if !strings.Contains(text, "budget exhausted") {
+		t.Errorf("no survivor reported the exhausted reconnect budget:\n%s", text)
+	}
+	// Neighbors of the dead node escalate after one budget (~650ms from
+	// start) and the cascade finishes well inside a few seconds; 15s of
+	// slack still proves "fails fast" against the 10s workload window.
+	if elapsed > 15*time.Second {
+		t.Errorf("drill took %v — the failure did not propagate fast", elapsed)
 	}
 }

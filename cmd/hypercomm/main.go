@@ -12,13 +12,32 @@
 //	ablate    -n DIM
 //	route     -n DIM -perm {bitrev|transpose|random}
 //	serve     -n DIM -id NODE [-listen ADDR] [-peers A0,A1,...] [-m BYTES]
+//	          [-resilient -attempts K -budget DUR] [-rounds R | -for DUR]
+//	          [-deadline DUR] [-chaos -chaos-seed S -chaos-hold DUR] [-v]
 //	launch    -n DIM [-m BYTES]
+//	chaos     -n DIM [-m BYTES] [-for DUR] [-seed S] [-hold DUR]
+//	          [-attempts K -budget DUR -deadline DUR] [-min-events E]
+//	          [-kill-node NODE -kill-after DUR]
 //
 // serve runs ONE node of the cube in this OS process, carrying every
 // cube link over a TCP socket (checksummed frames, see internal/wire);
 // launch spawns a full 2^n-process cube on localhost, wires the
 // processes together and verifies an MSBT broadcast and a BST scatter
-// end to end.
+// end to end. With -resilient the links self-heal: a lost connection
+// is redialed with jittered exponential backoff and the sequenced
+// frames the peer missed are retransmitted from a replay ring, so
+// collectives survive socket kills invisibly; -v prints the per-node
+// link-health counters (reconnects, retransmits, CRC drops, ...)
+// after the run.
+//
+// chaos is the robustness drill built on launch: every child runs a
+// seeded chaos agent that kills, flaps and delays its own live
+// sockets while lockstep collective rounds flow for -for; the drill
+// passes only if every rank verifies every payload AND at least
+// -min-events faults were actually injected. With -kill-node the
+// agents stay off and one child process is killed outright instead:
+// survivors must exhaust their reconnect budgets and fail fast naming
+// the dead peer — complete or fail with a name, never hang.
 //
 // broadcast, scatter and verify accept fault-injection flags: -faults
 // COUNT, -fault-kind {links|nodes|neighbor|drop|corrupt|duplicate|none}
@@ -82,6 +101,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "launch":
 		err = cmdLaunch(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -93,7 +114,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos> [flags]
 run "hypercomm <subcommand> -h" for flags`)
 }
 

@@ -1,12 +1,17 @@
 // The networked subcommands: `serve` runs one node of a multi-process
 // cube over the TCP transport, `launch` spawns a whole cube of serve
-// processes on localhost and verifies the collectives end to end.
+// processes on localhost and verifies the collectives end to end, and
+// `chaos` is the self-healing drill: a launch whose children run chaos
+// agents against their own live sockets (or, with -kill-node, lose a
+// whole process) while the collectives must either complete correctly
+// or fail fast naming the dead peer.
 //
 // Peer discovery has two modes. With -peers, every process is told the
 // full address list up front (the two-terminal workflow: fixed -listen
 // ports, same -peers on both sides). Without it, serve prints
 // "ADDR <id> <addr>" on stdout and waits for a "PEERS <a0> <a1> ..."
-// line on stdin — the handshake `launch` drives for its children.
+// line on stdin — the handshake `launch` and `chaos` drive for their
+// children.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/cube"
@@ -33,6 +39,16 @@ func cmdServe(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "listen address (port 0 = pick a free one)")
 	peersS := fs.String("peers", "", "comma-separated listen addresses of all 2^n nodes in node order (empty = stdio handshake: print ADDR, read PEERS)")
 	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	rounds := fs.Int("rounds", 1, "workload repetitions (each: msbt broadcast + bst scatter/gather + barrier)")
+	runFor := fs.Duration("for", 0, "run workload rounds in lockstep until this much wall-clock time elapses at the root (overrides -rounds)")
+	resilient := fs.Bool("resilient", false, "self-healing links: redial with backoff and resume/retransmit on a lost connection instead of failing")
+	attempts := fs.Int("attempts", 0, "reconnect attempts per outage before escalating (0 = transport default)")
+	budget := fs.Duration("budget", 0, "total reconnect budget per outage before escalating (0 = transport default)")
+	deadline := fs.Duration("deadline", 0, "per-collective deadline (0 = block indefinitely)")
+	chaos := fs.Bool("chaos", false, "run a chaos agent that kills, flaps and delays this process's own live connections")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the chaos agent's schedule")
+	chaosHold := fs.Duration("chaos-hold", 0, "how long chaos flap/delay faults persist (0 = agent default)")
+	verbose := fs.Bool("v", false, "print a STATS line with the link-health counters after the run")
 	fs.Parse(args)
 
 	if *id < 0 || *id >= 1<<uint(*n) {
@@ -43,6 +59,11 @@ func cmdServe(args []string) error {
 		Locals: []cube.NodeID{cube.NodeID(*id)},
 		Listen: *listen,
 		Depth:  comm.CollectiveDepth(*n),
+		Resilience: transport.ResilienceOptions{
+			Enabled:     *resilient,
+			MaxAttempts: *attempts,
+			Budget:      *budget,
+		},
 	})
 	if err != nil {
 		return err
@@ -70,122 +91,194 @@ func cmdServe(args []string) error {
 	if err := tr.Connect(peers); err != nil {
 		return err
 	}
-	return comm.RunOn(mpx.NewWithTransport(tr, nil), nodeProgram(*m))
+	var agent *transport.Chaos
+	if *chaos {
+		agent = tr.StartChaos(transport.ChaosOptions{
+			Seed:  *chaosSeed,
+			Kinds: []transport.ChaosKind{transport.ChaosKill, transport.ChaosFlap, transport.ChaosDelay},
+			Hold:  *chaosHold,
+			Log: func(format string, a ...any) {
+				fmt.Printf("CHAOS %d: "+format+"\n", append([]any{*id}, a...)...)
+			},
+		})
+	}
+	machine := mpx.NewWithTransport(tr, nil)
+	runErr := comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline))
+	if agent != nil {
+		agent.Stop()
+	}
+	if *verbose {
+		if st, ok := machine.Stats(); ok {
+			fmt.Printf("STATS %d: reconnects=%d retransmits=%d crc_dropped=%d acks=%d nacks=%d dups_dropped=%d severed=%d replay_hw=%d\n",
+				*id, st.Reconnects, st.Retransmits, st.CRCDropped, st.AcksSent, st.NacksSent,
+				st.DupsDropped, st.SeveredLinks, st.ReplayHighWater)
+		}
+	}
+	return runErr
 }
 
-// nodeProgram is the workload every serve process runs: an MSBT
-// broadcast (payload chunked down the n edge-disjoint ERSBTs), a BST
-// scatter, a gather round-trip proving every rank's payload back at the
-// root, and a closing barrier. All expected values are derived
-// deterministically from the rank, so each process verifies its own
-// deliveries with no shared memory.
-func nodeProgram(mbytes int) func(c *comm.Comm) error {
+// serveProgram runs the verification workload either a fixed number of
+// times (-rounds) or in a lockstep loop until runFor elapses at the
+// root (-for): the root measures the clock and broadcasts a one-byte
+// continue/stop flag each round, so all ranks agree on the round count
+// without shared memory. The timed mode is what keeps collectives in
+// flight while a chaos agent or an external kill disturbs the links.
+func serveProgram(mbytes, rounds int, runFor, deadline time.Duration) func(c *comm.Comm) error {
 	return func(c *comm.Comm) error {
-		const root = cube.NodeID(0)
-		data := make([]byte, mbytes)
-		rand.New(rand.NewSource(7)).Read(data) // same bytes in every process
-
-		var in []byte
-		if c.Rank() == root {
-			in = data
+		if deadline > 0 {
+			c.SetDeadline(deadline)
 		}
-		got, err := c.BcastMSBT(root, in)
-		if err != nil {
-			return err
-		}
-		if !bytes.Equal(got, data) {
-			return fmt.Errorf("rank %d reassembled a wrong broadcast payload (%d bytes)", c.Rank(), len(got))
-		}
-
-		personal := make([][]byte, c.Size())
-		for i := range personal {
-			personal[i] = []byte(fmt.Sprintf("personal-%d", i))
-		}
-		var ins [][]byte
-		if c.Rank() == root {
-			ins = personal
-		}
-		mine, err := c.Scatter(root, ins)
-		if err != nil {
-			return err
-		}
-		if !bytes.Equal(mine, personal[c.Rank()]) {
-			return fmt.Errorf("rank %d got scatter payload %q", c.Rank(), mine)
-		}
-		all, err := c.Gather(root, mine)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == root {
-			for i := range all {
-				if !bytes.Equal(all[i], personal[i]) {
-					return fmt.Errorf("gather slot %d wrong at the root", i)
+		done := 0
+		if runFor > 0 {
+			start := time.Now()
+			for r := 0; ; r++ {
+				flag := []byte{1}
+				if c.Rank() == 0 && time.Since(start) > runFor {
+					flag = []byte{0}
 				}
+				flag, err := c.Bcast(0, flag)
+				if err != nil {
+					return fmt.Errorf("round %d continue-flag: %w", r, err)
+				}
+				if flag[0] == 0 {
+					break
+				}
+				if err := workloadRound(c, mbytes); err != nil {
+					return fmt.Errorf("round %d: %w", r, err)
+				}
+				done++
+			}
+		} else {
+			for r := 0; r < rounds; r++ {
+				if err := workloadRound(c, mbytes); err != nil {
+					return fmt.Errorf("round %d: %w", r, err)
+				}
+				done++
 			}
 		}
-		if err := c.Barrier(); err != nil {
-			return err
-		}
-		fmt.Printf("OK %d: msbt broadcast %dB + bst scatter/gather verified\n", c.Rank(), len(got))
+		fmt.Printf("OK %d: %d round(s) of msbt broadcast (%dB) + bst scatter/gather verified\n", c.Rank(), done, mbytes)
 		return nil
 	}
 }
 
-func cmdLaunch(args []string) error {
-	fs := flag.NewFlagSet("launch", flag.ExitOnError)
-	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
-	m := fs.Int("m", 4096, "broadcast payload size in bytes")
-	fs.Parse(args)
+// workloadRound is one round of the workload every serve process runs:
+// an MSBT broadcast (payload chunked down the n edge-disjoint ERSBTs),
+// a BST scatter, a gather round-trip proving every rank's payload back
+// at the root, and a closing barrier. All expected values are derived
+// deterministically from the rank, so each process verifies its own
+// deliveries with no shared memory.
+func workloadRound(c *comm.Comm, mbytes int) error {
+	const root = cube.NodeID(0)
+	data := make([]byte, mbytes)
+	rand.New(rand.NewSource(7)).Read(data) // same bytes in every process
 
-	exe, err := os.Executable()
+	var in []byte
+	if c.Rank() == root {
+		in = data
+	}
+	got, err := c.BcastMSBT(root, in)
 	if err != nil {
 		return err
 	}
-	N := 1 << uint(*n)
-	children := make([]*exec.Cmd, N)
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("rank %d reassembled a wrong broadcast payload (%d bytes)", c.Rank(), len(got))
+	}
+
+	personal := make([][]byte, c.Size())
+	for i := range personal {
+		personal[i] = []byte(fmt.Sprintf("personal-%d", i))
+	}
+	var ins [][]byte
+	if c.Rank() == root {
+		ins = personal
+	}
+	mine, err := c.Scatter(root, ins)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(mine, personal[c.Rank()]) {
+		return fmt.Errorf("rank %d got scatter payload %q", c.Rank(), mine)
+	}
+	all, err := c.Gather(root, mine)
+	if err != nil {
+		return err
+	}
+	if c.Rank() == root {
+		for i := range all {
+			if !bytes.Equal(all[i], personal[i]) {
+				return fmt.Errorf("gather slot %d wrong at the root", i)
+			}
+		}
+	}
+	return c.Barrier()
+}
+
+// cubeProc is one spawned serve child with its wired pipes.
+type cubeProc struct {
+	cmd    *exec.Cmd
+	out    *bufio.Scanner
+	stderr *bytes.Buffer // nil unless stderr is captured
+}
+
+// spawnCube starts one serve child per cube node, runs the ADDR/PEERS
+// discovery handshake, and returns the wired processes plus a killAll
+// for abandoning the job. With captureStderr the children's stderr is
+// buffered per child for post-mortem inspection (the chaos drill reads
+// it to find the dead peer's name); otherwise it interleaves on the
+// parent's stderr.
+func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cubeProc, func(), error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	procs := make([]*cubeProc, N)
 	stdins := make([]*bufio.Writer, N)
-	scanners := make([]*bufio.Scanner, N)
 	killAll := func() {
-		for _, cmd := range children {
-			if cmd != nil && cmd.Process != nil {
-				cmd.Process.Kill()
+		for _, p := range procs {
+			if p != nil && p.cmd.Process != nil {
+				p.cmd.Process.Kill()
 			}
 		}
 	}
 	for i := 0; i < N; i++ {
-		cmd := exec.Command(exe, "serve",
-			"-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m))
-		cmd.Stderr = os.Stderr
+		cmd := exec.Command(exe, argsFor(i)...)
+		p := &cubeProc{cmd: cmd}
+		if captureStderr {
+			p.stderr = &bytes.Buffer{}
+			cmd.Stderr = p.stderr
+		} else {
+			cmd.Stderr = os.Stderr
+		}
 		inPipe, err := cmd.StdinPipe()
 		if err != nil {
 			killAll()
-			return err
+			return nil, nil, err
 		}
 		outPipe, err := cmd.StdoutPipe()
 		if err != nil {
 			killAll()
-			return err
+			return nil, nil, err
 		}
 		if err := cmd.Start(); err != nil {
 			killAll()
-			return fmt.Errorf("launch: starting node %d: %w", i, err)
+			return nil, nil, fmt.Errorf("starting node %d: %w", i, err)
 		}
-		children[i] = cmd
+		p.out = bufio.NewScanner(outPipe)
+		procs[i] = p
 		stdins[i] = bufio.NewWriter(inPipe)
-		scanners[i] = bufio.NewScanner(outPipe)
 	}
 
 	// Phase 1: collect every child's ADDR announcement.
 	peers := make([]string, N)
-	for i, sc := range scanners {
-		if !sc.Scan() {
+	for i, p := range procs {
+		if !p.out.Scan() {
 			killAll()
-			return fmt.Errorf("launch: node %d exited before announcing its address", i)
+			return nil, nil, fmt.Errorf("node %d exited before announcing its address", i)
 		}
-		fields := strings.Fields(sc.Text())
+		fields := strings.Fields(p.out.Text())
 		if len(fields) != 3 || fields[0] != "ADDR" || fields[1] != fmt.Sprint(i) {
 			killAll()
-			return fmt.Errorf("launch: node %d announced %q, want \"ADDR %d <addr>\"", i, sc.Text(), i)
+			return nil, nil, fmt.Errorf("node %d announced %q, want \"ADDR %d <addr>\"", i, p.out.Text(), i)
 		}
 		peers[i] = fields[2]
 	}
@@ -195,20 +288,36 @@ func cmdLaunch(args []string) error {
 	for i, w := range stdins {
 		if _, err := w.WriteString(peerLine); err != nil || w.Flush() != nil {
 			killAll()
-			return fmt.Errorf("launch: feeding peers to node %d: %v", i, err)
+			return nil, nil, fmt.Errorf("feeding peers to node %d: %v", i, err)
 		}
+	}
+	return procs, killAll, nil
+}
+
+func cmdLaunch(args []string) error {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
+	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	fs.Parse(args)
+
+	N := 1 << uint(*n)
+	procs, killAll, err := spawnCube(N, func(i int) []string {
+		return []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m)}
+	}, false)
+	if err != nil {
+		return fmt.Errorf("launch: %w", err)
 	}
 
 	// Phase 3: relay child output and wait for the verdicts.
 	var mu sync.Mutex
 	okSeen := make([]bool, N)
 	var wg sync.WaitGroup
-	for i, sc := range scanners {
+	for i, p := range procs {
 		wg.Add(1)
-		go func(i int, sc *bufio.Scanner) {
+		go func(i int, p *cubeProc) {
 			defer wg.Done()
-			for sc.Scan() {
-				line := sc.Text()
+			for p.out.Scan() {
+				line := p.out.Text()
 				if strings.HasPrefix(line, fmt.Sprintf("OK %d:", i)) {
 					mu.Lock()
 					okSeen[i] = true
@@ -216,12 +325,12 @@ func cmdLaunch(args []string) error {
 				}
 				fmt.Printf("[node %d] %s\n", i, line)
 			}
-		}(i, sc)
+		}(i, p)
 	}
 	wg.Wait()
 	var firstErr error
-	for i, cmd := range children {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
+	for i, p := range procs {
+		if err := p.cmd.Wait(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("launch: node %d: %w", i, err)
 			killAll() // abort the job: a dead rank would hang the rest
 		}
@@ -235,5 +344,178 @@ func cmdLaunch(args []string) error {
 		}
 	}
 	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter over TCP\n", N)
+	return nil
+}
+
+// cmdChaos is the multi-process self-healing drill. Default mode:
+// spawn a cube of resilient serve processes, each running a chaos agent
+// against its own live sockets, keep lockstep collectives flowing for
+// -for, and require every rank to verify every payload despite at
+// least -min-events injected faults. With -kill-node the agents stay
+// off and one child is killed outright instead: the run must then FAIL
+// fast — survivors exhaust their reconnect budgets and name the dead
+// peer — and the drill passes only if that happens within the wait
+// bound (no hang, no false OK).
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
+	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	runFor := fs.Duration("for", time.Second, "keep lockstep collective rounds running this long")
+	seed := fs.Int64("seed", 1, "base chaos seed; child i's agent runs schedule seed+i")
+	hold := fs.Duration("hold", 60*time.Millisecond, "how long chaos flap/delay faults persist inside the children")
+	attempts := fs.Int("attempts", 0, "reconnect attempts per outage (0 = transport default)")
+	budget := fs.Duration("budget", 0, "reconnect budget per outage (0 = transport default)")
+	deadline := fs.Duration("deadline", 0, "per-collective deadline inside the children (0 = none)")
+	minEvents := fs.Int("min-events", 1, "fail unless the agents injected at least this many faults")
+	killNode := fs.Int("kill-node", -1, "kill this child outright instead of running agents: the budget-exhaustion drill")
+	killAfter := fs.Duration("kill-after", 200*time.Millisecond, "when to deliver the -kill-node kill")
+	fs.Parse(args)
+
+	N := 1 << uint(*n)
+	if *killNode >= N {
+		return fmt.Errorf("chaos: -kill-node %d outside the %d-cube", *killNode, *n)
+	}
+	childArgs := func(i int) []string {
+		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m),
+			"-resilient", "-for", runFor.String(), "-v"}
+		if *attempts > 0 {
+			a = append(a, "-attempts", fmt.Sprint(*attempts))
+		}
+		if *budget > 0 {
+			a = append(a, "-budget", budget.String())
+		}
+		if *deadline > 0 {
+			a = append(a, "-deadline", deadline.String())
+		}
+		if *killNode < 0 {
+			a = append(a, "-chaos", "-chaos-seed", fmt.Sprint(*seed+int64(i)), "-chaos-hold", hold.String())
+		}
+		return a
+	}
+	procs, killAll, err := spawnCube(N, childArgs, true)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	start := time.Now()
+
+	var mu sync.Mutex
+	okSeen := make([]bool, N)
+	chaosEvents := 0
+	exitErrs := make([]error, N)
+	done := make(chan int, N)
+	for i, p := range procs {
+		go func(i int, p *cubeProc) {
+			for p.out.Scan() {
+				line := p.out.Text()
+				mu.Lock()
+				if strings.HasPrefix(line, fmt.Sprintf("OK %d:", i)) {
+					okSeen[i] = true
+				}
+				if strings.HasPrefix(line, "CHAOS ") {
+					chaosEvents++
+				}
+				mu.Unlock()
+				fmt.Printf("[node %d] %s\n", i, line)
+			}
+			// The pipe is drained; now it is safe to reap the child.
+			err := p.cmd.Wait()
+			mu.Lock()
+			exitErrs[i] = err
+			mu.Unlock()
+			done <- i
+		}(i, p)
+	}
+
+	if *killNode >= 0 {
+		victim := procs[*killNode].cmd
+		killTimer := time.AfterFunc(*killAfter, func() {
+			fmt.Printf("chaos: killing node %d (pid %d) after %v\n", *killNode, victim.Process.Pid, *killAfter)
+			victim.Process.Kill()
+		})
+		defer killTimer.Stop()
+	}
+
+	// The no-hang guarantee is part of the contract under test: bound
+	// the whole drill by the time the children could legitimately need
+	// (the workload window, the kill delay, one reconnect budget for
+	// the direct neighbors of a dead peer) plus cascade-and-exit grace.
+	effBudget := *budget
+	if effBudget == 0 {
+		effBudget = 10 * time.Second // the transport's default budget
+	}
+	waitTimeout := *runFor + *killAfter + effBudget + 20*time.Second
+	hangTimer := time.NewTimer(waitTimeout)
+	defer hangTimer.Stop()
+	for got := 0; got < N; got++ {
+		select {
+		case <-done:
+		case <-hangTimer.C:
+			killAll()
+			return fmt.Errorf("chaos: run hung — %d/%d children still alive after %v; the no-hang guarantee failed", N-got, N, waitTimeout)
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Post-mortem: replay every child's captured stderr, prefixed.
+	for i, p := range procs {
+		if s := strings.TrimSpace(p.stderr.String()); s != "" {
+			for _, line := range strings.Split(s, "\n") {
+				fmt.Printf("[node %d!] %s\n", i, line)
+			}
+		}
+	}
+
+	if *killNode >= 0 {
+		allOK := true
+		for _, ok := range okSeen {
+			allOK = allOK && ok
+		}
+		if allOK {
+			return fmt.Errorf("chaos: every rank finished before the kill landed — raise -for or lower -kill-after")
+		}
+		failed := 0
+		for i, e := range exitErrs {
+			if i != *killNode && e != nil {
+				failed++
+			}
+		}
+		if failed == 0 {
+			return fmt.Errorf("chaos: node %d was killed yet every survivor exited cleanly", *killNode)
+		}
+		needle := fmt.Sprintf("link to peer %d failed", *killNode)
+		named := false
+		for i, p := range procs {
+			if i != *killNode && strings.Contains(p.stderr.String(), needle) {
+				named = true
+				break
+			}
+		}
+		if !named {
+			return fmt.Errorf("chaos: no survivor named the dead peer %d (want %q in a child's error)", *killNode, needle)
+		}
+		fmt.Printf("chaos: budget-exhaustion drill passed: killed node %d, %d survivors failed fast (%v total) naming the dead peer\n",
+			*killNode, failed, elapsed.Round(time.Millisecond))
+		return nil
+	}
+
+	var firstErr error
+	for i, e := range exitErrs {
+		if e != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chaos: node %d: %w", i, e)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for i, ok := range okSeen {
+		if !ok {
+			return fmt.Errorf("chaos: node %d exited cleanly but never reported OK", i)
+		}
+	}
+	if chaosEvents < *minEvents {
+		return fmt.Errorf("chaos: agents injected %d events, want at least %d — raise -for", chaosEvents, *minEvents)
+	}
+	fmt.Printf("chaos: %d processes survived %d injected faults over %v; every rank verified msbt broadcast + bst scatter/gather\n",
+		N, chaosEvents, elapsed.Round(time.Millisecond))
 	return nil
 }

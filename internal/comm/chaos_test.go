@@ -1,0 +1,122 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestChaosSoakResilientCollectives is the in-process soak: a 2-cube of
+// four TCP endpoints with self-healing links runs MSBT broadcasts, BST
+// scatter/gathers and barriers in a loop while chaos agents kill, flap
+// and delay the live sockets on a seeded schedule. Every collective
+// must complete with correct payloads — the resilience layer makes the
+// faults invisible — and the agents must actually have fired.
+func TestChaosSoakResilientCollectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	var events atomic.Int64
+	opt := TCPRunOptions{
+		Resilience: transport.ResilienceOptions{
+			Enabled:     true,
+			MaxAttempts: 50,
+			Budget:      20 * time.Second,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		},
+		Chaos: &transport.ChaosOptions{
+			Seed:     42,
+			Kinds:    []transport.ChaosKind{transport.ChaosKill, transport.ChaosFlap, transport.ChaosDelay},
+			MinPause: 20 * time.Millisecond,
+			MaxPause: 80 * time.Millisecond,
+			Hold:     60 * time.Millisecond,
+			Log: func(format string, args ...any) {
+				events.Add(1)
+			},
+		},
+	}
+	const (
+		n         = 2
+		minEvents = 5
+		maxRounds = 2000
+	)
+	N := 1 << uint(n)
+	msg := bytes.Repeat([]byte("survive-the-flap"), 128) // 2KB broadcast payload
+	chunks := make([][]byte, N)
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte('a' + i)}, 256)
+	}
+	start := time.Now()
+	var rounds atomic.Int64
+	err := RunTCPWith(n, opt, func(c *Comm) error {
+		for r := 0; ; r++ {
+			// Rounds are lockstep, so the stop decision must be too: the
+			// root keeps the soak running until enough chaos events fired
+			// (or a cap, so a broken agent cannot spin us forever) and
+			// broadcasts the verdict.
+			var flag []byte
+			if c.Rank() == 0 {
+				flag = []byte{1}
+				if events.Load() >= minEvents || r >= maxRounds || time.Since(start) > 15*time.Second {
+					flag = []byte{0}
+				}
+				rounds.Store(int64(r))
+			}
+			flag, err := c.Bcast(0, flag)
+			if err != nil {
+				return fmt.Errorf("round %d continue-flag bcast: %w", r, err)
+			}
+			if flag[0] == 0 {
+				return nil
+			}
+			var in []byte
+			if c.Rank() == 0 {
+				in = msg
+			}
+			got, err := c.BcastMSBT(0, in)
+			if err != nil {
+				return fmt.Errorf("round %d bcastmsbt: %w", r, err)
+			}
+			if !bytes.Equal(got, msg) {
+				return fmt.Errorf("round %d: rank %d reassembled %d bytes, want %d", r, c.Rank(), len(got), len(msg))
+			}
+			var all [][]byte
+			if c.Rank() == 0 {
+				all = chunks
+			}
+			mine, err := c.Scatter(0, all)
+			if err != nil {
+				return fmt.Errorf("round %d scatter: %w", r, err)
+			}
+			if !bytes.Equal(mine, chunks[c.Rank()]) {
+				return fmt.Errorf("round %d: rank %d got wrong scatter chunk", r, c.Rank())
+			}
+			back, err := c.Gather(0, mine)
+			if err != nil {
+				return fmt.Errorf("round %d gather: %w", r, err)
+			}
+			if c.Rank() == 0 {
+				for i := range back {
+					if !bytes.Equal(back[i], chunks[i]) {
+						return fmt.Errorf("round %d: gather slot %d corrupted", r, i)
+					}
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return fmt.Errorf("round %d barrier: %w", r, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("soak failed (the resilience layer leaked a fault): %v", err)
+	}
+	if events.Load() == 0 {
+		t.Fatal("chaos agents injected no events: the soak proved nothing")
+	}
+	t.Logf("soak survived %d chaos events over %d collective rounds", events.Load(), rounds.Load())
+}

@@ -23,6 +23,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bst"
 	"repro/internal/cube"
@@ -39,12 +40,41 @@ type Comm struct {
 	n   int
 	seq int // collective sequence number; all nodes advance in lockstep
 
+	// deadline, when nonzero, bounds every blocking receive inside the
+	// plain collectives (see SetDeadline).
+	deadline time.Duration
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
 	abandoned map[int]bool           // tags given up on by FT collectives
 	stopped   bool
 }
+
+// DeadlineError reports a collective receive that outlived the deadline
+// set with SetDeadline: the awaited peer is silent but no transport
+// failure was recorded — a hang turned into a deterministic, named
+// failure.
+type DeadlineError struct {
+	// Rank is the waiting node; Op names what it was waiting for.
+	Rank cube.NodeID
+	Op   string
+	// Wait is the deadline that expired.
+	Wait time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("comm: node %d: collective deadline (%v) expired waiting for %s", e.Rank, e.Wait, e.Op)
+}
+
+// SetDeadline bounds every blocking receive inside the plain
+// collectives (Bcast, Scatter, Gather, Barrier, ...): a rank stuck on a
+// silent — not severed, just silent — peer fails with a *DeadlineError
+// after d instead of blocking forever. Zero restores the default
+// (block indefinitely; transport failures still abort). Set it between
+// collectives, not concurrently with one; it does not apply to the
+// fault-tolerant collectives, which take explicit FTOptions timeouts.
+func (c *Comm) SetDeadline(d time.Duration) { c.deadline = d }
 
 // Rank returns this node's address.
 func (c *Comm) Rank() cube.NodeID { return c.nd.ID }
@@ -106,12 +136,32 @@ func RunOn(m *mpx.Machine, program func(c *Comm) error) error {
 	})
 }
 
+// TCPRunOptions tunes RunTCPWith beyond the plain RunTCP defaults.
+type TCPRunOptions struct {
+	// Resilience configures self-healing links on every endpoint.
+	Resilience transport.ResilienceOptions
+	// Chaos, when non-nil, starts one chaos agent per endpoint (seeded
+	// Seed, Seed+1, ...) after the mesh connects and stops them when the
+	// run ends.
+	Chaos *transport.ChaosOptions
+	// Deadline, when nonzero, is set on every rank's communicator
+	// (Comm.SetDeadline) before the program runs.
+	Deadline time.Duration
+}
+
 // RunTCP is Run with every cube link carried over a loopback TCP
 // socket: one transport endpoint per node, connected into a full cube
 // mesh, one machine per endpoint — the single-process twin of a
 // multi-process `hypercomm launch` deployment. Collective programs run
 // unchanged; only the transport underneath differs.
 func RunTCP(n int, program func(c *Comm) error) error {
+	return RunTCPWith(n, TCPRunOptions{}, program)
+}
+
+// RunTCPWith is RunTCP with self-healing links, chaos injection and
+// per-collective deadlines available — the in-process harness the
+// robustness tests drive.
+func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 	size := 1 << uint(n)
 	depth := CollectiveDepth(n)
 	trs := make([]*transport.TCP, size)
@@ -126,6 +176,7 @@ func RunTCP(n int, program func(c *Comm) error) error {
 	for i := range trs {
 		tr, err := transport.NewTCP(transport.TCPOptions{
 			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
+			Resilience: opt.Resilience,
 		})
 		if err != nil {
 			return err
@@ -148,10 +199,25 @@ func RunTCP(n int, program func(c *Comm) error) error {
 			return err
 		}
 	}
+	var agents []*transport.Chaos
+	if opt.Chaos != nil {
+		for i, tr := range trs {
+			co := *opt.Chaos
+			co.Seed += int64(i)
+			agents = append(agents, tr.StartChaos(co))
+		}
+	}
+	run := program
+	if opt.Deadline > 0 {
+		run = func(c *Comm) error {
+			c.SetDeadline(opt.Deadline)
+			return program(c)
+		}
+	}
 	errs := make(chan error, size)
 	for _, tr := range trs {
 		go func(tr *transport.TCP) {
-			errs <- RunOn(mpx.NewWithTransport(tr, nil), program)
+			errs <- RunOn(mpx.NewWithTransport(tr, nil), run)
 		}(tr)
 	}
 	var first error
@@ -164,6 +230,9 @@ func RunTCP(n int, program func(c *Comm) error) error {
 				tr.Close()
 			}
 		}
+	}
+	for _, a := range agents {
+		a.Stop()
 	}
 	return first
 }
@@ -217,6 +286,16 @@ func (c *Comm) stop() {
 // a neighbor may legitimately run ahead — and stragglers from abandoned
 // fault-tolerant collectives never reach the mailbox (see pump).
 func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
+	if d := c.deadline; d > 0 {
+		env, ok, err := c.recvTagWait(tag, d)
+		if err != nil {
+			return env, err
+		}
+		if !ok {
+			return env, c.deadlineErr(fmt.Sprintf("tag %d", tag), d)
+		}
+		return env, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -239,14 +318,32 @@ func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
 	}
 }
 
+// deadlineErr explains an expired collective deadline. A connection
+// loss anywhere on the machine is the better diagnosis — it names the
+// dead peer — so it takes precedence over the bare timeout.
+func (c *Comm) deadlineErr(waitingFor string, d time.Duration) error {
+	if perr := c.nd.AnyPeerError(); perr != nil {
+		return fmt.Errorf("comm: node %d: deadline (%v) expired waiting for %s after a connection loss: %w",
+			c.nd.ID, d, waitingFor, perr)
+	}
+	return &DeadlineError{Rank: c.nd.ID, Op: waitingFor, Wait: d}
+}
+
 // stoppedErr explains why the machine stopped underneath a blocked
 // receive. A transport-level connection failure — a crashed peer
 // process, a severed socket — is surfaced as such, wrapping the
 // *mpx.PeerError that names the dead neighbor; that is a different
 // diagnosis from a collective sequence mismatch (see staleLocked) and
-// from an ordinary shutdown caused by some rank erroring out.
+// from an ordinary shutdown caused by some rank erroring out. The scan
+// is machine-wide (AnyPeerError), not just this rank's own links:
+// every rank stalled as collateral of one dead link gets an error that
+// errors.As can unwrap to the *mpx.PeerError, not a bare shutdown.
 func (c *Comm) stoppedErr(waitingFor string) error {
-	if perr := c.nd.PeerError(); perr != nil {
+	perr := c.nd.PeerError()
+	if perr == nil {
+		perr = c.nd.AnyPeerError()
+	}
+	if perr != nil {
 		return fmt.Errorf("comm: node %d: connection lost while waiting for %s: %w", c.nd.ID, waitingFor, perr)
 	}
 	return fmt.Errorf("comm: node %d: machine stopped while waiting for %s", c.nd.ID, waitingFor)
@@ -540,6 +637,16 @@ func (c *Comm) AllGather(mine []byte) ([][]byte, error) {
 // collective sequence regardless of subtag — used by the all-node
 // collectives, whose messages arrive from all N trees in any order.
 func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
+	if d := c.deadline; d > 0 {
+		env, ok, err := c.recvSeqAnyWait(d)
+		if err != nil {
+			return env, err
+		}
+		if !ok {
+			return env, c.deadlineErr("all-node collective traffic", d)
+		}
+		return env, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {

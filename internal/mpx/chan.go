@@ -1,7 +1,10 @@
 package mpx
 
 import (
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cube"
@@ -26,6 +29,21 @@ type ChanTransport struct {
 	// down is closed by Close, unblocking every Send/Recv.
 	down     chan struct{}
 	downOnce sync.Once
+
+	// severed, when non-nil, maps directed link index (from*dim+port) to
+	// the sticky *PeerError recorded by SeverLink/FailLink. It is
+	// copy-on-write: the fault-free send path costs exactly one atomic
+	// pointer load (nil on an unsevered transport), preserving the
+	// zero-allocation guarantee.
+	severed  atomic.Pointer[severState]
+	severMu  sync.Mutex // serializes writers of severed
+	firstErr atomic.Pointer[PeerError]
+	nSevered atomic.Int64
+}
+
+// severState is the immutable published form of the severed-link table.
+type severState struct {
+	errs []error
 }
 
 // NewChanTransport returns an in-process transport for an n-cube whose
@@ -71,13 +89,99 @@ func (t *ChanTransport) Close() error {
 }
 
 // Send delivers msg from node `from` through the given port. It blocks
-// while the receiver's inbox is full and returns ErrDown after Close.
+// while the receiver's inbox is full and returns ErrDown after Close; a
+// severed link returns its sticky *PeerError.
 func (t *ChanTransport) Send(from cube.NodeID, port int, msg Message) error {
 	to := t.c.Neighbor(from, port)
+	if s := t.severed.Load(); s != nil {
+		if err := s.errs[int(from)*t.c.Dim()+port]; err != nil {
+			return err
+		}
+	}
 	if t.inj != nil {
 		return t.sendFaulty(from, to, port, msg)
 	}
 	return t.sendClean(from, to, port, msg)
+}
+
+// SeverLink cuts the a<->b cube edge in both directions: subsequent
+// sends on it return a sticky *PeerError (either end), exactly like a
+// TCP link whose reconnect budget was exhausted — but the transport
+// stays up, so surviving links keep working and fault-tolerant
+// collectives can route around the cut. Idempotent per direction.
+func (t *ChanTransport) SeverLink(a, b cube.NodeID) error {
+	return t.sever(a, b)
+}
+
+// FailLink is SeverLink's fatal twin: it records the PeerError on both
+// ends and then shuts the whole transport down — the in-process
+// equivalent of the plain TCP transport's escalation on a crashed peer,
+// which aborts hosted nodes instead of leaving them hanging.
+func (t *ChanTransport) FailLink(a, b cube.NodeID) error {
+	if err := t.sever(a, b); err != nil {
+		return err
+	}
+	return t.Close()
+}
+
+func (t *ChanTransport) sever(a, b cube.NodeID) error {
+	port := t.c.Port(a, b)
+	if port < 0 {
+		return fmt.Errorf("mpx: nodes %d and %d are not neighbors", a, b)
+	}
+	t.severMu.Lock()
+	defer t.severMu.Unlock()
+	dim := t.c.Dim()
+	old := t.severed.Load()
+	errs := make([]error, t.c.Nodes()*dim)
+	if old != nil {
+		copy(errs, old.errs)
+	}
+	for _, dir := range [2][2]cube.NodeID{{a, b}, {b, a}} {
+		from, to := dir[0], dir[1]
+		idx := int(from)*dim + t.c.Port(from, to)
+		if errs[idx] != nil {
+			continue
+		}
+		pe := &PeerError{Self: from, Peer: to, Err: errors.New("link severed (fault injection)")}
+		errs[idx] = pe
+		t.firstErr.CompareAndSwap(nil, pe)
+		t.nSevered.Add(1)
+	}
+	t.severed.Store(&severState{errs: errs})
+	return nil
+}
+
+// PeerError reports the first failure recorded on one of node id's
+// links (implements PeerErrorer).
+func (t *ChanTransport) PeerError(id cube.NodeID) error {
+	s := t.severed.Load()
+	if s == nil {
+		return nil
+	}
+	dim := t.c.Dim()
+	for d := 0; d < dim; d++ {
+		if err := s.errs[int(id)*dim+d]; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FirstPeerError reports the first link failure recorded anywhere on
+// the transport (implements FirstPeerErrorer).
+func (t *ChanTransport) FirstPeerError() error {
+	if pe := t.firstErr.Load(); pe != nil {
+		return pe
+	}
+	return nil
+}
+
+// Stats reports health counters (implements StatsReporter). The
+// in-process transport has no wire, so only the severed-link count can
+// be nonzero.
+func (t *ChanTransport) Stats() TransportStats {
+	return TransportStats{SeveredLinks: t.nSevered.Load()}
 }
 
 // sendClean is the untouched-delivery path, shared by the fault-free

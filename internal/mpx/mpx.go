@@ -119,6 +119,44 @@ type PeerErrorer interface {
 	PeerError(id cube.NodeID) error
 }
 
+// FirstPeerErrorer is an optional Transport extension reporting the
+// first connection-level failure observed on ANY hosted node's links.
+// It lets a rank that stalled as collateral of a neighbor's dead link
+// still name the dead peer instead of reporting a bare shutdown.
+type FirstPeerErrorer interface {
+	FirstPeerError() error
+}
+
+// TransportStats aggregates a transport's health counters: what the
+// resilience layer absorbed (CRC drops, retransmits, reconnects,
+// deduplicated replays) and how deep its replay buffering had to go.
+// Counters a backend does not implement stay zero.
+type TransportStats struct {
+	// CRCDropped counts received frames rejected by the checksum.
+	CRCDropped int64
+	// Retransmits counts sequenced frames written to a link more than once.
+	Retransmits int64
+	// Reconnects counts successful link re-establishments.
+	Reconnects int64
+	// AcksSent and NacksSent count acknowledgement control frames.
+	AcksSent, NacksSent int64
+	// DupsDropped counts received sequenced frames discarded as
+	// duplicates by the receiver-side sequence filter.
+	DupsDropped int64
+	// SeveredLinks counts links administratively severed (in-process
+	// fault injection / chaos).
+	SeveredLinks int64
+	// ReplayHighWater is the maximum number of unacknowledged frames any
+	// single link buffered for replay.
+	ReplayHighWater int64
+}
+
+// StatsReporter is an optional Transport extension exposing health
+// counters. Both shipped backends implement it.
+type StatsReporter interface {
+	Stats() TransportStats
+}
+
 // PeerError is a transport-level link failure: the connection carrying
 // traffic between Self and Peer died (without a graceful shutdown
 // announcement). Collectives surface it distinctly from protocol errors
@@ -237,6 +275,35 @@ func (m *Machine) PeerError(id cube.NodeID) error {
 	return nil
 }
 
+// FirstPeerError reports the first connection-level failure recorded
+// anywhere on the machine's transport, falling back to a per-local scan
+// when the transport lacks the FirstPeerErrorer extension. It lets a
+// rank whose own links are healthy — but which stalled because a
+// NEIGHBOR's link died and shut the job down — still name the dead peer.
+func (m *Machine) FirstPeerError() error {
+	if fpe, ok := m.tr.(FirstPeerErrorer); ok {
+		if err := fpe.FirstPeerError(); err != nil {
+			return err
+		}
+		return nil
+	}
+	for _, id := range m.tr.Locals() {
+		if err := m.PeerError(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports the transport's health counters; ok is false when the
+// transport does not implement StatsReporter.
+func (m *Machine) Stats() (TransportStats, bool) {
+	if sr, ok := m.tr.(StatsReporter); ok {
+		return sr.Stats(), true
+	}
+	return TransportStats{}, false
+}
+
 // Node is the per-node handle passed to node programs.
 type Node struct {
 	ID cube.NodeID
@@ -250,6 +317,11 @@ func (nd *Node) Dim() int { return nd.m.c.Dim() }
 // node's links (nil on in-process transports). Collectives consult it to
 // tell a crashed neighbor from a slow one.
 func (nd *Node) PeerError() error { return nd.m.PeerError(nd.ID) }
+
+// AnyPeerError reports the first connection-level failure recorded on
+// ANY link of the machine hosting this node — the machine-wide view a
+// rank needs when its own links are fine but the job died anyway.
+func (nd *Node) AnyPeerError() error { return nd.m.FirstPeerError() }
 
 // Send transmits msg through the given port (to the neighbor differing in
 // bit `port`). It blocks while the receiver's inbox is full. On a machine

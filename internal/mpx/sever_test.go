@@ -1,0 +1,133 @@
+package mpx
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+)
+
+// TestChanSeverLinkSendReturnsPeerError table-drives the in-process
+// PeerError path that previously only the TCP transport exercised: a
+// severed link's sender must get a sticky *mpx.PeerError naming the
+// right endpoints, in either direction, while untouched links keep
+// delivering.
+func TestChanSeverLinkSendReturnsPeerError(t *testing.T) {
+	cases := []struct {
+		name       string
+		severA     cube.NodeID
+		severB     cube.NodeID
+		sender     cube.NodeID
+		port       int
+		wantPeer   cube.NodeID
+		wantFailed bool
+	}{
+		{"forward direction fails", 0, 1, 0, 0, 1, true},
+		{"reverse direction fails too", 0, 1, 1, 0, 0, true},
+		{"other link of the sender survives", 0, 1, 0, 1, 2, false},
+		{"disjoint link survives", 0, 1, 2, 0, 3, false},
+		{"high edge, forward", 2, 3, 2, 0, 3, true},
+		{"high edge, reverse", 2, 3, 3, 0, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewChanTransport(2, 4, nil)
+			defer tr.Close()
+			if err := tr.SeverLink(tc.severA, tc.severB); err != nil {
+				t.Fatalf("SeverLink: %v", err)
+			}
+			err := tr.Send(tc.sender, tc.port, Message{Tag: 1})
+			if !tc.wantFailed {
+				if err != nil {
+					t.Fatalf("send on a healthy link failed: %v", err)
+				}
+				return
+			}
+			var pe *PeerError
+			if !errors.As(err, &pe) {
+				t.Fatalf("send on severed link returned %v, want a *PeerError", err)
+			}
+			if pe.Self != tc.sender || pe.Peer != tc.wantPeer {
+				t.Fatalf("PeerError names link %d->%d, want %d->%d", pe.Self, pe.Peer, tc.sender, tc.wantPeer)
+			}
+			// The failure is sticky: a retry sees the same error.
+			if err2 := tr.Send(tc.sender, tc.port, Message{Tag: 2}); !errors.Is(err2, err) && err2.Error() != err.Error() {
+				t.Fatalf("second send returned a different error: %v vs %v", err2, err)
+			}
+		})
+	}
+}
+
+// TestChanSeverLinkReporting checks the observability surface of a
+// severed in-process link: PeerError on both ends, FirstPeerError
+// machine-wide, and the SeveredLinks counter (both directions).
+func TestChanSeverLinkReporting(t *testing.T) {
+	tr := NewChanTransport(2, 4, nil)
+	defer tr.Close()
+	if err := tr.SeverLink(1, 3); err != nil {
+		t.Fatalf("SeverLink: %v", err)
+	}
+	for _, id := range []cube.NodeID{1, 3} {
+		var pe *PeerError
+		if err := tr.PeerError(id); !errors.As(err, &pe) {
+			t.Fatalf("PeerError(%d) = %v, want a *PeerError", id, err)
+		}
+	}
+	for _, id := range []cube.NodeID{0, 2} {
+		if err := tr.PeerError(id); err != nil {
+			t.Fatalf("PeerError(%d) = %v on a node with healthy links", id, err)
+		}
+	}
+	var pe *PeerError
+	if err := tr.FirstPeerError(); !errors.As(err, &pe) {
+		t.Fatalf("FirstPeerError = %v, want a *PeerError", err)
+	}
+	if got := tr.Stats().SeveredLinks; got != 2 {
+		t.Fatalf("Stats().SeveredLinks = %d, want 2 (both directions)", got)
+	}
+	// Severing the same edge again is idempotent.
+	if err := tr.SeverLink(3, 1); err != nil {
+		t.Fatalf("repeat SeverLink: %v", err)
+	}
+	if got := tr.Stats().SeveredLinks; got != 2 {
+		t.Fatalf("repeat sever raised SeveredLinks to %d, want 2", got)
+	}
+	if err := tr.SeverLink(0, 3); err == nil {
+		t.Fatal("SeverLink accepted a non-edge (0,3)")
+	}
+}
+
+// TestChanFailLinkAbortsMachine is the in-process twin of the TCP
+// peer-crash test: FailLink records the PeerError and shuts the
+// transport down, so a machine full of blocked ranks aborts with an
+// error that wraps *PeerError instead of hanging.
+func TestChanFailLinkAbortsMachine(t *testing.T) {
+	tr := NewChanTransport(2, 4, nil)
+	m := NewWithTransport(tr, nil)
+	defer m.Shutdown()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		tr.FailLink(0, 2)
+	}()
+	err := m.Run(func(nd *Node) error {
+		nd.Recv() // every rank blocks; FailLink must abort them all
+		return errors.New("received a message on an idle machine")
+	})
+	if err == nil {
+		t.Fatal("machine ran to completion across a failed link")
+	}
+	select {
+	case <-tr.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("FailLink did not shut the transport down")
+	}
+	var pe *PeerError
+	if ferr := m.FirstPeerError(); !errors.As(ferr, &pe) {
+		t.Fatalf("FirstPeerError = %v, want a *PeerError", ferr)
+	}
+	if !(pe.Self == 0 && pe.Peer == 2) && !(pe.Self == 2 && pe.Peer == 0) {
+		t.Fatalf("PeerError names link %d->%d, want the 0<->2 edge", pe.Self, pe.Peer)
+	}
+}

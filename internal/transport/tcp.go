@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -25,6 +26,60 @@ const coalesceLimit = 256 << 10
 // closeFlushTimeout bounds the final flush (pending frames + BYE) that
 // Close attempts on every link.
 const closeFlushTimeout = 2 * time.Second
+
+// ResilienceOptions configures self-healing links. With Enabled false
+// (the default) a connection error is immediately fatal: the link
+// records a sticky *mpx.PeerError and the transport shuts down — the
+// original PR 3 behavior, with zero overhead on the send path.
+//
+// With Enabled true every frame crossing a socket carries a per-link
+// sequence number and is kept in a bounded replay ring until the peer's
+// cumulative ACK covers it. A connection error then severs only the
+// socket: a supervisor redials (smaller node ID) or awaits the peer's
+// redial (larger node ID) with exponential backoff + jitter, resumes
+// via a handshake carrying each side's last received sequence number,
+// and replays the unacked tail. Only when the reconnect budget is
+// exhausted does the link escalate to the sticky PeerError.
+type ResilienceOptions struct {
+	// Enabled turns the sequence/ACK/replay layer and link supervision on.
+	Enabled bool
+	// MaxAttempts bounds redials per outage (dialing side). 0 means 8.
+	MaxAttempts int
+	// Budget bounds the wall-clock spent healing one outage, on both the
+	// dialing side (redial deadline) and the accepting side (how long to
+	// wait for the peer's redial). 0 means 10s.
+	Budget time.Duration
+	// BaseBackoff is the first redial delay; it doubles per attempt up to
+	// MaxBackoff, each sleep jittered to [0.5,1.5)x. 0 means 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the redial delay. 0 means 500ms.
+	MaxBackoff time.Duration
+	// ReplayWindow bounds the per-link replay ring, in frames. A sender
+	// whose window is full blocks until ACKs drain it (backpressure
+	// through an outage). 0 means 1024.
+	ReplayWindow int
+}
+
+func (r *ResilienceOptions) normalize() {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 8
+	}
+	if r.Budget <= 0 {
+		r.Budget = 10 * time.Second
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 10 * time.Millisecond
+	}
+	if r.MaxBackoff < r.BaseBackoff {
+		r.MaxBackoff = 500 * time.Millisecond
+		if r.MaxBackoff < r.BaseBackoff {
+			r.MaxBackoff = r.BaseBackoff
+		}
+	}
+	if r.ReplayWindow <= 0 {
+		r.ReplayWindow = 1024
+	}
+}
 
 // TCPOptions configures a TCP transport endpoint.
 type TCPOptions struct {
@@ -47,6 +102,8 @@ type TCPOptions struct {
 	// HandshakeTimeout bounds Connect: dial retries (a peer may not be
 	// listening yet) and handshake reads. 0 means 30s.
 	HandshakeTimeout time.Duration
+	// Resilience configures self-healing links; zero value disables them.
+	Resilience ResilienceOptions
 }
 
 // TCP is a socket-backed mpx.Transport: every cube link whose endpoints
@@ -60,7 +117,10 @@ type TCPOptions struct {
 // version/dim/identity handshake, Close flushes, announces shutdown
 // (BYE) and tears everything down. An unannounced connection loss — a
 // crashed peer — is recorded as a *mpx.PeerError and shuts the
-// transport down so hosted nodes abort instead of hanging.
+// transport down so hosted nodes abort instead of hanging; with
+// Resilience enabled the loss is first handed to the link supervisor,
+// which redials, resumes and replays, and only escalates to that fatal
+// path once the reconnect budget is spent.
 type TCP struct {
 	c    *cube.Cube
 	opt  TCPOptions
@@ -79,9 +139,58 @@ type TCP struct {
 	downOnce sync.Once
 	wg       sync.WaitGroup
 
-	// crcDropped counts frames discarded by the receive-side checksum —
-	// the observable effect of in-flight corruption.
-	crcDropped atomic.Int64
+	// Health counters (see mpx.TransportStats).
+	crcDropped  atomic.Int64
+	retransmits atomic.Int64
+	reconnects  atomic.Int64
+	acksSent    atomic.Int64
+	nacksSent   atomic.Int64
+	dupsDropped atomic.Int64
+	severed     atomic.Int64
+	replayHW    atomic.Int64
+}
+
+// seqFrame is one encoded frame parked in a link's replay ring until the
+// peer acknowledges it. The stored bytes are always the clean encoding —
+// fault-injected damage applies only to the first transmission, so a
+// retransmission heals the corruption (this is what makes CRC drops
+// recoverable instead of silent).
+type seqFrame struct {
+	seq   uint64
+	frame []byte
+	// corrupt damages the first transmission of this frame on the wire
+	// (fault injection); dup writes the first transmission twice.
+	corrupt, dup bool
+}
+
+// relState is the per-link sequence/ACK/replay state, guarded by link.mu.
+type relState struct {
+	// Send side: sendSeq is the last sequence assigned (first frame is
+	// 1); ring holds frames > acked, oldest first; nextFlush is the first
+	// sequence the next flush writes; maxSent is the highest sequence
+	// ever written (frames <= maxSent written again are retransmits).
+	sendSeq, acked, nextFlush, maxSent uint64
+	ring                               []seqFrame
+
+	// Receive side: recvSeq is the highest sequence delivered in order;
+	// nackedAt remembers the recvSeq at which the last NACK was issued so
+	// one gap triggers one retransmit request, not one per arriving
+	// out-of-order frame.
+	recvSeq  uint64
+	nackedAt uint64 // init ^0: "no NACK issued yet"
+
+	// needAck/needNack make the next flush piggyback control frames.
+	needAck, needNack bool
+
+	// connected is false between a connection error and the supervisor's
+	// successful resume.
+	connected bool
+	// lastCause is the error that severed the current/last outage.
+	lastCause error
+
+	// space signals senders blocked on a full replay ring (cond on
+	// link.mu); woken by ACK progress, escalation, and Close.
+	space *sync.Cond
 }
 
 // link is one neighbor connection from a hosted node.
@@ -89,13 +198,28 @@ type link struct {
 	t          *TCP
 	self, peer cube.NodeID
 	port       int
-	conn       net.Conn
 
-	mu      sync.Mutex // guards pending, err
-	pending []byte     // frames awaiting flush
-	err     error      // first failure (*mpx.PeerError), sticky
+	// dialer and addr identify the reconnect role: the endpoint with the
+	// smaller node ID (re)dials addr, the larger waits for the redial.
+	dialer bool
+	addr   string
+
+	mu      sync.Mutex // guards conn, gen, pending, err, r
+	conn    net.Conn
+	gen     int        // bumped on every (re)install; stale pumps detect replacement
+	pending []byte     // frames awaiting flush (plain mode)
+	err     error      // first escalated failure (*mpx.PeerError), sticky
+	r       *relState  // nil on plain links
+
+	// lost and replaced (cap 1) connect the pumps to the supervisor:
+	// disconnect signals lost, install signals replaced.
+	lost, replaced chan struct{}
 
 	kick chan struct{} // cap-1 flusher doorbell
+
+	// chaosDelay, when set (nanoseconds), stalls every flush — the chaos
+	// harness's slow-link fault.
+	chaosDelay atomic.Int64
 
 	wmu      sync.Mutex // serializes conn writes
 	flushbuf []byte     // swap buffer written under wmu
@@ -115,6 +239,9 @@ func NewTCP(opts TCPOptions) (*TCP, error) {
 	}
 	if opts.HandshakeTimeout <= 0 {
 		opts.HandshakeTimeout = 30 * time.Second
+	}
+	if opts.Resilience.Enabled {
+		opts.Resilience.normalize()
 	}
 	c := cube.New(opts.Dim)
 	t := &TCP{
@@ -165,6 +292,32 @@ func (t *TCP) Done() <-chan struct{} { return t.down }
 // CRCDropped reports how many received frames the checksum rejected.
 func (t *TCP) CRCDropped() int64 { return t.crcDropped.Load() }
 
+// Stats reports the transport's health counters (implements
+// mpx.StatsReporter).
+func (t *TCP) Stats() mpx.TransportStats {
+	return mpx.TransportStats{
+		CRCDropped:      t.crcDropped.Load(),
+		Retransmits:     t.retransmits.Load(),
+		Reconnects:      t.reconnects.Load(),
+		AcksSent:        t.acksSent.Load(),
+		NacksSent:       t.nacksSent.Load(),
+		DupsDropped:     t.dupsDropped.Load(),
+		SeveredLinks:    t.severed.Load(),
+		ReplayHighWater: t.replayHW.Load(),
+	}
+}
+
+func (t *TCP) resilient() bool { return t.opt.Resilience.Enabled }
+
+func (t *TCP) isDown() bool {
+	select {
+	case <-t.down:
+		return true
+	default:
+		return false
+	}
+}
+
 // linkIndex locates the link slot for a hosted node's port.
 func (t *TCP) linkIndex(id cube.NodeID, port int) int { return int(id)*t.opt.Dim + port }
 
@@ -172,9 +325,12 @@ func (t *TCP) linkIndex(id cube.NodeID, port int) int { return int(id)*t.opt.Dim
 // address of the transport hosting node j (entries for our own locals
 // are ignored). For each cube edge crossing a process boundary, the
 // endpoint with the smaller node ID dials and the larger accepts; the
-// handshake carries protocol version, cube dimension and both node IDs,
-// and either side rejects a mismatch. Dials retry until
-// HandshakeTimeout so endpoints may start in any order.
+// handshake carries protocol version, cube dimension, both node IDs and
+// the resilience mode, and either side rejects a mismatch. Dials retry
+// until HandshakeTimeout so endpoints may start in any order.
+//
+// With resilience enabled the listener stays open after Connect to
+// accept resumed connections from reconnecting peers.
 func (t *TCP) Connect(peers []string) error {
 	if len(peers) != t.c.Nodes() {
 		t.Close()
@@ -266,18 +422,42 @@ collect:
 		return firstErr
 	}
 
-	// Every expected connection is up: the listener's job is done (there
-	// is no reconnection protocol), so the accept loop can end.
-	t.ln.Close()
+	if !t.resilient() {
+		// Every expected connection is up: the listener's job is done
+		// (there is no reconnection protocol), so the accept loop can end.
+		t.ln.Close()
+	}
 	<-acceptDone
 
 	for _, l := range links {
 		t.links[t.linkIndex(l.self, l.port)] = l
-		t.wg.Add(2)
-		go l.readPump()
-		go l.flusher()
+	}
+	for _, l := range links {
+		t.startLink(l)
+	}
+	if t.resilient() {
+		// The listener lives on to accept resumed connections; it ends
+		// when Close closes it.
+		t.wg.Add(1)
+		go t.resumeLoop()
 	}
 	return nil
+}
+
+// startLink launches the per-link goroutines: a flusher, a read pump
+// bound to the current connection generation, and (resilient links) the
+// supervisor that heals connection losses.
+func (t *TCP) startLink(l *link) {
+	l.mu.Lock()
+	conn, gen := l.conn, l.gen
+	l.mu.Unlock()
+	t.wg.Add(2)
+	go l.flusher()
+	go l.readPump(conn, gen)
+	if l.r != nil {
+		t.wg.Add(1)
+		go l.supervise()
+	}
 }
 
 // dialHandshake connects self→peer, retrying while the peer's listener
@@ -287,7 +467,7 @@ func (t *TCP) dialHandshake(self, peer cube.NodeID, port int, addr string, deadl
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
-			l, err := t.finishDial(conn, self, peer, port, deadline)
+			l, err := t.finishDial(conn, self, peer, port, addr, deadline)
 			if err == nil {
 				return l, nil
 			}
@@ -308,30 +488,41 @@ func (t *TCP) dialHandshake(self, peer cube.NodeID, port int, addr string, deadl
 	}
 }
 
-func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, deadline time.Time) (*link, error) {
+func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, addr string, deadline time.Time) (*link, error) {
 	conn.SetDeadline(deadline)
-	hs := wire.AppendHandshake(nil, wire.Handshake{Dim: t.opt.Dim, From: self, To: peer})
-	if _, err := conn.Write(hs); err != nil {
+	hello := wire.Hello{
+		Handshake: wire.Handshake{Dim: t.opt.Dim, From: self, To: peer},
+		Resilient: t.resilient(),
+	}
+	if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
 		return nil, fmt.Errorf("transport: node %d: handshake write to peer %d: %w", self, peer, err)
 	}
-	echo, err := wire.ReadHandshake(conn)
+	echo, err := wire.ReadHello(conn)
 	if err != nil {
 		return nil, fmt.Errorf("transport: node %d: handshake reply from peer %d: %w", self, peer, err)
+	}
+	if echo.Resilient != t.resilient() {
+		return nil, fmt.Errorf("transport: node %d: peer %d resilience mode mismatch (peer resilient=%v, local resilient=%v)",
+			self, peer, echo.Resilient, t.resilient())
 	}
 	if echo.Dim != t.opt.Dim || echo.From != peer || echo.To != self {
 		return nil, fmt.Errorf("transport: node %d: peer %d answered as node %d of a %d-cube (want node %d of a %d-cube)",
 			self, peer, echo.From, echo.Dim, peer, t.opt.Dim)
 	}
 	conn.SetDeadline(time.Time{})
-	return t.newLink(self, peer, port, conn), nil
+	return t.newLink(self, peer, port, conn, true, addr), nil
 }
 
 // acceptHandshake validates an inbound handshake and echoes it.
 func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) {
 	conn.SetDeadline(deadline)
-	hs, err := wire.ReadHandshake(conn)
+	hs, err := wire.ReadHello(conn)
 	if err != nil {
 		return nil, fmt.Errorf("transport: reading handshake: %w", err)
+	}
+	if hs.Resilient != t.resilient() {
+		return nil, fmt.Errorf("transport: peer %d resilience mode mismatch (peer resilient=%v, local resilient=%v)",
+			hs.From, hs.Resilient, t.resilient())
 	}
 	if hs.Dim != t.opt.Dim {
 		return nil, fmt.Errorf("transport: peer %d speaks a %d-cube, this is a %d-cube", hs.From, hs.Dim, t.opt.Dim)
@@ -346,21 +537,157 @@ func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) 
 	if t.links[t.linkIndex(hs.To, port)] != nil {
 		return nil, fmt.Errorf("transport: duplicate connection for link %d<->%d", hs.To, hs.From)
 	}
-	echo := wire.AppendHandshake(nil, wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From})
-	if _, err := conn.Write(echo); err != nil {
+	echo := wire.Hello{
+		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
+		Resilient: t.resilient(),
+	}
+	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
 		return nil, fmt.Errorf("transport: handshake echo to node %d: %w", hs.From, err)
 	}
 	conn.SetDeadline(time.Time{})
-	return t.newLink(hs.To, hs.From, port, conn), nil
+	return t.newLink(hs.To, hs.From, port, conn, false, ""), nil
 }
 
-func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn) *link {
+func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bool, addr string) *link {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		// Frames are already coalesced by the write buffer; Nagle on top
 		// would only add latency.
 		tc.SetNoDelay(true)
 	}
-	return &link{t: t, self: self, peer: peer, port: port, conn: conn, kick: make(chan struct{}, 1)}
+	l := &link{
+		t: t, self: self, peer: peer, port: port,
+		conn: conn, gen: 1, dialer: dialer, addr: addr,
+		kick: make(chan struct{}, 1),
+	}
+	if t.resilient() {
+		l.r = &relState{nextFlush: 1, nackedAt: ^uint64(0), connected: true}
+		l.r.space = sync.NewCond(&l.mu)
+		l.lost = make(chan struct{}, 1)
+		l.replaced = make(chan struct{}, 1)
+	}
+	return l
+}
+
+// resumeLoop accepts post-Connect connections: reconnecting peers
+// resuming a severed link. It ends when Close closes the listener.
+func (t *TCP) resumeLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func(conn net.Conn) {
+			defer t.wg.Done()
+			if err := t.handleResume(conn); err != nil {
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// handleResume validates a resume handshake, echoes our receive
+// watermark and installs the connection on the matching link.
+func (t *TCP) handleResume(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(t.opt.HandshakeTimeout))
+	hs, err := wire.ReadHello(conn)
+	if err != nil {
+		return err
+	}
+	if !hs.Resilient || hs.Dim != t.opt.Dim {
+		return fmt.Errorf("transport: bad resume handshake from peer %d", hs.From)
+	}
+	if int(hs.To) >= t.c.Nodes() || !t.local[hs.To] {
+		return fmt.Errorf("transport: resume for node %d, which is not hosted here", hs.To)
+	}
+	port := t.c.Port(hs.To, hs.From)
+	if port < 0 {
+		return fmt.Errorf("transport: resume from node %d, not a neighbor of %d", hs.From, hs.To)
+	}
+	l := t.links[t.linkIndex(hs.To, port)]
+	if l == nil || l.r == nil {
+		return fmt.Errorf("transport: resume for unknown link %d<->%d", hs.To, hs.From)
+	}
+	l.mu.Lock()
+	recv := l.r.recvSeq
+	failed := l.err != nil
+	l.mu.Unlock()
+	if failed {
+		return fmt.Errorf("transport: resume for escalated link %d<->%d", hs.To, hs.From)
+	}
+	echo := wire.Hello{
+		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
+		Resilient: true,
+		RecvSeq:   recv,
+	}
+	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	l.install(conn, hs.RecvSeq)
+	return nil
+}
+
+// install replaces the link's connection after a resume handshake that
+// told us the peer received everything up to peerRecv. The old
+// connection (if any) is closed first so in-flight writes abort; then,
+// under both locks, the generation advances, the replay cursor rewinds
+// to peerRecv+1 and a fresh read pump starts.
+func (l *link) install(conn net.Conn, peerRecv uint64) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	l.mu.Lock()
+	old := l.conn
+	l.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	l.wmu.Lock()
+	l.mu.Lock()
+	r := l.r
+	l.conn = conn
+	l.gen++
+	gen := l.gen
+	if peerRecv > r.acked {
+		l.trimRingLocked(peerRecv)
+	}
+	r.nextFlush = peerRecv + 1
+	if r.nextFlush <= r.acked {
+		// The ring only holds frames > acked; replay can start no earlier.
+		r.nextFlush = r.acked + 1
+	}
+	r.connected = true
+	r.needAck = true
+	select {
+	case <-l.lost: // clear a loss doorbell that raced this install
+	default:
+	}
+	r.space.Broadcast()
+	l.mu.Unlock()
+	l.wmu.Unlock()
+	l.t.reconnects.Add(1)
+	l.t.wg.Add(1)
+	go l.readPump(conn, gen)
+	select {
+	case l.replaced <- struct{}{}:
+	default:
+	}
+	l.kickFlusher()
+}
+
+// trimRingLocked drops ring frames acknowledged up to and including
+// upTo. Caller holds l.mu.
+func (l *link) trimRingLocked(upTo uint64) {
+	r := l.r
+	i := 0
+	for i < len(r.ring) && r.ring[i].seq <= upTo {
+		r.ring[i].frame = nil
+		i++
+	}
+	r.ring = r.ring[i:]
+	r.acked = upTo
 }
 
 // Send delivers msg from a hosted node through the given port. Local
@@ -427,6 +754,9 @@ func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out 
 // send encodes msg into the link's coalescing buffer and wakes the
 // flusher; oversized buffers flush synchronously for backpressure.
 func (l *link) send(msg mpx.Message, out fault.Outcome) error {
+	if l.r != nil {
+		return l.sendResilient(msg, out)
+	}
 	l.mu.Lock()
 	if l.err != nil {
 		err := l.err
@@ -451,17 +781,70 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 	if big {
 		return l.flush()
 	}
+	l.kickFlusher()
+	return nil
+}
+
+// sendResilient assigns the next sequence number, encodes the frame and
+// parks it in the replay ring until acknowledged. A full ring blocks the
+// sender until ACK progress, escalation or shutdown — backpressure that
+// holds through a connection outage.
+func (l *link) sendResilient(msg mpx.Message, out fault.Outcome) error {
+	l.mu.Lock()
+	r := l.r
+	for l.err == nil && !l.t.isDown() && len(r.ring) >= l.t.opt.Resilience.ReplayWindow {
+		r.space.Wait()
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if l.t.isDown() {
+		l.mu.Unlock()
+		return mpx.ErrDown
+	}
+	r.sendSeq++
+	sf := seqFrame{
+		seq:     r.sendSeq,
+		frame:   wire.AppendSeqFrame(nil, r.sendSeq, msg),
+		corrupt: out.Corrupt,
+		dup:     out.Duplicate,
+	}
+	r.ring = append(r.ring, sf)
+	if n := int64(len(r.ring)); n > l.t.replayHW.Load() {
+		l.t.noteReplayDepth(n)
+	}
+	l.mu.Unlock()
+	l.kickFlusher()
+	return nil
+}
+
+// noteReplayDepth raises the replay high-water mark to n if higher.
+func (t *TCP) noteReplayDepth(n int64) {
+	for {
+		cur := t.replayHW.Load()
+		if n <= cur || t.replayHW.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (l *link) kickFlusher() {
 	select {
 	case l.kick <- struct{}{}:
 	default:
 	}
-	return nil
 }
 
 // flush writes the accumulated frames. Senders keep appending to the
 // pending buffer while a previous batch is on the wire — that window is
 // the write coalescing.
 func (l *link) flush() error {
+	if l.r != nil {
+		l.flushResilient()
+		return nil
+	}
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
 	l.mu.Lock()
@@ -472,25 +855,127 @@ func (l *link) flush() error {
 	}
 	l.pending, l.flushbuf = l.flushbuf[:0], l.pending
 	data := l.flushbuf
+	conn := l.conn
 	l.mu.Unlock()
 	if len(data) == 0 {
 		return nil
 	}
-	if _, err := l.conn.Write(data); err != nil {
+	if delay := l.chaosDelay.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+	if _, err := conn.Write(data); err != nil {
 		return l.fail(err)
 	}
 	return nil
 }
 
-// fail records the first failure on this link (sticky) as a PeerError.
+// flushResilient writes every unflushed ring frame plus any pending
+// ACK/NACK to the current connection. Write errors sever the connection
+// (handing it to the supervisor) instead of failing the link; the
+// unflushed frames stay in the ring and are replayed after resume.
+func (l *link) flushResilient() {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.mu.Lock()
+	r := l.r
+	if l.err != nil || !r.connected || l.conn == nil {
+		l.mu.Unlock()
+		return
+	}
+	buf := l.flushbuf[:0]
+	retrans, acks, nacks := 0, 0, 0
+	for i := range r.ring {
+		sf := &r.ring[i]
+		if sf.seq < r.nextFlush {
+			continue
+		}
+		first := sf.seq > r.maxSent
+		if !first {
+			retrans++
+		}
+		start := len(buf)
+		buf = append(buf, sf.frame...)
+		if first && sf.corrupt {
+			// Damage only this transmission: the ring keeps the clean
+			// encoding, so the NACK-triggered retransmit heals the frame.
+			if b := wire.BodyStart(sf.frame); b >= 0 && start+b < len(buf)-4 {
+				buf[start+b] ^= 0xFF
+			}
+		}
+		if first && sf.dup {
+			buf = append(buf, sf.frame...)
+		}
+	}
+	if r.sendSeq > r.maxSent {
+		r.maxSent = r.sendSeq
+	}
+	r.nextFlush = r.sendSeq + 1
+	if r.needNack {
+		buf = wire.AppendNack(buf, r.recvSeq)
+		r.needNack = false
+		nacks++
+	}
+	if r.needAck {
+		buf = wire.AppendAck(buf, r.recvSeq)
+		r.needAck = false
+		acks++
+	}
+	conn, gen := l.conn, l.gen
+	l.flushbuf = buf
+	l.mu.Unlock()
+	if retrans > 0 {
+		l.t.retransmits.Add(int64(retrans))
+	}
+	if acks > 0 {
+		l.t.acksSent.Add(int64(acks))
+	}
+	if nacks > 0 {
+		l.t.nacksSent.Add(int64(nacks))
+	}
+	if len(buf) == 0 {
+		return
+	}
+	if delay := l.chaosDelay.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+	if _, err := conn.Write(buf); err != nil {
+		l.disconnect(gen, err)
+	}
+}
+
+// fail records the first escalated failure on this link (sticky) as a
+// PeerError and wakes any sender blocked on the replay window.
 func (l *link) fail(err error) error {
 	l.mu.Lock()
 	if l.err == nil {
 		l.err = &mpx.PeerError{Self: l.self, Peer: l.peer, Err: err}
 	}
 	err = l.err
+	if l.r != nil {
+		l.r.space.Broadcast()
+	}
 	l.mu.Unlock()
 	return err
+}
+
+// disconnect severs the link's connection generation gen without
+// failing the link: the supervisor is signalled to heal it. Stale
+// generations (a pump whose connection was already replaced) no-op.
+func (l *link) disconnect(gen int, cause error) {
+	l.mu.Lock()
+	if l.gen != gen || l.err != nil || l.r == nil || !l.r.connected {
+		l.mu.Unlock()
+		return
+	}
+	l.r.connected = false
+	l.r.lastCause = cause
+	// Signal under mu so install's drain (also under mu) can never leave
+	// a stale doorbell behind.
+	select {
+	case l.lost <- struct{}{}:
+	default:
+	}
+	l.mu.Unlock()
 }
 
 // flusher drains the coalescing buffer until shutdown.
@@ -506,21 +991,190 @@ func (l *link) flusher() {
 	}
 }
 
+// supervise heals connection losses on a resilient link: each `lost`
+// signal triggers one reestablish cycle; a cycle that exhausts the
+// reconnect budget escalates to the sticky PeerError and shuts the
+// transport down.
+func (l *link) supervise() {
+	defer l.t.wg.Done()
+	for {
+		select {
+		case <-l.t.down:
+			return
+		case <-l.lost:
+		}
+		if err := l.reestablish(); err != nil {
+			if !errors.Is(err, errSupervisorDown) {
+				l.fail(err)
+				l.t.Close()
+			}
+			return
+		}
+	}
+}
+
+// errSupervisorDown aborts a reestablish cycle because the transport is
+// shutting down — not a link failure.
+var errSupervisorDown = errors.New("transport: shutting down")
+
+// reestablish heals one outage. The dialing side redials with jittered
+// exponential backoff under the attempts/budget caps; the accepting
+// side waits for the peer's redial (installed by resumeLoop) under the
+// same budget. Either path returns nil once a connection is installed.
+func (l *link) reestablish() error {
+	ro := l.t.opt.Resilience
+	deadline := time.Now().Add(ro.Budget)
+	if !l.dialer {
+		return l.awaitResume(deadline)
+	}
+	rng := rand.New(rand.NewSource(int64(l.self)<<32 | int64(l.peer)))
+	backoff := ro.BaseBackoff
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", l.addr, time.Until(deadline))
+		if err == nil {
+			peerRecv, herr := l.resumeHandshake(conn, deadline)
+			if herr == nil {
+				l.install(conn, peerRecv)
+				return nil
+			}
+			conn.Close()
+			err = herr
+		}
+		lastErr = err
+		if l.t.isDown() {
+			return errSupervisorDown
+		}
+		if attempt >= ro.MaxAttempts || !time.Now().Before(deadline) {
+			break
+		}
+		// Jittered exponential backoff: sleep in [0.5,1.5)x backoff,
+		// clipped to the remaining budget.
+		sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff)))
+		if rem := time.Until(deadline); sleep > rem {
+			sleep = rem
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		timer.Reset(sleep)
+		select {
+		case <-l.t.down:
+			return errSupervisorDown
+		case <-timer.C:
+		}
+		if backoff < ro.MaxBackoff {
+			backoff *= 2
+			if backoff > ro.MaxBackoff {
+				backoff = ro.MaxBackoff
+			}
+		}
+	}
+	cause := l.outageCause(lastErr)
+	return fmt.Errorf("connection lost and reconnect budget exhausted (%d attempts over %v): %w",
+		ro.MaxAttempts, ro.Budget, cause)
+}
+
+// awaitResume is the accepting side of reestablish: resumeLoop installs
+// the peer's redial and signals `replaced`; if the budget elapses first
+// the outage escalates.
+func (l *link) awaitResume(deadline time.Time) error {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		select {
+		case <-l.t.down:
+			return errSupervisorDown
+		case <-l.replaced:
+			// A doorbell can be stale (an earlier install); trust only the
+			// link's actual state.
+			l.mu.Lock()
+			ok := l.r.connected
+			l.mu.Unlock()
+			if ok {
+				return nil
+			}
+		case <-timer.C:
+			l.mu.Lock()
+			ok := l.r.connected
+			l.mu.Unlock()
+			if ok {
+				return nil
+			}
+			return fmt.Errorf("connection lost and peer did not reconnect within %v: %w",
+				l.t.opt.Resilience.Budget, l.outageCause(nil))
+		}
+	}
+}
+
+// outageCause picks the most informative underlying error for an
+// escalation message.
+func (l *link) outageCause(dialErr error) error {
+	l.mu.Lock()
+	cause := l.r.lastCause
+	l.mu.Unlock()
+	if dialErr != nil {
+		cause = dialErr
+	}
+	if cause == nil {
+		cause = errors.New("connection severed")
+	}
+	return cause
+}
+
+// resumeHandshake runs the dialing side of a resume: send our receive
+// watermark, read the peer's. Returns the peer's RecvSeq (our replay
+// point).
+func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error) {
+	conn.SetDeadline(deadline)
+	l.mu.Lock()
+	recv := l.r.recvSeq
+	l.mu.Unlock()
+	hello := wire.Hello{
+		Handshake: wire.Handshake{Dim: l.t.opt.Dim, From: l.self, To: l.peer},
+		Resilient: true,
+		RecvSeq:   recv,
+	}
+	if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
+		return 0, fmt.Errorf("resume handshake write: %w", err)
+	}
+	echo, err := wire.ReadHello(conn)
+	if err != nil {
+		return 0, fmt.Errorf("resume handshake reply: %w", err)
+	}
+	if !echo.Resilient || echo.Dim != l.t.opt.Dim || echo.From != l.peer || echo.To != l.self {
+		return 0, fmt.Errorf("resume handshake: peer answered as node %d of a %d-cube (resilient=%v)",
+			echo.From, echo.Dim, echo.Resilient)
+	}
+	conn.SetDeadline(time.Time{})
+	return echo.RecvSeq, nil
+}
+
 // readPump decodes inbound frames into the hosted node's inbox. A
 // checksum-rejected frame is counted and dropped (the stream stays
-// aligned). A BYE frame ends the pump quietly — the peer shut down in
-// good order. Any other stream failure is a crashed peer: it is recorded
-// and the whole transport shuts down so hosted nodes abort instead of
-// waiting forever.
-func (l *link) readPump() {
+// aligned); on a resilient link it additionally requests a retransmit
+// (NACK). A BYE frame ends the pump quietly — the peer shut down in
+// good order. Any other stream failure is a lost connection: on a plain
+// link it is recorded as a PeerError and the whole transport shuts down
+// so hosted nodes abort instead of waiting forever; on a resilient link
+// it severs only this connection generation and wakes the supervisor.
+func (l *link) readPump(conn net.Conn, gen int) {
 	defer l.t.wg.Done()
-	r := wire.NewReader(bufio.NewReaderSize(l.conn, 64<<10))
+	r := wire.NewReader(bufio.NewReaderSize(conn, 64<<10))
 	for {
-		msg, err := r.ReadFrame()
+		fr, err := r.ReadAny()
 		switch {
 		case err == nil:
 		case errors.Is(err, wire.ErrChecksum):
 			l.t.crcDropped.Add(1)
+			if l.r != nil {
+				l.noteGap()
+			}
 			continue
 		case errors.Is(err, wire.ErrBye):
 			return
@@ -532,10 +1186,44 @@ func (l *link) readPump() {
 				if err == io.EOF {
 					err = errors.New("connection closed without shutdown announcement (peer crashed?)")
 				}
-				l.fail(err)
-				l.t.Close()
+				if l.r != nil {
+					l.disconnect(gen, err)
+				} else {
+					l.fail(err)
+					l.t.Close()
+				}
 			}
 			return
+		}
+		var msg mpx.Message
+		switch fr.Kind {
+		case wire.KindData:
+			if l.r != nil {
+				// A plain data frame on a resilient link is a protocol
+				// violation a reconnect cannot heal.
+				l.fail(errors.New("plain data frame on a resilient link"))
+				l.t.Close()
+				return
+			}
+			msg = fr.Msg
+		case wire.KindSeqData:
+			if l.r == nil {
+				l.fail(errors.New("sequenced frame on a plain link"))
+				l.t.Close()
+				return
+			}
+			if !l.admitSeq(fr.Seq) {
+				continue
+			}
+			msg = fr.Msg
+		case wire.KindAck:
+			l.onAck(fr.Seq)
+			continue
+		case wire.KindNack:
+			l.onNack(fr.Seq)
+			continue
+		default:
+			continue
 		}
 		select {
 		case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
@@ -543,6 +1231,84 @@ func (l *link) readPump() {
 			return
 		}
 	}
+}
+
+// admitSeq decides whether a sequenced frame is the next in-order
+// delivery. Duplicates (replays the peer had to resend) are dropped but
+// re-acknowledged; a gap (a frame lost to corruption) requests one
+// retransmit per stalled position.
+func (l *link) admitSeq(seq uint64) bool {
+	l.mu.Lock()
+	r := l.r
+	switch {
+	case seq <= r.recvSeq:
+		r.needAck = true
+		l.mu.Unlock()
+		l.t.dupsDropped.Add(1)
+		l.kickFlusher()
+		return false
+	case seq != r.recvSeq+1:
+		doNack := r.nackedAt != r.recvSeq
+		if doNack {
+			r.needNack = true
+			r.nackedAt = r.recvSeq
+		}
+		l.mu.Unlock()
+		if doNack {
+			l.kickFlusher()
+		}
+		return false
+	}
+	r.recvSeq++
+	r.needAck = true
+	l.mu.Unlock()
+	l.kickFlusher()
+	return true
+}
+
+// noteGap requests a retransmit after a CRC-rejected frame (its
+// sequence number is unreadable, so the request names our watermark).
+func (l *link) noteGap() {
+	l.mu.Lock()
+	doNack := l.r.nackedAt != l.r.recvSeq
+	if doNack {
+		l.r.needNack = true
+		l.r.nackedAt = l.r.recvSeq
+	}
+	l.mu.Unlock()
+	if doNack {
+		l.kickFlusher()
+	}
+}
+
+// onAck advances the cumulative acknowledgement: acknowledged frames
+// leave the replay ring and blocked senders wake.
+func (l *link) onAck(cum uint64) {
+	l.mu.Lock()
+	r := l.r
+	if cum > r.acked {
+		l.trimRingLocked(cum)
+		if r.nextFlush <= cum {
+			r.nextFlush = cum + 1
+		}
+		r.space.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// onNack rewinds the flush cursor so the next flush retransmits
+// everything after the peer's watermark.
+func (l *link) onNack(from uint64) {
+	l.mu.Lock()
+	r := l.r
+	if from < r.acked {
+		from = r.acked
+	}
+	if r.nextFlush > from+1 {
+		r.nextFlush = from + 1
+	}
+	l.mu.Unlock()
+	l.kickFlusher()
 }
 
 // PeerError reports the first connection-level failure recorded on one
@@ -564,37 +1330,91 @@ func (t *TCP) PeerError(id cube.NodeID) error {
 	return nil
 }
 
+// FirstPeerError reports the first connection-level failure recorded on
+// ANY hosted node's links (implements mpx.FirstPeerErrorer) — it lets a
+// rank stalled as collateral of a neighbor's dead link still name the
+// dead peer.
+func (t *TCP) FirstPeerError() error {
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close shuts the transport down: every link gets a bounded final flush
 // of pending frames plus a BYE announcement, then its connection is
-// closed; the listener stops; pumps and flushers drain out. Idempotent,
-// safe to call from pump goroutines.
+// closed; the listener stops; pumps, flushers and supervisors drain
+// out. Idempotent, safe to call from pump goroutines.
+//
+// A dirty close — any link already failed — skips the BYE on every
+// link: peers must observe a connection LOSS, not an orderly goodbye,
+// so the failure cascades (their supervisors redial the closed
+// listener, exhaust the budget and escalate naming this endpoint)
+// instead of stranding them blocked on traffic that will never come.
 func (t *TCP) Close() error {
 	t.downOnce.Do(func() {
 		close(t.down)
 		t.ln.Close()
+		dirty := t.FirstPeerError() != nil
 		for _, l := range t.links {
 			if l != nil {
-				l.shutdown()
+				l.shutdown(dirty)
 			}
 		}
 	})
 	return nil
 }
 
-// shutdown flushes what it can, announces BYE and closes the connection.
-func (l *link) shutdown() {
+// shutdown flushes what it can, announces BYE (unless the transport is
+// closing dirty) and closes the connection.
+func (l *link) shutdown(dirty bool) {
+	l.mu.Lock()
+	conn := l.conn
+	if l.r != nil {
+		// Wake senders blocked on the replay window; they observe t.down.
+		l.r.space.Broadcast()
+	}
+	l.mu.Unlock()
+	if conn == nil {
+		return
+	}
 	// Bound the final write AND force any in-flight conn.Write (a
 	// flusher stuck on a stalled peer) to return so wmu frees up.
-	l.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
 	l.wmu.Lock()
 	l.mu.Lock()
-	l.pending = wire.AppendBye(l.pending)
-	data := l.pending
+	var data []byte
 	broken := l.err != nil
-	l.mu.Unlock()
-	if !broken {
-		l.conn.Write(data) // best effort; the conn is closing anyway
+	if l.r != nil {
+		buf := l.flushbuf[:0]
+		for i := range l.r.ring {
+			if sf := &l.r.ring[i]; sf.seq >= l.r.nextFlush {
+				buf = append(buf, sf.frame...)
+			}
+		}
+		if l.r.needAck {
+			buf = wire.AppendAck(buf, l.r.recvSeq)
+		}
+		data = wire.AppendBye(buf)
+		l.flushbuf = data
+		broken = broken || !l.r.connected
+	} else {
+		l.pending = wire.AppendBye(l.pending)
+		data = l.pending
 	}
-	l.conn.Close()
+	conn = l.conn
+	l.mu.Unlock()
+	if !broken && !dirty {
+		conn.Write(data) // best effort; the conn is closing anyway
+	}
+	conn.Close()
 	l.wmu.Unlock()
 }

@@ -34,6 +34,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{Version + 1, KindData, 3, 1, 2, 3, 0, 0, 0, 0})
 	f.Add([]byte{Version, KindData, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
 	f.Add([]byte{})
+	// Resilience-protocol frames: the strict decoder must reject them
+	// (wrong kind for a plain link) without panicking or over-consuming.
+	f.Add(AppendSeqFrame(nil, 12345, sampleMessages()[3]))
+	f.Add(AppendAck(nil, 1<<40))
+	f.Add(AppendNack(nil, 7))
+	f.Add(AppendHello(nil, Hello{Handshake: Handshake{Dim: 10, From: 3, To: 515}, Resilient: true, RecvSeq: 99}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, n, err := DecodeFrame(data)
@@ -59,6 +65,98 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if !msgEqual(sm, msg) {
 			t.Fatal("Reader and DecodeFrame disagree")
+		}
+	})
+}
+
+// FuzzDecodeAny is FuzzDecodeFrame for the full resilient frame set:
+// arbitrary bytes must never panic the kind-dispatching decoder, any
+// accepted frame must re-encode/re-decode identically (kind, sequence
+// and message), and the streaming reader must agree with the slice
+// decoder. Run with `go test -fuzz FuzzDecodeAny ./internal/wire`.
+func FuzzDecodeAny(f *testing.F) {
+	for i, msg := range sampleMessages() {
+		f.Add(AppendFrame(nil, msg))
+		seq := AppendSeqFrame(nil, uint64(i)*1000+1, msg)
+		f.Add(seq)
+		if len(seq) > 3 {
+			f.Add(seq[:len(seq)/2])
+			mut := append([]byte(nil), seq...)
+			mut[len(mut)/2] ^= 0x10
+			f.Add(mut)
+		}
+	}
+	f.Add(AppendAck(nil, 0))
+	f.Add(AppendAck(nil, 1<<63))
+	f.Add(AppendNack(nil, 3))
+	f.Add([]byte{Version, KindAck, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(AppendBye(nil))
+	f.Add([]byte{Version, KindSeqData, 2, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeAny(data)
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if err != nil {
+			return
+		}
+		var re []byte
+		switch fr.Kind {
+		case KindData:
+			re = AppendFrame(nil, fr.Msg)
+		case KindSeqData:
+			re = AppendSeqFrame(nil, fr.Seq, fr.Msg)
+		case KindAck:
+			re = AppendAck(nil, fr.Seq)
+		case KindNack:
+			re = AppendNack(nil, fr.Seq)
+		default:
+			t.Fatalf("decoder accepted unknown kind %d", fr.Kind)
+		}
+		fr2, _, err := DecodeAny(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame fails to decode: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Seq != fr.Seq || !msgEqual(fr2.Msg, fr.Msg) {
+			t.Fatalf("round-trip instability:\nfirst  %#v\nsecond %#v", fr, fr2)
+		}
+		sf, serr := NewReader(bytes.NewReader(data)).ReadAny()
+		if serr != nil {
+			t.Fatalf("ReadAny rejects a frame DecodeAny accepted: %v", serr)
+		}
+		if sf.Kind != fr.Kind || sf.Seq != fr.Seq || !msgEqual(sf.Msg, fr.Msg) {
+			t.Fatal("ReadAny and DecodeAny disagree")
+		}
+	})
+}
+
+// FuzzReadHello throws arbitrary bytes at the dual-form handshake
+// reader: it must never panic, and anything it accepts must re-encode
+// to bytes it reads back identically — for both the legacy HCUB form
+// and the HCRX resume form carrying the receiver sequence watermark.
+func FuzzReadHello(f *testing.F) {
+	f.Add(AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}}))
+	f.Add(AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Resilient: true, RecvSeq: 0}))
+	f.Add(AppendHello(nil, Hello{Handshake: Handshake{Dim: 10, From: 1023, To: 512}, Resilient: true, RecvSeq: 1<<64 - 1}))
+	bad := AppendHello(nil, Hello{Handshake: Handshake{Dim: 4, From: 2, To: 6}, Resilient: true, RecvSeq: 77})
+	bad[0] = 'X'
+	f.Add(bad)
+	f.Add([]byte("HCRX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		re := AppendHello(nil, h)
+		h2, err := ReadHello(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encode of accepted hello fails to read: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("hello round-trip instability: %+v vs %+v", h, h2)
 		}
 	})
 }

@@ -49,6 +49,20 @@ const (
 	// KindBye announces an orderly link shutdown: no more frames will
 	// follow, and the coming EOF is not a peer failure.
 	KindBye = 1
+	// KindSeqData is a KindData frame whose CRC-protected body is
+	// prefixed with a per-link sequence number — the unit of the
+	// resilient transport's at-least-once replay protocol. A reconnecting
+	// endpoint replays unacknowledged sequenced frames; the receiver
+	// deduplicates by sequence.
+	KindSeqData = 2
+	// KindAck carries a cumulative acknowledgement: every sequenced frame
+	// with sequence <= Seq arrived in order. Control frame, no CRC (a
+	// damaged ack is at worst a late ack).
+	KindAck = 3
+	// KindNack asks the peer to retransmit every sequenced frame with
+	// sequence > Seq — sent when a CRC-rejected or out-of-order frame
+	// opens a gap in the sequence stream.
+	KindNack = 4
 )
 
 // MaxBody bounds a frame body, protecting receivers from a corrupted or
@@ -99,14 +113,8 @@ func bodyLen(msg mpx.Message) int {
 	return n
 }
 
-// AppendFrame appends one encoded data frame carrying msg to dst and
-// returns the extended slice. It allocates only when dst lacks capacity,
-// so a transport can coalesce many frames into one reused buffer.
-func AppendFrame(dst []byte, msg mpx.Message) []byte {
-	body := bodyLen(msg)
-	dst = append(dst, Version, KindData)
-	dst = binary.AppendUvarint(dst, uint64(body))
-	start := len(dst)
+// appendBody appends the encoded message body to dst.
+func appendBody(dst []byte, msg mpx.Message) []byte {
 	dst = binary.AppendUvarint(dst, zigzag(msg.Tag))
 	dst = binary.AppendUvarint(dst, uint64(len(msg.Parts)))
 	for _, p := range msg.Parts {
@@ -116,20 +124,62 @@ func AppendFrame(dst []byte, msg mpx.Message) []byte {
 		dst = append(dst, p.Data...)
 		dst = binary.AppendUvarint(dst, uint64(p.Sum))
 	}
+	return dst
+}
+
+// AppendFrame appends one encoded data frame carrying msg to dst and
+// returns the extended slice. It allocates only when dst lacks capacity,
+// so a transport can coalesce many frames into one reused buffer.
+func AppendFrame(dst []byte, msg mpx.Message) []byte {
+	body := bodyLen(msg)
+	dst = append(dst, Version, KindData)
+	dst = binary.AppendUvarint(dst, uint64(body))
+	start := len(dst)
+	dst = appendBody(dst, msg)
 	sum := crc32.ChecksumIEEE(dst[start:])
 	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// AppendSeqFrame appends one sequenced data frame: a KindSeqData frame
+// whose body is the sequence number followed by the encoded message, all
+// covered by the CRC trailer. Sequence numbers start at 1 and increase by
+// one per frame on a link; 0 means "nothing sent yet" in handshakes and
+// cumulative acks.
+func AppendSeqFrame(dst []byte, seq uint64, msg mpx.Message) []byte {
+	body := uvarintLen(seq) + bodyLen(msg)
+	dst = append(dst, Version, KindSeqData)
+	dst = binary.AppendUvarint(dst, uint64(body))
+	start := len(dst)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = appendBody(dst, msg)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// AppendAck appends a cumulative-acknowledgement control frame: every
+// sequenced frame with sequence <= cum has been received in order.
+func AppendAck(dst []byte, cum uint64) []byte {
+	dst = append(dst, Version, KindAck)
+	return binary.AppendUvarint(dst, cum)
+}
+
+// AppendNack appends a retransmission request: resend every sequenced
+// frame with sequence > from.
+func AppendNack(dst []byte, from uint64) []byte {
+	dst = append(dst, Version, KindNack)
+	return binary.AppendUvarint(dst, from)
 }
 
 // AppendBye appends the orderly-shutdown control frame to dst.
 func AppendBye(dst []byte) []byte { return append(dst, Version, KindBye) }
 
 // BodyStart returns the offset of the first body byte of the data frame
-// at the start of buf, or -1 if buf does not begin with a well-formed
-// data-frame header. Transports use it to flip body bytes when injecting
-// in-flight corruption: damage past this offset is caught by the CRC
-// without desynchronizing the stream.
+// (plain or sequenced) at the start of buf, or -1 if buf does not begin
+// with a well-formed data-frame header. Transports use it to flip body
+// bytes when injecting in-flight corruption: damage past this offset is
+// caught by the CRC without desynchronizing the stream.
 func BodyStart(buf []byte) int {
-	if len(buf) < 2 || buf[0] != Version || buf[1] != KindData {
+	if len(buf) < 2 || buf[0] != Version || (buf[1] != KindData && buf[1] != KindSeqData) {
 		return -1
 	}
 	n, k := binary.Uvarint(buf[2:])
@@ -139,46 +189,88 @@ func BodyStart(buf []byte) int {
 	return 2 + k
 }
 
-// DecodeFrame decodes the frame at the start of buf, returning the
-// message, the number of bytes consumed, and an error. ErrBye marks a
+// Frame is one decoded frame of any kind. Seq carries the sequence
+// number of a KindSeqData frame, the cumulative acknowledgement of a
+// KindAck frame, or the replay-from watermark of a KindNack frame; Msg
+// is set for data-carrying kinds only.
+type Frame struct {
+	Kind byte
+	Seq  uint64
+	Msg  mpx.Message
+}
+
+// DecodeAny decodes the frame of any kind at the start of buf, returning
+// the frame, the number of bytes consumed, and an error. ErrBye marks a
 // consumed shutdown frame. On ErrChecksum the frame was consumed whole
 // (n covers it); every other error leaves n at the bytes it could parse.
-func DecodeFrame(buf []byte) (mpx.Message, int, error) {
+func DecodeAny(buf []byte) (Frame, int, error) {
 	if len(buf) < 2 {
-		return mpx.Message{}, 0, ErrTruncated
+		return Frame{}, 0, ErrTruncated
 	}
 	if buf[0] != Version {
-		return mpx.Message{}, 0, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, buf[0], Version)
+		return Frame{}, 0, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, buf[0], Version)
 	}
-	switch buf[1] {
+	kind := buf[1]
+	switch kind {
 	case KindBye:
-		return mpx.Message{}, 2, ErrBye
-	case KindData:
+		return Frame{Kind: KindBye}, 2, ErrBye
+	case KindAck, KindNack:
+		v, k := binary.Uvarint(buf[2:])
+		if k <= 0 {
+			return Frame{}, 0, fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
+		}
+		return Frame{Kind: kind, Seq: v}, 2 + k, nil
+	case KindData, KindSeqData:
 	default:
-		return mpx.Message{}, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, buf[1])
+		return Frame{}, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
 	blen, k := binary.Uvarint(buf[2:])
 	if k <= 0 {
-		return mpx.Message{}, 0, fmt.Errorf("%w: bad body length", ErrCorrupt)
+		return Frame{}, 0, fmt.Errorf("%w: bad body length", ErrCorrupt)
 	}
 	if blen > MaxBody {
-		return mpx.Message{}, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+		return Frame{}, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
 	}
 	hdr := 2 + k
 	total := hdr + int(blen) + 4
 	if len(buf) < total {
-		return mpx.Message{}, 0, ErrTruncated
+		return Frame{}, 0, ErrTruncated
 	}
 	body := buf[hdr : hdr+int(blen)]
 	want := binary.LittleEndian.Uint32(buf[hdr+int(blen):])
 	if crc32.ChecksumIEEE(body) != want {
-		return mpx.Message{}, total, ErrChecksum
+		return Frame{Kind: kind}, total, ErrChecksum
+	}
+	fr := Frame{Kind: kind}
+	if kind == KindSeqData {
+		seq, n, ok := readUvarint(body)
+		if !ok {
+			return Frame{}, total, fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
+		}
+		fr.Seq = seq
+		body = body[n:]
 	}
 	msg, err := decodeBody(body)
 	if err != nil {
-		return mpx.Message{}, total, err
+		return Frame{}, total, err
 	}
-	return msg, total, nil
+	fr.Msg = msg
+	return fr, total, nil
+}
+
+// DecodeFrame decodes the plain data frame at the start of buf — the
+// non-sequenced subset of DecodeAny kept for the plain (non-resilient)
+// transport path. ErrBye marks a consumed shutdown frame; control and
+// sequenced kinds are rejected as ErrCorrupt.
+func DecodeFrame(buf []byte) (mpx.Message, int, error) {
+	fr, n, err := DecodeAny(buf)
+	if err != nil {
+		return mpx.Message{}, n, err
+	}
+	if fr.Kind != KindData {
+		return mpx.Message{}, 0, fmt.Errorf("%w: unexpected frame kind %d on a plain link", ErrCorrupt, fr.Kind)
+	}
+	return fr.Msg, n, nil
 }
 
 // decodeBody parses a CRC-verified frame body. The returned message owns
@@ -262,30 +354,38 @@ type Reader struct {
 // it issues unbuffered syscalls.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
-// ReadFrame reads the next frame. It returns ErrBye on an orderly
-// shutdown frame and ErrChecksum for a damaged-but-framed body (the
-// stream stays aligned; the caller may keep reading). Any other error is
-// terminal for the stream.
-func (r *Reader) ReadFrame() (mpx.Message, error) {
+// ReadAny reads the next frame of any kind. It returns ErrBye on an
+// orderly shutdown frame and ErrChecksum for a damaged-but-framed body
+// (the stream stays aligned; the caller may keep reading — the returned
+// Frame still carries the kind). Any other error is terminal for the
+// stream.
+func (r *Reader) ReadAny() (Frame, error) {
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
-		return mpx.Message{}, err
+		return Frame{}, err
 	}
 	if r.hdr[0] != Version {
-		return mpx.Message{}, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, r.hdr[0], Version)
+		return Frame{}, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, r.hdr[0], Version)
 	}
-	switch r.hdr[1] {
+	kind := r.hdr[1]
+	switch kind {
 	case KindBye:
-		return mpx.Message{}, ErrBye
-	case KindData:
+		return Frame{Kind: KindBye}, ErrBye
+	case KindAck, KindNack:
+		v, err := readUvarintFrom(r.r)
+		if err != nil {
+			return Frame{}, fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
+		}
+		return Frame{Kind: kind, Seq: v}, nil
+	case KindData, KindSeqData:
 	default:
-		return mpx.Message{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, r.hdr[1])
+		return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
 	blen, err := readUvarintFrom(r.r)
 	if err != nil {
-		return mpx.Message{}, fmt.Errorf("%w: bad body length", ErrCorrupt)
+		return Frame{}, fmt.Errorf("%w: bad body length", ErrCorrupt)
 	}
 	if blen > MaxBody {
-		return mpx.Message{}, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+		return Frame{}, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
 	}
 	need := int(blen) + 4
 	if cap(r.buf) < need {
@@ -296,14 +396,44 @@ func (r *Reader) ReadFrame() (mpx.Message, error) {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return mpx.Message{}, err
+		return Frame{}, err
 	}
 	body := r.buf[:blen]
 	want := binary.LittleEndian.Uint32(r.buf[blen:])
 	if crc32.ChecksumIEEE(body) != want {
-		return mpx.Message{}, ErrChecksum
+		return Frame{Kind: kind}, ErrChecksum
 	}
-	return decodeBody(body)
+	fr := Frame{Kind: kind}
+	if kind == KindSeqData {
+		seq, n, ok := readUvarint(body)
+		if !ok {
+			return Frame{}, fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
+		}
+		fr.Seq = seq
+		body = body[n:]
+	}
+	msg, err := decodeBody(body)
+	if err != nil {
+		return Frame{}, err
+	}
+	fr.Msg = msg
+	return fr, nil
+}
+
+// ReadFrame reads the next plain data frame — the non-sequenced subset
+// of ReadAny kept for the plain (non-resilient) transport path. It
+// returns ErrBye on an orderly shutdown frame and ErrChecksum for a
+// damaged-but-framed body (the stream stays aligned; the caller may keep
+// reading). Any other error is terminal for the stream.
+func (r *Reader) ReadFrame() (mpx.Message, error) {
+	fr, err := r.ReadAny()
+	if err != nil {
+		return mpx.Message{}, err
+	}
+	if fr.Kind != KindData {
+		return mpx.Message{}, fmt.Errorf("%w: unexpected frame kind %d on a plain link", ErrCorrupt, fr.Kind)
+	}
+	return fr.Msg, nil
 }
 
 // readUvarintFrom reads a varint byte by byte (frames are length-framed,
@@ -344,21 +474,75 @@ func AppendHandshake(dst []byte, h Handshake) []byte {
 	return binary.LittleEndian.AppendUint32(dst, uint32(h.To))
 }
 
-// ReadHandshake reads and validates one handshake from r.
+// ReadHandshake reads and validates one plain handshake from r.
 func ReadHandshake(r io.Reader) (Handshake, error) {
-	var buf [handshakeLen]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+	h, err := ReadHello(r)
+	if err != nil {
 		return Handshake{}, err
 	}
-	if [4]byte(buf[:4]) != handshakeMagic {
-		return Handshake{}, fmt.Errorf("%w: bad handshake magic %q", ErrCorrupt, buf[:4])
+	if h.Resilient {
+		return Handshake{}, fmt.Errorf("%w: peer opened with a resilient handshake on a plain link", ErrCorrupt)
+	}
+	return h.Handshake, nil
+}
+
+// Hello is the union of the two link-opening handshakes: the plain HCUB
+// form and the resilient HCRX form, which additionally carries RecvSeq —
+// the highest contiguous sequence number the sender has already received
+// on this link — so a resuming peer knows exactly which unacknowledged
+// frames to replay. A fresh resilient link carries RecvSeq 0.
+type Hello struct {
+	Handshake
+	Resilient bool
+	RecvSeq   uint64
+}
+
+// resume handshake layout: magic (4) | version (1) | dim (1) |
+// from (4, LE) | to (4, LE) | recvSeq (8, LE).
+const helloLen = handshakeLen + 8
+
+var resumeMagic = [4]byte{'H', 'C', 'R', 'X'}
+
+// AppendHello appends the encoded handshake in the form selected by
+// h.Resilient.
+func AppendHello(dst []byte, h Hello) []byte {
+	if !h.Resilient {
+		return AppendHandshake(dst, h.Handshake)
+	}
+	dst = append(dst, resumeMagic[:]...)
+	dst = append(dst, Version, byte(h.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.To))
+	return binary.LittleEndian.AppendUint64(dst, h.RecvSeq)
+}
+
+// ReadHello reads one handshake of either form from r, dispatching on
+// the magic. Accepting transports use it so a single listener serves
+// both fresh plain connects and resilient connect/resume handshakes.
+func ReadHello(r io.Reader) (Hello, error) {
+	var buf [helloLen]byte
+	if _, err := io.ReadFull(r, buf[:handshakeLen]); err != nil {
+		return Hello{}, err
+	}
+	var h Hello
+	switch [4]byte(buf[:4]) {
+	case handshakeMagic:
+	case resumeMagic:
+		h.Resilient = true
+	default:
+		return Hello{}, fmt.Errorf("%w: bad handshake magic %q", ErrCorrupt, buf[:4])
 	}
 	if buf[4] != Version {
-		return Handshake{}, fmt.Errorf("%w: peer speaks version %d, want %d", ErrVersion, buf[4], Version)
+		return Hello{}, fmt.Errorf("%w: peer speaks version %d, want %d", ErrVersion, buf[4], Version)
 	}
-	return Handshake{
-		Dim:  int(buf[5]),
-		From: cube.NodeID(binary.LittleEndian.Uint32(buf[6:10])),
-		To:   cube.NodeID(binary.LittleEndian.Uint32(buf[10:14])),
-	}, nil
+	h.Dim = int(buf[5])
+	h.From = cube.NodeID(binary.LittleEndian.Uint32(buf[6:10]))
+	h.To = cube.NodeID(binary.LittleEndian.Uint32(buf[10:14]))
+	if h.Resilient {
+		if _, err := io.ReadFull(r, buf[handshakeLen:]); err != nil {
+			return Hello{}, err
+		}
+		h.RecvSeq = binary.LittleEndian.Uint64(buf[handshakeLen:])
+	}
+	return h, nil
 }

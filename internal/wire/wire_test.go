@@ -207,6 +207,203 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSeqFrameRoundTrip covers the sequenced data frame across the
+// sequence-number range the replay protocol uses (1 upward; 0 is the
+// "nothing sent" handshake watermark, still encodable) through both the
+// slice decoder and the streaming reader.
+func TestSeqFrameRoundTrip(t *testing.T) {
+	seqs := []uint64{0, 1, 2, 127, 128, 1 << 20, 1<<64 - 1}
+	for _, seq := range seqs {
+		for i, msg := range sampleMessages() {
+			frame := AppendSeqFrame(nil, seq, msg)
+			fr, n, err := DecodeAny(frame)
+			if err != nil {
+				t.Fatalf("seq %d msg %d: decode: %v", seq, i, err)
+			}
+			if n != len(frame) {
+				t.Fatalf("seq %d msg %d: consumed %d of %d bytes", seq, i, n, len(frame))
+			}
+			if fr.Kind != KindSeqData || fr.Seq != seq || !msgEqual(fr.Msg, msg) {
+				t.Fatalf("seq %d msg %d: got kind=%d seq=%d", seq, i, fr.Kind, fr.Seq)
+			}
+			sf, err := NewReader(bytes.NewReader(frame)).ReadAny()
+			if err != nil {
+				t.Fatalf("seq %d msg %d: stream decode: %v", seq, i, err)
+			}
+			if sf.Kind != KindSeqData || sf.Seq != seq || !msgEqual(sf.Msg, msg) {
+				t.Fatalf("seq %d msg %d: stream mismatch", seq, i)
+			}
+		}
+	}
+}
+
+// TestAckNackRoundTrip covers the two unchecksummed control frames.
+func TestAckNackRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		encode func([]byte, uint64) []byte
+		kind   byte
+	}{
+		{"ack", AppendAck, KindAck},
+		{"nack", AppendNack, KindNack},
+	}
+	for _, tc := range cases {
+		for _, v := range []uint64{0, 1, 300, 1 << 33, 1<<64 - 1} {
+			frame := tc.encode(nil, v)
+			fr, n, err := DecodeAny(frame)
+			if err != nil {
+				t.Fatalf("%s %d: %v", tc.name, v, err)
+			}
+			if n != len(frame) || fr.Kind != tc.kind || fr.Seq != v {
+				t.Fatalf("%s %d: consumed %d/%d, kind=%d seq=%d", tc.name, v, n, len(frame), fr.Kind, fr.Seq)
+			}
+			sf, err := NewReader(bytes.NewReader(frame)).ReadAny()
+			if err != nil || sf.Kind != tc.kind || sf.Seq != v {
+				t.Fatalf("%s %d: stream got kind=%d seq=%d err=%v", tc.name, v, sf.Kind, sf.Seq, err)
+			}
+		}
+	}
+}
+
+// TestMixedStreamDecodesInOrder interleaves every frame kind the
+// resilient link writes — sequenced data, cumulative acks, retransmit
+// requests, a plain frame and the closing BYE — in one coalesced
+// buffer, as flushResilient produces them.
+func TestMixedStreamDecodesInOrder(t *testing.T) {
+	msgs := sampleMessages()
+	var buf []byte
+	buf = AppendSeqFrame(buf, 1, msgs[2])
+	buf = AppendNack(buf, 0)
+	buf = AppendSeqFrame(buf, 2, msgs[3])
+	buf = AppendAck(buf, 17)
+	buf = AppendFrame(buf, msgs[1])
+	buf = AppendBye(buf)
+
+	want := []Frame{
+		{Kind: KindSeqData, Seq: 1, Msg: msgs[2]},
+		{Kind: KindNack, Seq: 0},
+		{Kind: KindSeqData, Seq: 2, Msg: msgs[3]},
+		{Kind: KindAck, Seq: 17},
+		{Kind: KindData, Msg: msgs[1]},
+	}
+	rest := buf
+	for i, w := range want {
+		fr, n, err := DecodeAny(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Kind != w.Kind || fr.Seq != w.Seq || !msgEqual(fr.Msg, w.Msg) {
+			t.Fatalf("frame %d: got kind=%d seq=%d, want kind=%d seq=%d", i, fr.Kind, fr.Seq, w.Kind, w.Seq)
+		}
+		rest = rest[n:]
+	}
+	if _, n, err := DecodeAny(rest); !errors.Is(err, ErrBye) || n != 2 {
+		t.Fatalf("tail: n=%d err=%v, want BYE", n, err)
+	}
+
+	r := NewReader(bytes.NewReader(buf))
+	for i, w := range want {
+		fr, err := r.ReadAny()
+		if err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+		if fr.Kind != w.Kind || fr.Seq != w.Seq || !msgEqual(fr.Msg, w.Msg) {
+			t.Fatalf("stream frame %d mismatch", i)
+		}
+	}
+	if _, err := r.ReadAny(); !errors.Is(err, ErrBye) {
+		t.Fatalf("stream tail: %v, want ErrBye", err)
+	}
+}
+
+// TestSeqFrameBitFlipDetected proves the CRC covers the sequence number
+// as well as the message: any body flip is an ErrChecksum that consumes
+// the whole frame, keeping the stream decodable.
+func TestSeqFrameBitFlipDetected(t *testing.T) {
+	frame := AppendSeqFrame(nil, 513, sampleMessages()[3])
+	body := BodyStart(frame)
+	if body < 0 {
+		t.Fatal("BodyStart failed on a valid sequenced frame")
+	}
+	for i := body; i < len(frame)-4; i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		_, n, err := DecodeAny(mut)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err=%v, want ErrChecksum", i, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("flip at %d consumed %d, want %d", i, n, len(frame))
+		}
+	}
+}
+
+// TestStrictDecodersRejectResilientKinds pins the mode split: a plain
+// link speaks KindData only, so its strict decoders must refuse the
+// resilience kinds instead of silently passing them through.
+func TestStrictDecodersRejectResilientKinds(t *testing.T) {
+	frames := [][]byte{
+		AppendSeqFrame(nil, 1, sampleMessages()[1]),
+		AppendAck(nil, 5),
+		AppendNack(nil, 2),
+	}
+	for i, frame := range frames {
+		if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("frame %d: DecodeFrame err=%v, want ErrCorrupt", i, err)
+		}
+		if _, err := NewReader(bytes.NewReader(frame)).ReadFrame(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("frame %d: ReadFrame accepted a resilient kind", i)
+		}
+	}
+}
+
+// TestHelloRoundTrip covers both handshake encodings: the legacy HCUB
+// form a plain endpoint sends and the extended HCRX resume form that
+// carries the receiver's last-seen sequence number. One ReadHello
+// serves both, dispatching on the magic.
+func TestHelloRoundTrip(t *testing.T) {
+	plain := Hello{Handshake: Handshake{Dim: 5, From: 3, To: 19}}
+	got, err := ReadHello(bytes.NewReader(AppendHello(nil, plain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != plain {
+		t.Fatalf("plain hello: got %+v, want %+v", got, plain)
+	}
+	// The plain form is byte-identical to the legacy handshake.
+	if !bytes.Equal(AppendHello(nil, plain), AppendHandshake(nil, plain.Handshake)) {
+		t.Fatal("plain AppendHello diverged from AppendHandshake")
+	}
+
+	for _, seq := range []uint64{0, 1, 1 << 40, 1<<64 - 1} {
+		res := Hello{Handshake: Handshake{Dim: 9, From: 511, To: 256}, Resilient: true, RecvSeq: seq}
+		got, err := ReadHello(bytes.NewReader(AppendHello(nil, res)))
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if got != res {
+			t.Fatalf("seq %d: got %+v, want %+v", seq, got, res)
+		}
+	}
+
+	bad := AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Resilient: true, RecvSeq: 9})
+	bad[4] = Version + 1
+	if _, err := ReadHello(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version flip: %v, want ErrVersion", err)
+	}
+	bad = AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Resilient: true, RecvSeq: 9})
+	bad[0] = 'Z'
+	if _, err := ReadHello(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad resume magic accepted")
+	}
+	// A truncated resume hello (the legacy prefix of one) must error, not
+	// hang or misparse.
+	full := AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Resilient: true, RecvSeq: 9})
+	if _, err := ReadHello(bytes.NewReader(full[:len(full)-3])); err == nil {
+		t.Fatal("truncated resume hello accepted")
+	}
+}
+
 // TestHugeLengthRejected guards the allocation path against a corrupted
 // length prefix demanding gigabytes.
 func TestHugeLengthRejected(t *testing.T) {
