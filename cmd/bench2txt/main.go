@@ -1,10 +1,17 @@
-// Command bench2txt converts a BENCH_2.json record (written by
-// `experiments -bench`) into Go benchmark text format so benchstat can
-// compare two records:
+// Command bench2txt converts a benchmark JSON record (BENCH_2.json
+// written by `experiments -bench`, or BENCH_3.json / BENCH_5.json
+// written by `experiments -bench3` / `-bench5`) into Go benchmark text
+// format so benchstat can compare two records:
 //
-//	bench2txt old/BENCH_2.json > old.txt
-//	bench2txt BENCH_2.json > new.txt
+//	bench2txt old/BENCH_5.json > old.txt
+//	bench2txt BENCH_5.json > new.txt
 //	benchstat old.txt new.txt
+//
+// The schema is detected per entry: micro-benchmark entries carry
+// ns_per_op/allocs_per_op, throughput entries carry mb_per_s (emitted
+// as a MB/s metric with the steady-state wall time as ns/op, keyed
+// Benchmark<Name>/<transport>/d=<dim> so benchstat lines up transports
+// and dimensions across records).
 package main
 
 import (
@@ -13,9 +20,22 @@ import (
 	"os"
 )
 
+type entry struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsPer  float64 `json:"allocs_per_op"`
+
+	Transport     string  `json:"transport"`
+	Dim           int     `json:"dim"`
+	MBPerS        float64 `json:"mb_per_s"`
+	SteadySeconds float64 `json:"steady_s"`
+	WallSeconds   float64 `json:"wall_s"`
+}
+
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bench2txt BENCH_2.json")
+		fmt.Fprintln(os.Stderr, "usage: bench2txt BENCH.json")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(os.Args[1])
@@ -24,19 +44,23 @@ func main() {
 		os.Exit(1)
 	}
 	var rec struct {
-		Benchmarks []struct {
-			Name        string  `json:"name"`
-			Iterations  int     `json:"iterations"`
-			NsPerOp     float64 `json:"ns_per_op"`
-			AllocsPerOp float64 `json:"allocs_per_op"`
-		} `json:"benchmarks"`
+		Benchmarks []entry `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &rec); err != nil {
 		fmt.Fprintln(os.Stderr, "bench2txt:", err)
 		os.Exit(1)
 	}
 	for _, b := range rec.Benchmarks {
+		if b.MBPerS > 0 {
+			wall := b.SteadySeconds
+			if wall <= 0 {
+				wall = b.WallSeconds
+			}
+			fmt.Printf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.2f MB/s\n",
+				b.Name, b.Transport, b.Dim, wall*1e9, b.MBPerS)
+			continue
+		}
 		fmt.Printf("Benchmark%s %d %.0f ns/op %.0f allocs/op\n",
-			b.Name, b.Iterations, b.NsPerOp, b.AllocsPerOp)
+			b.Name, b.Iterations, b.NsPerOp, b.AllocsPer)
 	}
 }

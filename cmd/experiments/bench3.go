@@ -20,7 +20,12 @@ type bench3Result struct {
 	Rounds    int    `json:"rounds"`
 	// BytesPerRound is delivered payload: what the non-root ranks
 	// received, not wire overhead.
-	BytesPerRound int64   `json:"bytes_per_round"`
+	BytesPerRound int64 `json:"bytes_per_round"`
+	// SetupSeconds is mesh construction (dial + handshake) time;
+	// SteadySeconds is the barrier-bracketed collective window MBPerS is
+	// computed over, so TCP goodput is not polluted by handshake cost.
+	SetupSeconds  float64 `json:"setup_s"`
+	SteadySeconds float64 `json:"steady_s"`
 	WallSeconds   float64 `json:"wall_s"`
 	MBPerS        float64 `json:"mb_per_s"`
 }
@@ -62,7 +67,8 @@ func runBench3(path string) error {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Note: fmt.Sprintf("delivered-payload goodput, %d rounds per job, mesh setup amortized; "+
+		Note: fmt.Sprintf("delivered-payload goodput, %d rounds per job; mb_per_s over the "+
+			"barrier-bracketed steady window, mesh dial reported as setup_s; "+
 			"tcp = one loopback endpoint per node, wire-framed + CRC", rounds),
 	}
 	for _, r := range bench3Runners {
@@ -89,20 +95,27 @@ func runBench3(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// bench3Measure times one job (after a warm-up job at d=4 scale is
-// pointless — the mesh IS the warm-up; rounds amortize it).
+// bench3Measure times one job. The steady-state collective window is
+// timed by rank 0 between barriers (see steadyTimer); setup — dialing
+// the mesh — is reported separately so the goodput number measures
+// collectives, not connection establishment.
 func bench3Measure(name, transport string, d, rounds int, bytesPerRound int64,
 	run func(int, func(*comm.Comm) error) error, job func(*comm.Comm) error) (bench3Result, error) {
+	var st steadyTimer
 	start := time.Now()
-	if err := run(d, job); err != nil {
+	if err := run(d, st.wrap(job)); err != nil {
 		return bench3Result{}, fmt.Errorf("bench3 %s/%s d=%d: %w", name, transport, d, err)
 	}
 	wall := time.Since(start)
-	mbps := float64(bytesPerRound) * float64(rounds) / wall.Seconds() / (1 << 20)
-	fmt.Printf("Bench3%s/%s/d=%d %10.3fs %12.1f MB/s\n", name, transport, d, wall.Seconds(), mbps)
+	setup, steady := st.seconds(wall)
+	mbps := float64(bytesPerRound) * float64(rounds) / steady / (1 << 20)
+	fmt.Printf("Bench3%s/%s/d=%d setup %7.3fs steady %7.3fs %12.1f MB/s\n",
+		name, transport, d, setup, steady, mbps)
 	return bench3Result{
 		Name: name, Transport: transport, Dim: d, Rounds: rounds,
-		BytesPerRound: bytesPerRound, WallSeconds: wall.Seconds(), MBPerS: mbps,
+		BytesPerRound: bytesPerRound,
+		SetupSeconds:  setup, SteadySeconds: steady,
+		WallSeconds: wall.Seconds(), MBPerS: mbps,
 	}, nil
 }
 

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/mpx"
+)
+
+// steadyTimer separates mesh setup from the measured collective rounds:
+// wrap brackets a job with barriers and rank 0 times only the window
+// between them, so dialing 2^d loopback sockets does not pollute the
+// goodput number (that cost is reported separately as setup_s).
+type steadyTimer struct {
+	mu     sync.Mutex
+	steady time.Duration
+}
+
+func (st *steadyTimer) wrap(job func(c *comm.Comm) error) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := job(c); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st.mu.Lock()
+			st.steady = time.Since(start)
+			st.mu.Unlock()
+		}
+		return nil
+	}
+}
+
+func (st *steadyTimer) seconds(wall time.Duration) (setup, steady float64) {
+	st.mu.Lock()
+	d := st.steady
+	st.mu.Unlock()
+	if d <= 0 || d > wall {
+		d = wall
+	}
+	return (wall - d).Seconds(), d.Seconds()
+}
+
+// bench5Result is one BENCH_5 measurement. MBPerS is steady-state
+// delivered-payload goodput over SteadySeconds. For TCP rows it is
+// computed from the transport's own PayloadDelivered counter — bytes
+// the transport actually handed to inboxes, store-and-forward relay
+// hops included — not assumed from job size. CollectiveMBPerS is the
+// job-arithmetic view (BytesPerRound × Rounds over SteadySeconds,
+// payload at final destinations only), directly comparable to
+// BENCH_3's rows; for broadcast the two coincide (every node consumes
+// what it receives exactly once), for scatter the transport view is
+// higher by the average tree depth because intermediate nodes receive
+// whole subtree bundles. In-process rows have no transport counters,
+// so there MBPerS == CollectiveMBPerS.
+type bench5Result struct {
+	Name          string  `json:"name"`
+	Transport     string  `json:"transport"`
+	Dim           int     `json:"dim"`
+	Rounds        int     `json:"rounds"`
+	BytesPerRound int64   `json:"bytes_per_round"`
+	SetupSeconds  float64 `json:"setup_s"`
+	SteadySeconds float64 `json:"steady_s"`
+	WallSeconds   float64 `json:"wall_s"`
+	MBPerS        float64 `json:"mb_per_s"`
+	CollectiveMBS float64 `json:"collective_mb_per_s"`
+
+	WireBytesSent         int64 `json:"wire_bytes_sent,omitempty"`
+	WireFramesSent        int64 `json:"wire_frames_sent,omitempty"`
+	PayloadDeliveredBytes int64 `json:"payload_delivered_bytes,omitempty"`
+	BatchedAcks           int64 `json:"batched_acks,omitempty"`
+}
+
+type bench5File struct {
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Note       string         `json:"note"`
+	Benchmarks []bench5Result `json:"benchmarks"`
+}
+
+// runBench5 reruns the BENCH_3 jobs (MSBT broadcast, BST scatter;
+// same payloads, rounds and dimensions up to maxD) on the wire fast
+// path: vectored writes, v2 Castagnoli frames, batched small messages
+// and coalesced ACKs. Setup and steady-state time are reported
+// separately, and the TCP rows carry the transport's own byte/frame
+// counters so the goodput claim is backed by what the transport
+// observed, not bench arithmetic alone.
+func runBench5(path string, maxD int) error {
+	const (
+		rounds    = 8
+		bcastM    = 64 << 10
+		scatterPP = 1 << 10
+	)
+	out := bench5File{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note: fmt.Sprintf("wire fast path (v2 frames, writev, batching); same jobs as BENCH_3.json, "+
+			"%d rounds per job. mb_per_s = payload delivered over the steady-state window: for tcp "+
+			"rows from the transport's PayloadDelivered counter (relay hops included), for inproc "+
+			"rows from job arithmetic. collective_mb_per_s = BytesPerRound*Rounds/steady_s for all "+
+			"rows (final-destination payload only, the BENCH_3-comparable view; identical to "+
+			"mb_per_s for broadcast). Mesh dial is reported separately as setup_s. Single-vCPU "+
+			"container: the whole 2^d-endpoint mesh time-shares one core, run-to-run variance "+
+			"is roughly +/-25 percent at d=8.", rounds),
+	}
+	for d := 4; d <= maxD; d++ {
+		N := 1 << uint(d)
+		jobs := []struct {
+			name          string
+			bytesPerRound int64
+			job           func(*comm.Comm) error
+		}{
+			{"BcastMSBT", int64(bcastM) * int64(N-1), bcastJob(rounds, bcastM)},
+			{"ScatterBST", int64(scatterPP) * int64(N-1), scatterJob(rounds, scatterPP)},
+		}
+		for _, j := range jobs {
+			for _, tr := range []string{"inproc", "tcp"} {
+				res, err := bench5Measure(j.name, tr, d, rounds, j.bytesPerRound, j.job)
+				if err != nil {
+					return err
+				}
+				out.Benchmarks = append(out.Benchmarks, res)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func bench5Measure(name, transport string, d, rounds int, bytesPerRound int64,
+	job func(*comm.Comm) error) (bench5Result, error) {
+	var st steadyTimer
+	var stats mpx.TransportStats
+	wrapped := st.wrap(job)
+	start := time.Now()
+	var err error
+	if transport == "tcp" {
+		err = comm.RunTCPWith(d, comm.TCPRunOptions{
+			StatsSink: func(s mpx.TransportStats) { stats = s },
+		}, wrapped)
+	} else {
+		err = comm.Run(d, wrapped)
+	}
+	wall := time.Since(start)
+	if err != nil {
+		return bench5Result{}, fmt.Errorf("bench5 %s/%s d=%d: %w", name, transport, d, err)
+	}
+	setup, steady := st.seconds(wall)
+	collective := float64(bytesPerRound) * float64(rounds) / steady / (1 << 20)
+	mbps := collective
+	if transport == "tcp" {
+		mbps = float64(stats.PayloadDelivered) / steady / (1 << 20)
+	}
+	fmt.Printf("Bench5%s/%s/d=%d setup %7.3fs steady %7.3fs %10.1f MB/s (collective %8.1f MB/s)\n",
+		name, transport, d, setup, steady, mbps, collective)
+	res := bench5Result{
+		Name: name, Transport: transport, Dim: d, Rounds: rounds,
+		BytesPerRound: bytesPerRound,
+		SetupSeconds:  setup, SteadySeconds: steady, WallSeconds: wall.Seconds(),
+		MBPerS: mbps, CollectiveMBS: collective,
+	}
+	if transport == "tcp" {
+		res.WireBytesSent = stats.BytesSent
+		res.WireFramesSent = stats.FramesSent
+		res.PayloadDeliveredBytes = stats.PayloadDelivered
+		res.BatchedAcks = stats.AcksBatched
+		if stats.PayloadDelivered < bytesPerRound*int64(rounds) {
+			return res, fmt.Errorf("bench5 %s/tcp d=%d: transport observed %d delivered payload bytes, "+
+				"claim needs at least %d", name, d, stats.PayloadDelivered, bytesPerRound*int64(rounds))
+		}
+	}
+	return res, nil
+}

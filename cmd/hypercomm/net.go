@@ -109,9 +109,10 @@ func cmdServe(args []string) error {
 	}
 	if *verbose {
 		if st, ok := machine.Stats(); ok {
-			fmt.Printf("STATS %d: reconnects=%d retransmits=%d crc_dropped=%d acks=%d nacks=%d dups_dropped=%d severed=%d replay_hw=%d\n",
-				*id, st.Reconnects, st.Retransmits, st.CRCDropped, st.AcksSent, st.NacksSent,
-				st.DupsDropped, st.SeveredLinks, st.ReplayHighWater)
+			fmt.Printf("STATS %d: reconnects=%d retransmits=%d crc_dropped=%d acks=%d acks_batched=%d nacks=%d dups_dropped=%d severed=%d replay_hw=%d bytes_sent=%d bytes_recv=%d frames_sent=%d frames_recv=%d payload_delivered=%d\n",
+				*id, st.Reconnects, st.Retransmits, st.CRCDropped, st.AcksSent, st.AcksBatched,
+				st.NacksSent, st.DupsDropped, st.SeveredLinks, st.ReplayHighWater,
+				st.BytesSent, st.BytesReceived, st.FramesSent, st.FramesReceived, st.PayloadDelivered)
 		}
 	}
 	return runErr

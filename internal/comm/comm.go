@@ -147,6 +147,14 @@ type TCPRunOptions struct {
 	// Deadline, when nonzero, is set on every rank's communicator
 	// (Comm.SetDeadline) before the program runs.
 	Deadline time.Duration
+	// WireVersion caps the wire protocol version on every endpoint
+	// (0 means the newest the transport speaks); see
+	// transport.TCPOptions.WireVersion.
+	WireVersion int
+	// StatsSink, when non-nil, receives the transport counters summed
+	// across all endpoints after the run finishes — the delivered-payload
+	// numbers benchmarks derive goodput from.
+	StatsSink func(mpx.TransportStats)
 }
 
 // RunTCP is Run with every cube link carried over a loopback TCP
@@ -176,7 +184,7 @@ func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 	for i := range trs {
 		tr, err := transport.NewTCP(transport.TCPOptions{
 			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
-			Resilience: opt.Resilience,
+			Resilience: opt.Resilience, WireVersion: opt.WireVersion,
 		})
 		if err != nil {
 			return err
@@ -233,6 +241,13 @@ func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 	}
 	for _, a := range agents {
 		a.Stop()
+	}
+	if opt.StatsSink != nil {
+		var sum mpx.TransportStats
+		for _, tr := range trs {
+			sum.Add(tr.Stats())
+		}
+		opt.StatsSink(sum)
 	}
 	return first
 }

@@ -327,3 +327,97 @@ func TestRankSizeDim(t *testing.T) {
 		}
 	})
 }
+
+// TestChunkBounds pins the splitter's edge cases: fewer bytes than
+// chunks, an empty payload, and the degenerate single-chunk split.
+func TestChunkBounds(t *testing.T) {
+	cases := []struct {
+		l, n int
+		want []int
+	}{
+		{l: 2, n: 4, want: []int{0, 0, 1, 1, 2}}, // l < n: some chunks empty
+		{l: 0, n: 3, want: []int{0, 0, 0, 0}},    // l = 0: all chunks empty
+		{l: 7, n: 1, want: []int{0, 7}},          // n = 1: one chunk, whole payload
+		{l: 10, n: 3, want: []int{0, 3, 6, 10}},  // non-divisible
+	}
+	for _, tc := range cases {
+		got := chunkBounds(tc.l, tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("chunkBounds(%d,%d) = %v, want %v", tc.l, tc.n, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("chunkBounds(%d,%d) = %v, want %v", tc.l, tc.n, got, tc.want)
+				break
+			}
+		}
+	}
+	// Invariants for arbitrary (l, n): monotone bounds from 0 to l, and
+	// chunk sizes within one byte of each other.
+	for l := 0; l <= 40; l++ {
+		for n := 1; n <= 8; n++ {
+			b := chunkBounds(l, n)
+			if b[0] != 0 || b[n] != l {
+				t.Fatalf("chunkBounds(%d,%d) ends = [%d,%d], want [0,%d]", l, n, b[0], b[n], l)
+			}
+			min, max := l, 0
+			for j := 0; j < n; j++ {
+				sz := b[j+1] - b[j]
+				if sz < 0 {
+					t.Fatalf("chunkBounds(%d,%d) not monotone: %v", l, n, b)
+				}
+				if sz < min {
+					min = sz
+				}
+				if sz > max {
+					max = sz
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("chunkBounds(%d,%d) unbalanced: %v", l, n, b)
+			}
+		}
+	}
+}
+
+// TestBcastMSBTReassemblyExact is the reassembly property test: for
+// payload lengths that do not divide evenly into n chunks — including
+// lengths shorter than the chunk count and zero — every rank must
+// reassemble the root's bytes exactly.
+func TestBcastMSBTReassemblyExact(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, l := range []int{0, 1, n - 1, n + 1, 97, 1<<10 + 13} {
+			msg := make([]byte, l)
+			for i := range msg {
+				msg[i] = byte(i*131 + 7)
+			}
+			err := Run(n, func(c *Comm) error {
+				var in []byte
+				if c.Rank() == 0 {
+					in = msg
+				}
+				got, err := c.BcastMSBT(0, in)
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, msg) {
+					return fmt.Errorf("rank %d: reassembled %d bytes, want %d (first diff at %d)",
+						c.Rank(), len(got), len(msg), firstDiff(got, msg))
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d l=%d: %v", n, l, err)
+			}
+		}
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -149,6 +149,40 @@ type TransportStats struct {
 	// ReplayHighWater is the maximum number of unacknowledged frames any
 	// single link buffered for replay.
 	ReplayHighWater int64
+
+	// Data-plane volume counters (socket backends). BytesSent and
+	// BytesReceived are raw wire bytes, frames included; FramesSent and
+	// FramesReceived count wire frames (a batch frame counts once);
+	// PayloadDelivered is the part-payload byte total the transport
+	// handed to hosted nodes' inboxes — the goodput numerator.
+	BytesSent, BytesReceived   int64
+	FramesSent, FramesReceived int64
+	PayloadDelivered           int64
+	// AcksBatched counts acknowledgements coalesced into a cumulative
+	// ACK instead of being written as their own control frame.
+	AcksBatched int64
+}
+
+// Add accumulates o into s: counters sum, ReplayHighWater takes the
+// maximum. Harnesses use it to aggregate per-endpoint transports into
+// one job-wide view.
+func (s *TransportStats) Add(o TransportStats) {
+	s.CRCDropped += o.CRCDropped
+	s.Retransmits += o.Retransmits
+	s.Reconnects += o.Reconnects
+	s.AcksSent += o.AcksSent
+	s.NacksSent += o.NacksSent
+	s.DupsDropped += o.DupsDropped
+	s.SeveredLinks += o.SeveredLinks
+	if o.ReplayHighWater > s.ReplayHighWater {
+		s.ReplayHighWater = o.ReplayHighWater
+	}
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.FramesSent += o.FramesSent
+	s.FramesReceived += o.FramesReceived
+	s.PayloadDelivered += o.PayloadDelivered
+	s.AcksBatched += o.AcksBatched
 }
 
 // StatsReporter is an optional Transport extension exposing health

@@ -18,7 +18,7 @@ import (
 	"repro/internal/wire"
 )
 
-// coalesceLimit bounds the per-link write buffer: a send that grows it
+// coalesceLimit bounds the per-link write queue: a send that grows it
 // past this flushes synchronously, providing backpressure against a slow
 // peer instead of unbounded buffering.
 const coalesceLimit = 256 << 10
@@ -26,6 +26,44 @@ const coalesceLimit = 256 << 10
 // closeFlushTimeout bounds the final flush (pending frames + BYE) that
 // Close attempts on every link.
 const closeFlushTimeout = 2 * time.Second
+
+// blockSize is the capacity of the pooled encode blocks holding frame
+// headers, batched small messages and contiguous fault-path frames.
+// Blocks are fixed capacity — queued write segments alias them, so a
+// growth reallocation would orphan the segments.
+const blockSize = 32 << 10
+
+// zcThreshold is the payload size at and above which a plain-link send
+// skips the copy into the encode block and queues the payload by
+// reference for a vectored write (writev). Below it, coalescing into
+// the block (and, on v2 links, batching under one CRC) wins: the copy
+// is cheaper than growing the iovec list and small payloads ride along
+// with their headers in one segment.
+const zcThreshold = 4 << 10
+
+// ackEvery and ackDelay shape the resilient control plane: an ACK is
+// forced after ackEvery in-order frames, or ackDelay after the first
+// unacknowledged one — whichever comes first — and always piggybacks on
+// data flushes. Before this window existed every admitted frame kicked
+// an ACK of its own, which at scatter sizes meant one control frame and
+// one extra wakeup per kilobyte of payload.
+const (
+	ackEvery = 16
+	ackDelay = time.Millisecond
+)
+
+// blockPool recycles encode blocks across links and flushes. Stored as
+// *[]byte so Put does not allocate a box per cycle.
+var blockPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, blockSize)
+	return &b
+}}
+
+func getBlock() *[]byte {
+	b := blockPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
 
 // ResilienceOptions configures self-healing links. With Enabled false
 // (the default) a connection error is immediately fatal: the link
@@ -104,6 +142,11 @@ type TCPOptions struct {
 	HandshakeTimeout time.Duration
 	// Resilience configures self-healing links; zero value disables them.
 	Resilience ResilienceOptions
+	// WireVersion caps the wire protocol version this endpoint speaks
+	// (0 means wire.MaxVersion). Each link runs at the minimum of both
+	// endpoints' caps, negotiated in the Hello handshake, so a
+	// version-1-only peer interoperates with a version-2 endpoint.
+	WireVersion int
 }
 
 // TCP is a socket-backed mpx.Transport: every cube link whose endpoints
@@ -148,6 +191,14 @@ type TCP struct {
 	dupsDropped atomic.Int64
 	severed     atomic.Int64
 	replayHW    atomic.Int64
+
+	// Data-plane volume counters.
+	bytesSent        atomic.Int64
+	bytesRecv        atomic.Int64
+	framesSent       atomic.Int64
+	framesRecv       atomic.Int64
+	payloadDelivered atomic.Int64
+	acksBatched      atomic.Int64
 }
 
 // seqFrame is one encoded frame parked in a link's replay ring until the
@@ -182,6 +233,12 @@ type relState struct {
 	// needAck/needNack make the next flush piggyback control frames.
 	needAck, needNack bool
 
+	// unacked counts in-order frames admitted since the last ACK went
+	// out; the delayed-ACK window (ackEvery / ackDelay) drains it.
+	// ackArmed is true while the delayed-ACK timer is pending.
+	unacked  int
+	ackArmed bool
+
 	// connected is false between a connection error and the supervisor's
 	// successful resume.
 	connected bool
@@ -204,12 +261,33 @@ type link struct {
 	dialer bool
 	addr   string
 
-	mu      sync.Mutex // guards conn, gen, pending, err, r
-	conn    net.Conn
-	gen     int        // bumped on every (re)install; stale pumps detect replacement
-	pending []byte     // frames awaiting flush (plain mode)
-	err     error      // first escalated failure (*mpx.PeerError), sticky
-	r       *relState  // nil on plain links
+	// ver is the negotiated wire protocol version for this link (set
+	// during the handshake, before any frame flows).
+	ver byte
+
+	mu   sync.Mutex // guards conn, gen, the outq, err, r
+	conn net.Conn
+	gen  int       // bumped on every (re)install; stale pumps detect replacement
+	err  error     // first escalated failure (*mpx.PeerError), sticky
+	r    *relState // nil on plain links
+
+	// Plain-link output queue (guarded by mu): outSegs is the wire-order
+	// list of byte segments awaiting the next vectored write; outBlks are
+	// the filled encode blocks backing earlier segments (recycled to
+	// blockPool once their flush completes). cur is the open block —
+	// cur[spanFrom:] is its not-yet-queued tail, closed into outSegs at
+	// flush or roll time. batchAt is the offset of an open v2 batch frame
+	// in cur (-1 when none), batchLen its message count, and queued the
+	// byte total across the queue (backpressure). Large payloads are
+	// queued by reference — zero copy — between header spans that alias
+	// cur; cur never reallocates (capacity is checked before every
+	// append), so those aliases stay valid.
+	outSegs  [][]byte
+	outBlks  []*[]byte
+	cur      *[]byte
+	spanFrom int
+	batchAt  int
+	queued   int
 
 	// lost and replaced (cap 1) connect the pumps to the supervisor:
 	// disconnect signals lost, install signals replaced.
@@ -217,12 +295,17 @@ type link struct {
 
 	kick chan struct{} // cap-1 flusher doorbell
 
+	// ackTimer fires the delayed-ACK window on a resilient link.
+	ackTimer *time.Timer
+
 	// chaosDelay, when set (nanoseconds), stalls every flush — the chaos
 	// harness's slow-link fault.
 	chaosDelay atomic.Int64
 
-	wmu      sync.Mutex // serializes conn writes
-	flushbuf []byte     // swap buffer written under wmu
+	wmu   sync.Mutex // serializes conn writes
+	fsegs [][]byte   // flusher-side segment list, reused under wmu
+	fblks []*[]byte  // blocks retired by the in-flight flush
+	ctrl  []byte     // fixed-capacity scratch for piggybacked ACK/NACK frames
 }
 
 // NewTCP binds the transport's listener; Connect must be called before
@@ -242,6 +325,12 @@ func NewTCP(opts TCPOptions) (*TCP, error) {
 	}
 	if opts.Resilience.Enabled {
 		opts.Resilience.normalize()
+	}
+	if opts.WireVersion == 0 {
+		opts.WireVersion = wire.MaxVersion
+	}
+	if opts.WireVersion < wire.Version1 || opts.WireVersion > wire.MaxVersion {
+		return nil, fmt.Errorf("transport: WireVersion %d outside 1..%d", opts.WireVersion, wire.MaxVersion)
 	}
 	c := cube.New(opts.Dim)
 	t := &TCP{
@@ -296,14 +385,20 @@ func (t *TCP) CRCDropped() int64 { return t.crcDropped.Load() }
 // mpx.StatsReporter).
 func (t *TCP) Stats() mpx.TransportStats {
 	return mpx.TransportStats{
-		CRCDropped:      t.crcDropped.Load(),
-		Retransmits:     t.retransmits.Load(),
-		Reconnects:      t.reconnects.Load(),
-		AcksSent:        t.acksSent.Load(),
-		NacksSent:       t.nacksSent.Load(),
-		DupsDropped:     t.dupsDropped.Load(),
-		SeveredLinks:    t.severed.Load(),
-		ReplayHighWater: t.replayHW.Load(),
+		CRCDropped:       t.crcDropped.Load(),
+		Retransmits:      t.retransmits.Load(),
+		Reconnects:       t.reconnects.Load(),
+		AcksSent:         t.acksSent.Load(),
+		NacksSent:        t.nacksSent.Load(),
+		DupsDropped:      t.dupsDropped.Load(),
+		SeveredLinks:     t.severed.Load(),
+		ReplayHighWater:  t.replayHW.Load(),
+		BytesSent:        t.bytesSent.Load(),
+		BytesReceived:    t.bytesRecv.Load(),
+		FramesSent:       t.framesSent.Load(),
+		FramesReceived:   t.framesRecv.Load(),
+		PayloadDelivered: t.payloadDelivered.Load(),
+		AcksBatched:      t.acksBatched.Load(),
 	}
 }
 
@@ -493,6 +588,7 @@ func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, addr s
 	hello := wire.Hello{
 		Handshake: wire.Handshake{Dim: t.opt.Dim, From: self, To: peer},
 		Resilient: t.resilient(),
+		Version:   byte(t.opt.WireVersion),
 	}
 	if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
 		return nil, fmt.Errorf("transport: node %d: handshake write to peer %d: %w", self, peer, err)
@@ -509,8 +605,14 @@ func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, addr s
 		return nil, fmt.Errorf("transport: node %d: peer %d answered as node %d of a %d-cube (want node %d of a %d-cube)",
 			self, peer, echo.From, echo.Dim, peer, t.opt.Dim)
 	}
+	// The echo carries the acceptor's pick: min(both caps). An echo above
+	// our own cap means the peer ignored the negotiation.
+	if int(echo.Version) > t.opt.WireVersion {
+		return nil, fmt.Errorf("transport: node %d: peer %d chose wire version %d above our cap %d",
+			self, peer, echo.Version, t.opt.WireVersion)
+	}
 	conn.SetDeadline(time.Time{})
-	return t.newLink(self, peer, port, conn, true, addr), nil
+	return t.newLink(self, peer, port, conn, true, addr, echo.Version), nil
 }
 
 // acceptHandshake validates an inbound handshake and echoes it.
@@ -537,35 +639,59 @@ func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) 
 	if t.links[t.linkIndex(hs.To, port)] != nil {
 		return nil, fmt.Errorf("transport: duplicate connection for link %d<->%d", hs.To, hs.From)
 	}
+	ver := wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version)
 	echo := wire.Hello{
 		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
 		Resilient: t.resilient(),
+		Version:   ver,
 	}
 	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
 		return nil, fmt.Errorf("transport: handshake echo to node %d: %w", hs.From, err)
 	}
 	conn.SetDeadline(time.Time{})
-	return t.newLink(hs.To, hs.From, port, conn, false, ""), nil
+	return t.newLink(hs.To, hs.From, port, conn, false, "", ver), nil
 }
 
-func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bool, addr string) *link {
+func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bool, addr string, ver byte) *link {
 	if tc, ok := conn.(*net.TCPConn); ok {
-		// Frames are already coalesced by the write buffer; Nagle on top
+		// Frames are already coalesced by the write queue; Nagle on top
 		// would only add latency.
 		tc.SetNoDelay(true)
 	}
 	l := &link{
 		t: t, self: self, peer: peer, port: port,
-		conn: conn, gen: 1, dialer: dialer, addr: addr,
-		kick: make(chan struct{}, 1),
+		conn: conn, gen: 1, dialer: dialer, addr: addr, ver: ver,
+		kick:    make(chan struct{}, 1),
+		batchAt: -1,
 	}
 	if t.resilient() {
 		l.r = &relState{nextFlush: 1, nackedAt: ^uint64(0), connected: true}
 		l.r.space = sync.NewCond(&l.mu)
 		l.lost = make(chan struct{}, 1)
 		l.replaced = make(chan struct{}, 1)
+		l.ctrl = make([]byte, 0, 32)
+		l.ackTimer = time.AfterFunc(time.Hour, l.ackTimerFire)
+		l.ackTimer.Stop()
+	} else {
+		l.cur = getBlock()
 	}
 	return l
+}
+
+// ackTimerFire closes the delayed-ACK window: whatever is unacked now
+// rides the next flush.
+func (l *link) ackTimerFire() {
+	l.mu.Lock()
+	r := l.r
+	r.ackArmed = false
+	kick := r.unacked > 0
+	if kick {
+		r.needAck = true
+	}
+	l.mu.Unlock()
+	if kick {
+		l.kickFlusher()
+	}
 }
 
 // resumeLoop accepts post-Connect connections: reconnecting peers
@@ -620,6 +746,9 @@ func (t *TCP) handleResume(conn net.Conn) error {
 		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
 		Resilient: true,
 		RecvSeq:   recv,
+		// Same caps on both sides as the original handshake, so the resume
+		// renegotiates to the same version the link already runs at.
+		Version: wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version),
 	}
 	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
 		return err
@@ -744,6 +873,7 @@ func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out 
 		}
 		select {
 		case t.inbox[to] <- mpx.Envelope{Message: send, Port: port, From: from}:
+			t.payloadDelivered.Add(int64(payloadLen(send)))
 		case <-t.down:
 			return mpx.ErrDown
 		}
@@ -751,8 +881,81 @@ func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out 
 	return nil
 }
 
-// send encodes msg into the link's coalescing buffer and wakes the
-// flusher; oversized buffers flush synchronously for backpressure.
+// payloadLen sums msg's part payload bytes.
+func payloadLen(msg mpx.Message) int {
+	n := 0
+	for _, p := range msg.Parts {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// maxPartLen is the largest single part payload: the vectored-write
+// decision looks at it rather than the total, because a bundle of many
+// small parts is cheaper to copy contiguously than to spread across
+// one iovec entry per part.
+func maxPartLen(msg mpx.Message) int {
+	n := 0
+	for _, p := range msg.Parts {
+		if len(p.Data) > n {
+			n = len(p.Data)
+		}
+	}
+	return n
+}
+
+// closeSpanLocked moves the open tail of the current block onto the
+// segment queue. Caller holds l.mu.
+func (l *link) closeSpanLocked() {
+	b := *l.cur
+	if len(b) > l.spanFrom {
+		l.outSegs = append(l.outSegs, b[l.spanFrom:len(b):len(b)])
+		l.spanFrom = len(b)
+	}
+}
+
+// sealBatchLocked closes an open batch frame: patches its length field
+// and appends the CRC trailer (4 bytes the block always reserves).
+// Caller holds l.mu.
+func (l *link) sealBatchLocked() {
+	if l.batchAt < 0 {
+		return
+	}
+	*l.cur = wire.SealBatch(*l.cur, l.batchAt)
+	l.batchAt = -1
+	l.queued += 4
+}
+
+// ensureLocked guarantees the current block has n+4 bytes of spare
+// capacity (the +4 keeps the seal of an open batch from ever growing
+// the block — queued segments alias it, so growth would orphan them),
+// rolling to a fresh pooled block when it does not. Caller holds l.mu;
+// n+4 must not exceed blockSize.
+func (l *link) ensureLocked(n int) {
+	if cap(*l.cur)-len(*l.cur) >= n+4 {
+		return
+	}
+	l.sealBatchLocked()
+	l.closeSpanLocked()
+	l.outBlks = append(l.outBlks, l.cur)
+	l.cur = getBlock()
+	l.spanFrom = 0
+}
+
+// send queues msg on the link's write queue and wakes (or becomes) the
+// flusher; an oversized queue flushes synchronously for backpressure.
+//
+// Three encode paths, picked per message:
+//   - payloads >= zcThreshold: vectored — headers into the block,
+//     payload bytes queued by reference (no copy; the payload must stay
+//     unmodified until flushed, which the collectives guarantee: they
+//     never mutate a buffer they handed to Send);
+//   - small messages on a v2 link: appended to an open batch frame in
+//     the block (one header + one CRC per batch);
+//   - small messages on a v1 link: one classic contiguous frame each.
+//
+// Fault outcomes that damage the wire image (corrupt, duplicate) always
+// use the contiguous path so the corruption flips a real encoded byte.
 func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 	if l.r != nil {
 		return l.sendResilient(msg, out)
@@ -763,26 +966,103 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		l.mu.Unlock()
 		return err
 	}
-	start := len(l.pending)
-	l.pending = wire.AppendFrame(l.pending, msg)
-	if out.Corrupt {
-		// Damage the frame on the wire: flip one body byte after the CRC
-		// was computed. The receiver's checksum rejects the frame — the
-		// real detection path, not a simulated one.
-		if b := wire.BodyStart(l.pending[start:]); b >= 0 && start+b < len(l.pending)-4 {
-			l.pending[start+b] ^= 0xFF
+	// bulk means the message carries at least one part worth an iovec
+	// entry of its own. A bundle of many SMALL parts (a scatter subtree)
+	// is not bulk no matter its total: copying it contiguously beats
+	// paying per-part iovec overhead in the kernel.
+	bulk := maxPartLen(msg) >= zcThreshold
+	switch {
+	case out.Corrupt || out.Duplicate:
+		l.queueFaultyLocked(msg, out)
+	case bulk:
+		l.sealBatchLocked()
+		over := wire.VecOverhead(l.ver, msg)
+		l.ensureLocked(over)
+		l.closeSpanLocked()
+		*l.cur, l.outSegs = wire.AppendFrameVec(*l.cur, l.outSegs, l.ver, msg)
+		l.spanFrom = len(*l.cur)
+		l.queued += over + payloadLen(msg)
+		l.t.framesSent.Add(1)
+	case wire.BatchMsgSize(msg)+wire.BatchOverhead+6 > blockSize:
+		// Small parts but a block-exceeding total: encode contiguously
+		// into a dedicated owned segment (the copy is the point — one
+		// iovec entry instead of hundreds).
+		l.sealBatchLocked()
+		l.closeSpanLocked()
+		buf := wire.AppendFrameV(make([]byte, 0, wire.BatchMsgSize(msg)+6), l.ver, msg)
+		l.outSegs = append(l.outSegs, buf)
+		l.queued += len(buf)
+		l.t.framesSent.Add(1)
+	case l.ver >= wire.Version2:
+		need := wire.BatchMsgSize(msg)
+		l.ensureLocked(need + wire.BatchOverhead)
+		if l.batchAt < 0 {
+			*l.cur, l.batchAt = wire.BeginBatch(*l.cur)
+			l.queued += wire.BatchOverhead - 4 // CRC counted at seal
+			l.t.framesSent.Add(1)
 		}
+		*l.cur = wire.AppendBatchMsg(*l.cur, msg)
+		l.queued += need
+	default:
+		need := wire.BatchMsgSize(msg) + 6 // version+kind+CRC around the uvarint-framed body
+		l.ensureLocked(need)
+		*l.cur = wire.AppendFrameV(*l.cur, l.ver, msg)
+		l.queued += need
+		l.t.framesSent.Add(1)
 	}
-	if out.Duplicate {
-		l.pending = wire.AppendFrame(l.pending, msg)
-	}
-	big := len(l.pending) >= coalesceLimit
+	big := l.queued >= coalesceLimit
 	l.mu.Unlock()
 	if big {
 		return l.flush()
 	}
+	// Non-bulk messages flush inline when the writer is idle: the
+	// TryLock succeeds exactly when no flush is in progress, so a lone
+	// barrier exchange or scatter bundle (both latency chains) hits the
+	// socket now instead of paying a flusher wakeup. Bulk sends go
+	// through the flusher doorbell instead: its scheduling delay is what
+	// lets back-to-back broadcast chunks pile into one writev under
+	// load — self-tuning batching either way.
+	if !bulk && l.wmu.TryLock() {
+		return l.flushWLocked()
+	}
 	l.kickFlusher()
 	return nil
+}
+
+// queueFaultyLocked encodes a contiguous frame for a corrupt and/or
+// duplicated transmission. Frames that cannot fit a block get a
+// dedicated owned segment (no pooling — the fault path is cold).
+func (l *link) queueFaultyLocked(msg mpx.Message, out fault.Outcome) {
+	need := wire.BatchMsgSize(msg) + 6
+	copies := 1
+	if out.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		var frame []byte
+		if need+4 > blockSize {
+			l.sealBatchLocked()
+			l.closeSpanLocked()
+			frame = wire.AppendFrameV(make([]byte, 0, need), l.ver, msg)
+			l.outSegs = append(l.outSegs, frame)
+		} else {
+			l.ensureLocked(need)
+			l.sealBatchLocked()
+			start := len(*l.cur)
+			*l.cur = wire.AppendFrameV(*l.cur, l.ver, msg)
+			frame = (*l.cur)[start:]
+		}
+		if i == 0 && out.Corrupt {
+			// Damage the frame on the wire: flip one body byte after the CRC
+			// was computed. The receiver's checksum rejects the frame — the
+			// real detection path, not a simulated one.
+			if b := wire.BodyStart(frame); b >= 0 && b < len(frame)-4 {
+				frame[b] ^= 0xFF
+			}
+		}
+		l.queued += len(frame)
+		l.t.framesSent.Add(1)
+	}
 }
 
 // sendResilient assigns the next sequence number, encodes the frame and
@@ -807,15 +1087,21 @@ func (l *link) sendResilient(msg mpx.Message, out fault.Outcome) error {
 	r.sendSeq++
 	sf := seqFrame{
 		seq:     r.sendSeq,
-		frame:   wire.AppendSeqFrame(nil, r.sendSeq, msg),
+		frame:   wire.AppendSeqFrameV(nil, l.ver, r.sendSeq, msg),
 		corrupt: out.Corrupt,
 		dup:     out.Duplicate,
 	}
 	r.ring = append(r.ring, sf)
+	l.t.framesSent.Add(1)
 	if n := int64(len(r.ring)); n > l.t.replayHW.Load() {
 		l.t.noteReplayDepth(n)
 	}
 	l.mu.Unlock()
+	if l.wmu.TryLock() {
+		// Writer idle: flush inline instead of paying a wakeup hop.
+		l.flushResilientWLocked()
+		return nil
+	}
 	l.kickFlusher()
 	return nil
 }
@@ -837,15 +1123,23 @@ func (l *link) kickFlusher() {
 	}
 }
 
-// flush writes the accumulated frames. Senders keep appending to the
-// pending buffer while a previous batch is on the wire — that window is
-// the write coalescing.
+// flush writes the queued segments. Senders keep queueing while a
+// previous batch is on the wire — that window is the write coalescing.
 func (l *link) flush() error {
 	if l.r != nil {
 		l.flushResilient()
 		return nil
 	}
 	l.wmu.Lock()
+	return l.flushWLocked()
+}
+
+// flushWLocked drains the plain-link queue in one vectored write
+// (writev): header blocks and referenced payloads go to the kernel as
+// an iovec list, never coalesced into a second buffer. Takes wmu held,
+// releases it. Retired blocks return to the pool only here — after the
+// write that consumed their segments has finished.
+func (l *link) flushWLocked() error {
 	defer l.wmu.Unlock()
 	l.mu.Lock()
 	if l.err != nil {
@@ -853,19 +1147,40 @@ func (l *link) flush() error {
 		l.mu.Unlock()
 		return err
 	}
-	l.pending, l.flushbuf = l.flushbuf[:0], l.pending
-	data := l.flushbuf
+	l.sealBatchLocked()
+	l.closeSpanLocked()
+	l.fsegs, l.outSegs = l.outSegs, l.fsegs[:0]
+	l.fblks, l.outBlks = l.outBlks, l.fblks[:0]
+	l.queued = 0
 	conn := l.conn
 	l.mu.Unlock()
-	if len(data) == 0 {
+	if len(l.fsegs) == 0 {
 		return nil
 	}
 	if delay := l.chaosDelay.Load(); delay > 0 {
 		time.Sleep(time.Duration(delay))
 	}
-	if _, err := conn.Write(data); err != nil {
+	total := 0
+	for _, s := range l.fsegs {
+		total += len(s)
+	}
+	bufs := net.Buffers(l.fsegs)
+	_, err := bufs.WriteTo(conn)
+	// WriteTo consumed bufs (it advances the slice in place), so release
+	// the payload references through our own header and recycle the
+	// blocks this write retired.
+	for i := range l.fsegs {
+		l.fsegs[i] = nil
+	}
+	l.fsegs = l.fsegs[:0]
+	for _, b := range l.fblks {
+		blockPool.Put(b)
+	}
+	l.fblks = l.fblks[:0]
+	if err != nil {
 		return l.fail(err)
 	}
+	l.t.bytesSent.Add(int64(total))
 	return nil
 }
 
@@ -875,6 +1190,17 @@ func (l *link) flush() error {
 // unflushed frames stay in the ring and are replayed after resume.
 func (l *link) flushResilient() {
 	l.wmu.Lock()
+	l.flushResilientWLocked()
+}
+
+// flushResilientWLocked does the work of flushResilient with wmu
+// already held; it releases wmu. The write is vectored: segments
+// reference the ring's owned frame encodings directly (no coalescing
+// copy — the ring never mutates a frame after creation, and trimming
+// only drops references, so the segments stay valid outside the lock).
+// ACK batching happens here: a pending ACK always piggybacks, and any
+// outgoing data drains the delayed-ACK window opportunistically.
+func (l *link) flushResilientWLocked() {
 	defer l.wmu.Unlock()
 	l.mu.Lock()
 	r := l.r
@@ -882,8 +1208,8 @@ func (l *link) flushResilient() {
 		l.mu.Unlock()
 		return
 	}
-	buf := l.flushbuf[:0]
-	retrans, acks, nacks := 0, 0, 0
+	segs := l.fsegs[:0]
+	retrans, acks, nacks, batched := 0, 0, 0, 0
 	for i := range r.ring {
 		sf := &r.ring[i]
 		if sf.seq < r.nextFlush {
@@ -893,36 +1219,50 @@ func (l *link) flushResilient() {
 		if !first {
 			retrans++
 		}
-		start := len(buf)
-		buf = append(buf, sf.frame...)
 		if first && sf.corrupt {
-			// Damage only this transmission: the ring keeps the clean
-			// encoding, so the NACK-triggered retransmit heals the frame.
-			if b := wire.BodyStart(sf.frame); b >= 0 && start+b < len(buf)-4 {
-				buf[start+b] ^= 0xFF
+			// Damage only this transmission — an owned copy, so the ring
+			// keeps the clean encoding and the NACK-triggered retransmit
+			// heals the frame. Cold path: fault injection only.
+			bad := append([]byte(nil), sf.frame...)
+			if b := wire.BodyStart(bad); b >= 0 && b < len(bad)-4 {
+				bad[b] ^= 0xFF
 			}
+			segs = append(segs, bad)
+		} else {
+			segs = append(segs, sf.frame)
 		}
 		if first && sf.dup {
-			buf = append(buf, sf.frame...)
+			segs = append(segs, sf.frame)
 		}
 	}
 	if r.sendSeq > r.maxSent {
 		r.maxSent = r.sendSeq
 	}
 	r.nextFlush = r.sendSeq + 1
+	// Control frames ride in the fixed-capacity ctrl scratch; appends
+	// stay within its capacity, so earlier segments cannot dangle.
+	ctrl := l.ctrl[:0]
 	if r.needNack {
-		buf = wire.AppendNack(buf, r.recvSeq)
+		at := len(ctrl)
+		ctrl = wire.AppendNack(ctrl, r.recvSeq)
+		segs = append(segs, ctrl[at:len(ctrl):len(ctrl)])
 		r.needNack = false
 		nacks++
 	}
-	if r.needAck {
-		buf = wire.AppendAck(buf, r.recvSeq)
+	if r.needAck || (len(segs) > 0 && r.unacked > 0) {
+		at := len(ctrl)
+		ctrl = wire.AppendAck(ctrl, r.recvSeq)
+		segs = append(segs, ctrl[at:len(ctrl):len(ctrl)])
 		r.needAck = false
 		acks++
+		if r.unacked > 1 {
+			batched = r.unacked - 1
+		}
+		r.unacked = 0
 	}
 	conn, gen := l.conn, l.gen
-	l.flushbuf = buf
 	l.mu.Unlock()
+	l.fsegs = segs
 	if retrans > 0 {
 		l.t.retransmits.Add(int64(retrans))
 	}
@@ -932,15 +1272,30 @@ func (l *link) flushResilient() {
 	if nacks > 0 {
 		l.t.nacksSent.Add(int64(nacks))
 	}
-	if len(buf) == 0 {
+	if batched > 0 {
+		l.t.acksBatched.Add(int64(batched))
+	}
+	if len(segs) == 0 {
 		return
 	}
 	if delay := l.chaosDelay.Load(); delay > 0 {
 		time.Sleep(time.Duration(delay))
 	}
-	if _, err := conn.Write(buf); err != nil {
-		l.disconnect(gen, err)
+	total := 0
+	for _, s := range segs {
+		total += len(s)
 	}
+	bufs := net.Buffers(segs)
+	_, err := bufs.WriteTo(conn)
+	for i := range l.fsegs {
+		l.fsegs[i] = nil
+	}
+	l.fsegs = l.fsegs[:0]
+	if err != nil {
+		l.disconnect(gen, err)
+		return
+	}
+	l.t.bytesSent.Add(int64(total))
 }
 
 // fail records the first escalated failure on this link (sticky) as a
@@ -1139,6 +1494,7 @@ func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error
 		Handshake: wire.Handshake{Dim: l.t.opt.Dim, From: l.self, To: l.peer},
 		Resilient: true,
 		RecvSeq:   recv,
+		Version:   byte(l.t.opt.WireVersion),
 	}
 	if _, err := conn.Write(wire.AppendHello(nil, hello)); err != nil {
 		return 0, fmt.Errorf("resume handshake write: %w", err)
@@ -1150,6 +1506,9 @@ func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error
 	if !echo.Resilient || echo.Dim != l.t.opt.Dim || echo.From != l.peer || echo.To != l.self {
 		return 0, fmt.Errorf("resume handshake: peer answered as node %d of a %d-cube (resilient=%v)",
 			echo.From, echo.Dim, echo.Resilient)
+	}
+	if echo.Version != l.ver {
+		return 0, fmt.Errorf("resume handshake: peer renegotiated wire version %d, link runs at %d", echo.Version, l.ver)
 	}
 	conn.SetDeadline(time.Time{})
 	return echo.RecvSeq, nil
@@ -1163,13 +1522,28 @@ func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error
 // link it is recorded as a PeerError and the whole transport shuts down
 // so hosted nodes abort instead of waiting forever; on a resilient link
 // it severs only this connection generation and wakes the supervisor.
+// countReader counts raw bytes flowing off a connection (below the
+// bufio layer, so read-ahead counts when it happens, which is what
+// "wire bytes received" means).
+type countReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
 func (l *link) readPump(conn net.Conn, gen int) {
 	defer l.t.wg.Done()
-	r := wire.NewReader(bufio.NewReaderSize(conn, 64<<10))
+	r := wire.NewReader(bufio.NewReaderSize(countReader{conn, &l.t.bytesRecv}, 16<<10))
 	for {
 		fr, err := r.ReadAny()
 		switch {
 		case err == nil:
+			l.t.framesRecv.Add(1)
 		case errors.Is(err, wire.ErrChecksum):
 			l.t.crcDropped.Add(1)
 			if l.r != nil {
@@ -1206,6 +1580,21 @@ func (l *link) readPump(conn net.Conn, gen int) {
 				return
 			}
 			msg = fr.Msg
+		case wire.KindBatch:
+			if l.r != nil {
+				// The resilient protocol sequences individual frames; a
+				// batch cannot carry a sequence number, so its presence is
+				// the same unhealable violation as a plain data frame.
+				l.fail(errors.New("batch frame on a resilient link"))
+				l.t.Close()
+				return
+			}
+			for _, m := range fr.Msgs {
+				if !l.deliver(m) {
+					return
+				}
+			}
+			continue
 		case wire.KindSeqData:
 			if l.r == nil {
 				l.fail(errors.New("sequenced frame on a plain link"))
@@ -1225,18 +1614,33 @@ func (l *link) readPump(conn net.Conn, gen int) {
 		default:
 			continue
 		}
-		select {
-		case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
-		case <-l.t.down:
+		if !l.deliver(msg) {
 			return
 		}
 	}
 }
 
+// deliver hands one decoded message to the hosted node's inbox,
+// crediting its payload to the goodput counter. Returns false when the
+// transport shut down instead.
+func (l *link) deliver(msg mpx.Message) bool {
+	select {
+	case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
+		l.t.payloadDelivered.Add(int64(payloadLen(msg)))
+		return true
+	case <-l.t.down:
+		return false
+	}
+}
+
 // admitSeq decides whether a sequenced frame is the next in-order
 // delivery. Duplicates (replays the peer had to resend) are dropped but
-// re-acknowledged; a gap (a frame lost to corruption) requests one
-// retransmit per stalled position.
+// re-acknowledged immediately — the peer is clearly missing our ACK; a
+// gap (a frame lost to corruption) requests one retransmit per stalled
+// position. In-order frames do NOT kick an ACK of their own: the
+// delayed-ACK window acknowledges them in bulk (ackEvery frames or
+// ackDelay, whichever first), and outgoing data drains the window
+// early by piggybacking a cumulative ACK.
 func (l *link) admitSeq(seq uint64) bool {
 	l.mu.Lock()
 	r := l.r
@@ -1260,9 +1664,21 @@ func (l *link) admitSeq(seq uint64) bool {
 		return false
 	}
 	r.recvSeq++
-	r.needAck = true
+	r.unacked++
+	force := r.unacked >= ackEvery
+	arm := !force && !r.ackArmed
+	if force {
+		r.needAck = true
+	}
+	if arm {
+		r.ackArmed = true
+	}
 	l.mu.Unlock()
-	l.kickFlusher()
+	if force {
+		l.kickFlusher()
+	} else if arm {
+		l.ackTimer.Reset(ackDelay)
+	}
 	return true
 }
 
@@ -1383,6 +1799,9 @@ func (l *link) shutdown(dirty bool) {
 		l.r.space.Broadcast()
 	}
 	l.mu.Unlock()
+	if l.ackTimer != nil {
+		l.ackTimer.Stop()
+	}
 	if conn == nil {
 		return
 	}
@@ -1391,29 +1810,32 @@ func (l *link) shutdown(dirty bool) {
 	conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
 	l.wmu.Lock()
 	l.mu.Lock()
-	var data []byte
+	var segs [][]byte
 	broken := l.err != nil
 	if l.r != nil {
-		buf := l.flushbuf[:0]
 		for i := range l.r.ring {
 			if sf := &l.r.ring[i]; sf.seq >= l.r.nextFlush {
-				buf = append(buf, sf.frame...)
+				segs = append(segs, sf.frame)
 			}
 		}
-		if l.r.needAck {
-			buf = wire.AppendAck(buf, l.r.recvSeq)
+		if l.r.needAck || l.r.unacked > 0 {
+			l.ctrl = wire.AppendAck(l.ctrl[:0], l.r.recvSeq)
+			segs = append(segs, l.ctrl)
 		}
-		data = wire.AppendBye(buf)
-		l.flushbuf = data
+		segs = append(segs, wire.AppendBye(nil))
 		broken = broken || !l.r.connected
 	} else {
-		l.pending = wire.AppendBye(l.pending)
-		data = l.pending
+		l.sealBatchLocked()
+		l.ensureLocked(2)
+		*l.cur = wire.AppendBye(*l.cur)
+		l.closeSpanLocked()
+		segs = l.outSegs
 	}
 	conn = l.conn
 	l.mu.Unlock()
 	if !broken && !dirty {
-		conn.Write(data) // best effort; the conn is closing anyway
+		bufs := net.Buffers(segs)
+		bufs.WriteTo(conn) // best effort; the conn is closing anyway
 	}
 	conn.Close()
 	l.wmu.Unlock()

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// benchMsg is the broadcast-shaped workload: one 64 KiB part, the same
+// payload BENCH_3/BENCH_5 push per MSBT chunk round.
+func benchMsg() mpx.Message {
+	return mpx.Message{Tag: 7, Parts: []mpx.Part{
+		{Dest: 3, Offset: 128, Data: bytes.Repeat([]byte{0xA5}, 64<<10), Sum: 0xFEEDFACE},
+	}}
+}
+
+// benchSmallMsgs is the scatter-shaped workload: many 1 KiB parts bound
+// for distinct destinations, the shape the batch frame exists for.
+func benchSmallMsgs() []mpx.Message {
+	msgs := make([]mpx.Message, 16)
+	for i := range msgs {
+		msgs[i] = mpx.Message{Tag: i, Parts: []mpx.Part{
+			{Dest: cube.NodeID(i), Offset: i << 10, Data: bytes.Repeat([]byte{byte(i)}, 1<<10)},
+		}}
+	}
+	return msgs
+}
+
+func benchAppendFrame(b *testing.B, ver byte) {
+	b.ReportAllocs()
+	msg := benchMsg()
+	buf := AppendFrameV(nil, ver, msg)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrameV(buf[:0], ver, msg)
+	}
+}
+
+func BenchmarkAppendFrameV1(b *testing.B) { benchAppendFrame(b, Version1) }
+func BenchmarkAppendFrameV2(b *testing.B) { benchAppendFrame(b, Version2) }
+
+// BenchmarkAppendFrameVec measures the vectored encoder: header bytes
+// into a reused block, payload by reference, CRC streamed across both.
+func benchAppendFrameVec(b *testing.B, ver byte) {
+	b.ReportAllocs()
+	msg := benchMsg()
+	over := VecOverhead(ver, msg)
+	blk := make([]byte, 0, over)
+	segs := make([][]byte, 0, 4)
+	b.SetBytes(int64(over + len(msg.Parts[0].Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, segs = AppendFrameVec(blk[:0], segs[:0], ver, msg)
+	}
+	_ = blk
+}
+
+func BenchmarkAppendFrameVecV1(b *testing.B) { benchAppendFrameVec(b, Version1) }
+func BenchmarkAppendFrameVecV2(b *testing.B) { benchAppendFrameVec(b, Version2) }
+
+// BenchmarkAppendBatch measures sealing 16 scatter-sized messages into
+// one batch frame: one header, one CRC for the lot.
+func BenchmarkAppendBatch(b *testing.B) {
+	b.ReportAllocs()
+	msgs := benchSmallMsgs()
+	buf, st := BeginBatch(nil)
+	for _, m := range msgs {
+		buf = AppendBatchMsg(buf, m)
+	}
+	buf = SealBatch(buf, st)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, st = BeginBatch(buf[:0])
+		for _, m := range msgs {
+			buf = AppendBatchMsg(buf, m)
+		}
+		buf = SealBatch(buf, st)
+	}
+}
+
+func benchDecodeAny(b *testing.B, frame []byte) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	var fr Frame
+	var arena []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		arena, _, err = DecodeAnyInto(&fr, arena, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFrameV1(b *testing.B) { benchDecodeAny(b, AppendFrame(nil, benchMsg())) }
+func BenchmarkDecodeFrameV2(b *testing.B) {
+	benchDecodeAny(b, AppendFrameV(nil, Version2, benchMsg()))
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	buf, st := BeginBatch(nil)
+	for _, m := range benchSmallMsgs() {
+		buf = AppendBatchMsg(buf, m)
+	}
+	benchDecodeAny(b, SealBatch(buf, st))
+}
+
+// BenchmarkReadAnyInto is the pump-shaped decode: frames through a
+// Reader with the reusable Frame, as the TCP read pump runs warm.
+func BenchmarkReadAnyInto(b *testing.B) {
+	b.ReportAllocs()
+	frame := AppendSeqFrameV(nil, Version2, 1, benchMsg())
+	b.SetBytes(int64(len(frame)))
+	rd := bytes.NewReader(frame)
+	r := NewReader(rd)
+	var fr Frame
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		if err := r.ReadAnyInto(&fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeDecodeZeroAllocsWarm is the wire-layer zero-alloc guard the
+// issue asks for: once buffers exist, encoding (contiguous, vectored
+// and batch) and decoding (DecodeAnyInto, ReadAnyInto) allocate nothing
+// per frame at either version.
+func TestEncodeDecodeZeroAllocsWarm(t *testing.T) {
+	msg := benchMsg()
+	small := benchSmallMsgs()
+
+	for _, ver := range []byte{Version1, Version2} {
+		buf := AppendFrameV(nil, ver, msg)
+		if n := testing.AllocsPerRun(100, func() {
+			buf = AppendFrameV(buf[:0], ver, msg)
+		}); n != 0 {
+			t.Errorf("AppendFrameV v%d: %.0f allocs/op warm, want 0", ver, n)
+		}
+		over := VecOverhead(ver, msg)
+		blk := make([]byte, 0, over)
+		segs := make([][]byte, 0, 4)
+		if n := testing.AllocsPerRun(100, func() {
+			blk, segs = AppendFrameVec(blk[:0], segs[:0], ver, msg)
+		}); n != 0 {
+			t.Errorf("AppendFrameVec v%d: %.0f allocs/op warm, want 0", ver, n)
+		}
+	}
+
+	batch, st := BeginBatch(nil)
+	for _, m := range small {
+		batch = AppendBatchMsg(batch, m)
+	}
+	batch = SealBatch(batch, st)
+	if n := testing.AllocsPerRun(100, func() {
+		batch, st = BeginBatch(batch[:0])
+		for _, m := range small {
+			batch = AppendBatchMsg(batch, m)
+		}
+		batch = SealBatch(batch, st)
+	}); n != 0 {
+		t.Errorf("batch encode: %.0f allocs/op warm, want 0", n)
+	}
+
+	for _, frame := range [][]byte{
+		AppendFrame(nil, msg),
+		AppendFrameV(nil, Version2, msg),
+		AppendSeqFrameV(nil, Version2, 9, msg),
+		batch,
+	} {
+		var fr Frame
+		var arena []byte
+		arena, _, err := DecodeAnyInto(&fr, arena, frame) // warm the arena and parts
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			arena, _, err = DecodeAnyInto(&fr, arena, frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("DecodeAnyInto kind=%d ver=%d: %.0f allocs/op warm, want 0", fr.Kind, fr.Ver, n)
+		}
+
+		rd := bytes.NewReader(frame)
+		r := NewReader(rd)
+		var rfr Frame
+		if err := r.ReadAnyInto(&rfr); err != nil { // warm the reader buffers
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			rd.Reset(frame)
+			if err := r.ReadAnyInto(&rfr); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("ReadAnyInto kind=%d ver=%d: %.0f allocs/op warm, want 0", rfr.Kind, rfr.Ver, n)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/cube"
 	"repro/internal/mpx"
 )
 
@@ -77,8 +78,10 @@ func FuzzDecodeFrame(f *testing.F) {
 func FuzzDecodeAny(f *testing.F) {
 	for i, msg := range sampleMessages() {
 		f.Add(AppendFrame(nil, msg))
+		f.Add(AppendFrameV(nil, Version2, msg))
 		seq := AppendSeqFrame(nil, uint64(i)*1000+1, msg)
 		f.Add(seq)
+		f.Add(AppendSeqFrameV(nil, Version2, uint64(i)*999+7, msg))
 		if len(seq) > 3 {
 			f.Add(seq[:len(seq)/2])
 			mut := append([]byte(nil), seq...)
@@ -86,12 +89,27 @@ func FuzzDecodeAny(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	// Batch seeds: all the samples in one frame, an empty batch, a
+	// truncated batch and a relabeled one (batch kind at version 1).
+	batch, st := BeginBatch(nil)
+	for _, msg := range sampleMessages() {
+		batch = AppendBatchMsg(batch, msg)
+	}
+	batch = SealBatch(batch, st)
+	f.Add(batch)
+	f.Add(batch[:len(batch)/2])
+	empty, st2 := BeginBatch(nil)
+	f.Add(SealBatch(empty, st2))
+	relabeled := append([]byte(nil), batch...)
+	relabeled[0] = Version1
+	f.Add(relabeled)
 	f.Add(AppendAck(nil, 0))
 	f.Add(AppendAck(nil, 1<<63))
 	f.Add(AppendNack(nil, 3))
 	f.Add([]byte{Version, KindAck, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(AppendBye(nil))
 	f.Add([]byte{Version, KindSeqData, 2, 0x80})
+	f.Add([]byte{Version2, KindSeqData, 2, 0x80})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, n, err := DecodeAny(data)
@@ -104,9 +122,16 @@ func FuzzDecodeAny(f *testing.F) {
 		var re []byte
 		switch fr.Kind {
 		case KindData:
-			re = AppendFrame(nil, fr.Msg)
+			re = AppendFrameV(nil, fr.Ver, fr.Msg)
 		case KindSeqData:
-			re = AppendSeqFrame(nil, fr.Seq, fr.Msg)
+			re = AppendSeqFrameV(nil, fr.Ver, fr.Seq, fr.Msg)
+		case KindBatch:
+			var st int
+			re, st = BeginBatch(nil)
+			for _, m := range fr.Msgs {
+				re = AppendBatchMsg(re, m)
+			}
+			re = SealBatch(re, st)
 		case KindAck:
 			re = AppendAck(nil, fr.Seq)
 		case KindNack:
@@ -118,15 +143,87 @@ func FuzzDecodeAny(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode of accepted frame fails to decode: %v", err)
 		}
-		if fr2.Kind != fr.Kind || fr2.Seq != fr.Seq || !msgEqual(fr2.Msg, fr.Msg) {
+		if fr2.Kind != fr.Kind || fr2.Seq != fr.Seq || !msgEqual(fr2.Msg, fr.Msg) || !msgsEqual(fr2.Msgs, fr.Msgs) {
 			t.Fatalf("round-trip instability:\nfirst  %#v\nsecond %#v", fr, fr2)
 		}
 		sf, serr := NewReader(bytes.NewReader(data)).ReadAny()
 		if serr != nil {
 			t.Fatalf("ReadAny rejects a frame DecodeAny accepted: %v", serr)
 		}
-		if sf.Kind != fr.Kind || sf.Seq != fr.Seq || !msgEqual(sf.Msg, fr.Msg) {
+		if sf.Kind != fr.Kind || sf.Seq != fr.Seq || !msgEqual(sf.Msg, fr.Msg) || !msgsEqual(sf.Msgs, fr.Msgs) {
 			t.Fatal("ReadAny and DecodeAny disagree")
+		}
+		// The reusable decoders must agree with the fresh ones.
+		var into Frame
+		if _, n2, err := DecodeAnyInto(&into, nil, data); err != nil || n2 != n ||
+			into.Kind != fr.Kind || into.Seq != fr.Seq || !msgEqual(into.Msg, fr.Msg) || !msgsEqual(into.Msgs, fr.Msgs) {
+			t.Fatalf("DecodeAnyInto disagrees with DecodeAny: err=%v", err)
+		}
+		var rinto Frame
+		rr := NewReader(bytes.NewReader(data))
+		if err := rr.ReadAnyInto(&rinto); err != nil ||
+			rinto.Kind != fr.Kind || rinto.Seq != fr.Seq || !msgEqual(rinto.Msg, fr.Msg) || !msgsEqual(rinto.Msgs, fr.Msgs) {
+			t.Fatalf("ReadAnyInto disagrees with DecodeAny: err=%v", err)
+		}
+	})
+}
+
+// msgsEqual compares two batch message lists (nil == empty).
+func msgsEqual(a, b []mpx.Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !msgEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeBatch is the constructive dual for the version-2 batch
+// frame: build a batch from fuzzed primitives, check encode/decode
+// identity through both the slice and streaming decoders, and check
+// that a flipped body byte never passes the CRC-32C.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(3, []byte("hello"), 7, uint32(9))
+	f.Add(0, []byte{}, -1, uint32(0))
+	f.Add(40, bytes.Repeat([]byte{5}, 300), 1<<30, uint32(1<<31))
+	f.Fuzz(func(t *testing.T, count int, data []byte, tag int, sum uint32) {
+		if count < 0 || count > 64 {
+			return
+		}
+		msgs := make([]mpx.Message, count)
+		for i := range msgs {
+			msgs[i] = mpx.Message{Tag: tag + i, Parts: []mpx.Part{
+				{Dest: cube.NodeID(i), Offset: -i, Data: data, Sum: sum},
+			}}
+		}
+		frame, st := BeginBatch(nil)
+		for _, m := range msgs {
+			frame = AppendBatchMsg(frame, m)
+		}
+		frame = SealBatch(frame, st)
+		fr, n, err := DecodeAny(frame)
+		if err != nil {
+			t.Fatalf("decode of own batch: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("consumed %d of %d", n, len(frame))
+		}
+		if fr.Kind != KindBatch || !msgsEqual(fr.Msgs, msgs) {
+			t.Fatalf("batch round trip mismatch: %d msgs in, %d out", len(msgs), len(fr.Msgs))
+		}
+		sf, err := NewReader(bytes.NewReader(frame)).ReadAny()
+		if err != nil || !msgsEqual(sf.Msgs, msgs) {
+			t.Fatalf("streaming batch decode disagrees: %v", err)
+		}
+		if len(frame) > BatchOverhead {
+			flip := append([]byte(nil), frame...)
+			flip[6] ^= 0xFF
+			if _, _, err := DecodeAny(flip); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("body flip: err=%v, want checksum failure", err)
+			}
 		}
 	})
 }

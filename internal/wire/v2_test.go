@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// TestFrameV2RoundTrip: every sample message round-trips at version 2
+// (plain and sequenced), and the v2 encodings differ from v1 only in
+// the version byte and the CRC trailer.
+func TestFrameV2RoundTrip(t *testing.T) {
+	for i, msg := range sampleMessages() {
+		for _, seq := range []uint64{0, 42} {
+			var frame []byte
+			if seq == 0 {
+				frame = AppendFrameV(nil, Version2, msg)
+			} else {
+				frame = AppendSeqFrameV(nil, Version2, seq, msg)
+			}
+			fr, n, err := DecodeAny(frame)
+			if err != nil {
+				t.Fatalf("msg %d seq %d: %v", i, seq, err)
+			}
+			if n != len(frame) || fr.Ver != Version2 || fr.Seq != seq || !msgEqual(fr.Msg, msg) {
+				t.Fatalf("msg %d seq %d: round trip mismatch (n=%d ver=%d seq=%d)", i, seq, n, fr.Ver, fr.Seq)
+			}
+		}
+		v1 := AppendFrame(nil, msg)
+		v2 := AppendFrameV(nil, Version2, msg)
+		if len(v1) != len(v2) {
+			t.Fatalf("msg %d: v1/v2 length differ: %d vs %d", i, len(v1), len(v2))
+		}
+		if !bytes.Equal(v1[1:len(v1)-4], v2[1:len(v2)-4]) {
+			t.Fatalf("msg %d: v1/v2 differ beyond version byte and CRC", i)
+		}
+		if bytes.Equal(v1[len(v1)-4:], v2[len(v2)-4:]) && len(v1) > 6 {
+			t.Fatalf("msg %d: v1 and v2 CRCs coincide — polynomial not switched?", i)
+		}
+	}
+}
+
+// TestChecksumDispatch pins the polynomial choice: version 1 frames use
+// CRC-32 IEEE, version 2 frames use CRC-32C (Castagnoli).
+func TestChecksumDispatch(t *testing.T) {
+	body := []byte("the quick brown fox")
+	if got, want := checksum(Version1, body), crc32.ChecksumIEEE(body); got != want {
+		t.Fatalf("v1 checksum = %#x, want IEEE %#x", got, want)
+	}
+	if got, want := checksum(Version2, body), crc32.Checksum(body, castagnoli); got != want {
+		t.Fatalf("v2 checksum = %#x, want Castagnoli %#x", got, want)
+	}
+	// Incremental must agree with one-shot for both versions.
+	for _, ver := range []byte{Version1, Version2} {
+		crc := checksumUpdate(ver, 0, body[:7])
+		crc = checksumUpdate(ver, crc, body[7:])
+		if crc != checksum(ver, body) {
+			t.Fatalf("v%d incremental checksum disagrees with one-shot", ver)
+		}
+	}
+}
+
+func TestNegotiateVersion(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{Version1, Version1, Version1},
+		{Version1, Version2, Version1},
+		{Version2, Version1, Version1},
+		{Version2, Version2, Version2},
+	}
+	for _, c := range cases {
+		if got := NegotiateVersion(c.a, c.b); got != c.want {
+			t.Fatalf("NegotiateVersion(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestBatchRoundTrip: messages appended to a batch decode back in order
+// through both the slice and streaming decoders, and BatchMsgSize
+// accounts for every byte.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := sampleMessages()
+	frame, start := BeginBatch([]byte("prefix")) // batches may open mid-buffer
+	want := BatchOverhead
+	for _, m := range msgs {
+		frame = AppendBatchMsg(frame, m)
+		want += BatchMsgSize(m)
+	}
+	frame = SealBatch(frame, start)
+	if got := len(frame) - len("prefix"); got != want {
+		t.Fatalf("batch size = %d, BatchOverhead+Σ BatchMsgSize = %d", got, want)
+	}
+	fr, n, err := DecodeAny(frame[len("prefix"):])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(frame)-len("prefix") {
+		t.Fatalf("consumed %d of %d", n, len(frame)-len("prefix"))
+	}
+	if fr.Kind != KindBatch || fr.Ver != Version2 || len(fr.Msgs) != len(msgs) {
+		t.Fatalf("kind=%d ver=%d msgs=%d, want batch/v2/%d", fr.Kind, fr.Ver, len(fr.Msgs), len(msgs))
+	}
+	for i := range msgs {
+		if !msgEqual(fr.Msgs[i], msgs[i]) {
+			t.Fatalf("msg %d mismatch:\n got %#v\nwant %#v", i, fr.Msgs[i], msgs[i])
+		}
+	}
+	sf, err := NewReader(bytes.NewReader(frame[len("prefix"):])).ReadAny()
+	if err != nil || len(sf.Msgs) != len(msgs) {
+		t.Fatalf("streaming batch decode: %v (%d msgs)", err, len(sf.Msgs))
+	}
+}
+
+// TestBatchRejects: empty batches decode to zero messages; corrupt,
+// truncated and mislabeled batches are rejected.
+func TestBatchRejects(t *testing.T) {
+	frame, start := BeginBatch(nil)
+	frame = SealBatch(frame, start)
+	fr, _, err := DecodeAny(frame)
+	if err != nil || fr.Kind != KindBatch || len(fr.Msgs) != 0 {
+		t.Fatalf("empty batch: fr=%#v err=%v", fr, err)
+	}
+
+	frame, start = BeginBatch(nil)
+	frame = AppendBatchMsg(frame, sampleMessages()[2])
+	frame = SealBatch(frame, start)
+
+	flip := append([]byte(nil), frame...)
+	flip[7] ^= 0x40
+	if _, _, err := DecodeAny(flip); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt batch: err=%v, want ErrChecksum", err)
+	}
+	if _, _, err := DecodeAny(frame[:len(frame)-5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated batch: err=%v, want ErrTruncated", err)
+	}
+	// A batch labeled version 1 is a protocol violation: v1 never batches.
+	v1 := append([]byte(nil), frame...)
+	v1[0] = Version1
+	if _, _, err := DecodeAny(v1); err == nil {
+		t.Fatal("version-1 batch frame accepted")
+	}
+}
+
+// TestAppendFrameVec: the vectored encoder's segments, concatenated,
+// are byte-identical to the contiguous encoding at both versions, the
+// payload segments alias the parts' own Data slices (no copy), and
+// VecOverhead predicts exactly the bytes landing in the block.
+func TestAppendFrameVec(t *testing.T) {
+	for i, msg := range sampleMessages() {
+		for _, ver := range []byte{Version1, Version2} {
+			over := VecOverhead(ver, msg)
+			blk := make([]byte, 0, over+16)
+			blk = append(blk, 0xEE) // pre-existing content must be untouched
+			blkLen := len(blk)
+			blk2, segs := AppendFrameVec(blk, nil, ver, msg)
+			if got := len(blk2) - blkLen; got != over {
+				t.Fatalf("msg %d v%d: block grew %d bytes, VecOverhead said %d", i, ver, got, over)
+			}
+			var cat []byte
+			for _, s := range segs {
+				cat = append(cat, s...)
+			}
+			if want := AppendFrameV(nil, ver, msg); !bytes.Equal(cat, want) {
+				t.Fatalf("msg %d v%d: vectored bytes differ from contiguous encoding", i, ver)
+			}
+			// Payload segments must be the original slices, not copies.
+			npay := 0
+			for _, p := range msg.Parts {
+				if len(p.Data) == 0 {
+					continue
+				}
+				npay++
+				found := false
+				for _, s := range segs {
+					if len(s) == len(p.Data) && &s[0] == &p.Data[0] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("msg %d v%d: payload part was copied, not referenced", i, ver)
+				}
+			}
+			if len(segs) != 1+2*npay && npay > 0 {
+				t.Fatalf("msg %d v%d: %d segments for %d payload parts", i, ver, len(segs), npay)
+			}
+		}
+	}
+}
+
+// TestDecodeAnyIntoReuse: repeated decodes through one Frame + arena
+// pair stay correct when the frames vary in shape, and the previous
+// frame's contents are fully replaced.
+func TestDecodeAnyIntoReuse(t *testing.T) {
+	var fr Frame
+	arena := make([]byte, 0, 64)
+	frames := [][]byte{}
+	for _, msg := range sampleMessages() {
+		frames = append(frames, AppendFrameV(nil, Version2, msg))
+		frames = append(frames, AppendSeqFrame(nil, 99, msg))
+	}
+	b, st := BeginBatch(nil)
+	for _, m := range sampleMessages() {
+		b = AppendBatchMsg(b, m)
+	}
+	frames = append(frames, SealBatch(b, st))
+	msgs := sampleMessages()
+	for round := 0; round < 3; round++ {
+		for i, frame := range frames {
+			var err error
+			arena, _, err = DecodeAnyInto(&fr, arena, frame)
+			if err != nil {
+				t.Fatalf("round %d frame %d: %v", round, i, err)
+			}
+			switch fr.Kind {
+			case KindData, KindSeqData:
+				if !msgEqual(fr.Msg, msgs[i/2]) {
+					t.Fatalf("round %d frame %d: payload mismatch", round, i)
+				}
+				if len(fr.Msgs) != 0 {
+					t.Fatalf("round %d frame %d: stale Msgs survived reuse", round, i)
+				}
+			case KindBatch:
+				if len(fr.Msgs) != len(msgs) {
+					t.Fatalf("round %d: batch decoded %d msgs", round, len(fr.Msgs))
+				}
+				for j := range msgs {
+					if !msgEqual(fr.Msgs[j], msgs[j]) {
+						t.Fatalf("round %d: batch msg %d mismatch", round, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadAnyIntoStream: a mixed stream of v1/v2/batch/control frames
+// through one reused Frame.
+func TestReadAnyIntoStream(t *testing.T) {
+	var stream []byte
+	msgs := sampleMessages()
+	stream = AppendFrame(stream, msgs[2])
+	stream = AppendFrameV(stream, Version2, msgs[3])
+	stream = AppendSeqFrameV(stream, Version2, 5, msgs[4])
+	b, st := BeginBatch(stream)
+	b = AppendBatchMsg(b, msgs[1])
+	b = AppendBatchMsg(b, msgs[2])
+	stream = SealBatch(b, st)
+	stream = AppendAck(stream, 17)
+	stream = AppendBye(stream)
+
+	r := NewReader(bytes.NewReader(stream))
+	var fr Frame
+	expect := []struct {
+		kind byte
+		seq  uint64
+	}{{KindData, 0}, {KindData, 0}, {KindSeqData, 5}, {KindBatch, 0}, {KindAck, 17}}
+	for i, e := range expect {
+		if err := r.ReadAnyInto(&fr); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Kind != e.kind || fr.Seq != e.seq {
+			t.Fatalf("frame %d: kind=%d seq=%d, want %d/%d", i, fr.Kind, fr.Seq, e.kind, e.seq)
+		}
+	}
+	if err := r.ReadAnyInto(&fr); !errors.Is(err, ErrBye) {
+		t.Fatalf("stream end: err=%v, want ErrBye", err)
+	}
+}
+
+// TestHelloVersionNegotiation walks the handshake dance both transports
+// run: opener advertises its max, acceptor echoes the minimum.
+func TestHelloVersionNegotiation(t *testing.T) {
+	for _, c := range []struct{ dialer, acceptor, want byte }{
+		{Version2, Version2, Version2},
+		{Version1, Version2, Version1},
+		{Version2, Version1, Version1},
+	} {
+		open := Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Version: c.dialer}
+		got, err := ReadHello(bytes.NewReader(AppendHello(nil, open)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chosen := NegotiateVersion(c.acceptor, got.Version)
+		echo := got
+		echo.Version = chosen
+		back, err := ReadHello(bytes.NewReader(AppendHello(nil, echo)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Version != c.want {
+			t.Fatalf("dialer=%d acceptor=%d: negotiated %d, want %d", c.dialer, c.acceptor, back.Version, c.want)
+		}
+		if back.Version > c.dialer {
+			t.Fatalf("acceptor echoed %d above dialer's max %d", back.Version, c.dialer)
+		}
+	}
+}
+
+// TestBodyStartBothVersions: corruption injection must find the body in
+// v2 frames too.
+func TestBodyStartBothVersions(t *testing.T) {
+	msg := mpx.Message{Tag: 9, Parts: []mpx.Part{{Dest: cube.NodeID(3), Data: []byte("payload")}}}
+	for _, ver := range []byte{Version1, Version2} {
+		frame := AppendFrameV(nil, ver, msg)
+		at := BodyStart(frame)
+		if at <= 0 || at >= len(frame) {
+			t.Fatalf("v%d: BodyStart = %d (frame %d bytes)", ver, at, len(frame))
+		}
+		frame[at] ^= 0x01
+		if _, _, err := DecodeAny(frame); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("v%d: flipped body byte: err=%v, want ErrChecksum", ver, err)
+		}
+	}
+	b, st := BeginBatch(nil)
+	if BodyStart(SealBatch(b, st)) != -1 {
+		t.Fatal("BodyStart accepted a batch frame")
+	}
+}

@@ -2,7 +2,8 @@
 // carries mpx.Message values over a byte stream (a TCP neighbor link in
 // internal/transport). The paper's runtime exchanges messages only
 // between cube neighbors, so a link never multiplexes traffic for third
-// parties: one frame is one mpx.Message crossing one link.
+// parties: one frame is one mpx.Message crossing one link — or, in the
+// version-2 batch form, several small messages crossing it together.
 //
 // Frame layout (all integers are unsigned varints unless noted):
 //
@@ -14,14 +15,23 @@
 //	body = zigzag(Tag) | nparts | part*
 //	part = Dest | zigzag(Offset) | len(Data) | Data | Sum
 //
-// The version byte pins the protocol (mismatches fail the handshake and
-// every frame); the kind byte separates data frames from the BYE control
-// frame a transport sends before closing a link gracefully, so the peer
-// can tell an orderly shutdown from a crashed process. The CRC-32 (IEEE)
-// trailer covers the body: a frame damaged in flight is detected and
-// dropped by the receiver without desynchronizing the stream (the length
-// prefix still frames it), which is exactly the path fault-injected
-// corruption exercises in the TCP transport.
+// Two protocol versions are live. Version 1 (the original) trails every
+// data frame with a CRC-32 (IEEE) checksum. Version 2 — negotiated in
+// the Hello handshake, never assumed — switches the trailer to CRC-32C
+// (Castagnoli, hardware-accelerated via SSE4.2/ARMv8 CRC instructions
+// where the stdlib supports it) and adds the KindBatch frame: many
+// small messages under one header, one length and one checksum, so one
+// syscall and one CRC pass cover a burst. Every frame carries its
+// version byte and the decoders dispatch on it per frame, so both
+// generations stay live and a mixed-version cube interoperates.
+//
+// The kind byte separates data frames from the BYE control frame a
+// transport sends before closing a link gracefully, so the peer can
+// tell an orderly shutdown from a crashed process. The CRC trailer
+// covers the body: a frame damaged in flight is detected and dropped by
+// the receiver without desynchronizing the stream (the length prefix
+// still frames it), which is exactly the path fault-injected corruption
+// exercises in the TCP transport.
 //
 // The codec never panics on hostile input: truncated, oversized and
 // bit-flipped frames all return errors (fuzzed in fuzz_test.go).
@@ -38,9 +48,16 @@ import (
 	"repro/internal/mpx"
 )
 
-// Version is the wire protocol version. Both the per-link handshake and
-// every frame carry it; a mismatch is a hard error.
-const Version = 1
+// Wire protocol versions. Version1 is the original IEEE-CRC protocol;
+// Version2 switches the frame checksum to CRC-32C and adds KindBatch.
+// The Hello handshake negotiates min(both sides' maximum); Version is
+// the legacy name of Version1, kept for the v1 encoders and tests.
+const (
+	Version1   = 1
+	Version2   = 2
+	MaxVersion = Version2
+	Version    = Version1
+)
 
 // Frame kinds.
 const (
@@ -63,6 +80,11 @@ const (
 	// sequence > Seq — sent when a CRC-rejected or out-of-order frame
 	// opens a gap in the sequence stream.
 	KindNack = 4
+	// KindBatch (version 2 only) packs several messages under one header
+	// and one CRC-32C trailer. Unlike the varint-framed kinds its body
+	// length is a fixed-width 4-byte little-endian field, so a builder
+	// can seal an open batch by patching the length in place.
+	KindBatch = 5
 )
 
 // MaxBody bounds a frame body, protecting receivers from a corrupted or
@@ -73,7 +95,7 @@ var (
 	// ErrChecksum reports a frame whose body failed CRC verification.
 	// The frame was consumed whole: the stream remains usable.
 	ErrChecksum = errors.New("wire: frame checksum mismatch")
-	// ErrVersion reports a version byte other than Version.
+	// ErrVersion reports a version byte outside [Version1, MaxVersion].
 	ErrVersion = errors.New("wire: protocol version mismatch")
 	// ErrBye is returned by ReadFrame when the peer announces an orderly
 	// shutdown of the link.
@@ -84,6 +106,41 @@ var (
 	// part lengths exceeding the body, unknown kind...).
 	ErrCorrupt = errors.New("wire: malformed frame")
 )
+
+// castagnoli is the CRC-32C table; crc32.MakeTable returns the stdlib's
+// hardware-accelerated implementation where the CPU has one.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the frame CRC of ver over body: IEEE for version 1,
+// Castagnoli for version 2.
+func checksum(ver byte, body []byte) uint32 {
+	if ver >= Version2 {
+		return crc32.Checksum(body, castagnoli)
+	}
+	return crc32.ChecksumIEEE(body)
+}
+
+// checksumUpdate extends an incremental frame CRC — the vectored encode
+// path checksums a body that spans several write segments.
+func checksumUpdate(ver byte, crc uint32, p []byte) uint32 {
+	if ver >= Version2 {
+		return crc32.Update(crc, castagnoli, p)
+	}
+	return crc32.Update(crc, crc32.IEEETable, p)
+}
+
+// versionOK reports whether v is a protocol version this codec decodes.
+func versionOK(v byte) bool { return v >= Version1 && v <= MaxVersion }
+
+// NegotiateVersion picks the wire version for a link: the highest
+// version both sides speak. The opener's Hello advertises its maximum,
+// the acceptor echoes the pick.
+func NegotiateVersion(localMax, peerMax byte) byte {
+	if peerMax < localMax {
+		return peerMax
+	}
+	return localMax
+}
 
 // zigzag encodes a signed int so small magnitudes stay small.
 func zigzag(v int) uint64 { return uint64((int64(v) << 1) ^ (int64(v) >> 63)) }
@@ -127,37 +184,49 @@ func appendBody(dst []byte, msg mpx.Message) []byte {
 	return dst
 }
 
-// AppendFrame appends one encoded data frame carrying msg to dst and
-// returns the extended slice. It allocates only when dst lacks capacity,
-// so a transport can coalesce many frames into one reused buffer.
-func AppendFrame(dst []byte, msg mpx.Message) []byte {
+// AppendFrameV appends one encoded data frame of the given protocol
+// version carrying msg to dst and returns the extended slice. It
+// allocates only when dst lacks capacity, so a transport can coalesce
+// many frames into one reused buffer.
+func AppendFrameV(dst []byte, ver byte, msg mpx.Message) []byte {
 	body := bodyLen(msg)
-	dst = append(dst, Version, KindData)
+	dst = append(dst, ver, KindData)
 	dst = binary.AppendUvarint(dst, uint64(body))
 	start := len(dst)
 	dst = appendBody(dst, msg)
-	sum := crc32.ChecksumIEEE(dst[start:])
-	return binary.LittleEndian.AppendUint32(dst, sum)
+	return binary.LittleEndian.AppendUint32(dst, checksum(ver, dst[start:]))
 }
 
-// AppendSeqFrame appends one sequenced data frame: a KindSeqData frame
-// whose body is the sequence number followed by the encoded message, all
-// covered by the CRC trailer. Sequence numbers start at 1 and increase by
-// one per frame on a link; 0 means "nothing sent yet" in handshakes and
-// cumulative acks.
-func AppendSeqFrame(dst []byte, seq uint64, msg mpx.Message) []byte {
+// AppendFrame is AppendFrameV at version 1 — the form every peer
+// accepts without negotiation.
+func AppendFrame(dst []byte, msg mpx.Message) []byte {
+	return AppendFrameV(dst, Version1, msg)
+}
+
+// AppendSeqFrameV appends one sequenced data frame of the given
+// protocol version: a KindSeqData frame whose body is the sequence
+// number followed by the encoded message, all covered by the CRC
+// trailer. Sequence numbers start at 1 and increase by one per frame on
+// a link; 0 means "nothing sent yet" in handshakes and cumulative acks.
+func AppendSeqFrameV(dst []byte, ver byte, seq uint64, msg mpx.Message) []byte {
 	body := uvarintLen(seq) + bodyLen(msg)
-	dst = append(dst, Version, KindSeqData)
+	dst = append(dst, ver, KindSeqData)
 	dst = binary.AppendUvarint(dst, uint64(body))
 	start := len(dst)
 	dst = binary.AppendUvarint(dst, seq)
 	dst = appendBody(dst, msg)
-	sum := crc32.ChecksumIEEE(dst[start:])
-	return binary.LittleEndian.AppendUint32(dst, sum)
+	return binary.LittleEndian.AppendUint32(dst, checksum(ver, dst[start:]))
+}
+
+// AppendSeqFrame is AppendSeqFrameV at version 1.
+func AppendSeqFrame(dst []byte, seq uint64, msg mpx.Message) []byte {
+	return AppendSeqFrameV(dst, Version1, seq, msg)
 }
 
 // AppendAck appends a cumulative-acknowledgement control frame: every
 // sequenced frame with sequence <= cum has been received in order.
+// Control frames carry no CRC and are version-1 on the wire (both
+// decoders accept them, so they need no negotiation).
 func AppendAck(dst []byte, cum uint64) []byte {
 	dst = append(dst, Version, KindAck)
 	return binary.AppendUvarint(dst, cum)
@@ -173,13 +242,112 @@ func AppendNack(dst []byte, from uint64) []byte {
 // AppendBye appends the orderly-shutdown control frame to dst.
 func AppendBye(dst []byte) []byte { return append(dst, Version, KindBye) }
 
+// Batch frames: many small messages, one header, one CRC.
+//
+// Layout: version2 | KindBatch | bodyLen (4 B, LE) | body | crc32c(body)
+// with body = repeat( msgLen uvarint | message body ). The fixed-width
+// length lets a builder open a batch, append messages as they arrive
+// and seal it by patching the length — no copy, no second pass.
+
+// BatchOverhead is the fixed per-frame cost of a batch: version + kind,
+// the 4-byte length field and the CRC trailer.
+const BatchOverhead = 2 + 4 + 4
+
+// BatchMsgSize returns the encoded size msg adds to an open batch.
+func BatchMsgSize(msg mpx.Message) int {
+	b := bodyLen(msg)
+	return uvarintLen(uint64(b)) + b
+}
+
+// BeginBatch appends an open batch-frame header to dst and returns the
+// extended slice plus the frame's start offset, which SealBatch needs.
+func BeginBatch(dst []byte) ([]byte, int) {
+	start := len(dst)
+	dst = append(dst, Version2, KindBatch, 0, 0, 0, 0)
+	return dst, start
+}
+
+// AppendBatchMsg appends one message to the open batch at the tail of
+// dst.
+func AppendBatchMsg(dst []byte, msg mpx.Message) []byte {
+	b := bodyLen(msg)
+	dst = binary.AppendUvarint(dst, uint64(b))
+	return appendBody(dst, msg)
+}
+
+// SealBatch closes the batch opened at start: it patches the length
+// field and appends the CRC-32C trailer, returning the extended slice.
+func SealBatch(dst []byte, start int) []byte {
+	body := dst[start+6:]
+	binary.LittleEndian.PutUint32(dst[start+2:], uint32(len(body)))
+	return binary.LittleEndian.AppendUint32(dst, checksum(Version2, body))
+}
+
+// Vectored frames: headers in a small block, payload by reference.
+//
+// AppendFrameVec encodes a data frame without copying the payload: the
+// non-payload bytes (header, per-part varints, CRC trailer) are
+// appended to blk, the payload stays in the parts' own Data slices, and
+// the wire-order segment list — alternating blk spans and payload
+// references — is appended to segs, ready for a net.Buffers vectored
+// write. The CRC is computed incrementally across the segments.
+
+// VecOverhead returns the number of non-payload bytes AppendFrameVec
+// appends to blk for a version-ver frame carrying msg.
+func VecOverhead(ver byte, msg mpx.Message) int {
+	body := bodyLen(msg)
+	n := 2 + uvarintLen(uint64(body)) + body + 4
+	for _, p := range msg.Parts {
+		n -= len(p.Data)
+	}
+	_ = ver // both versions share the layout; only the CRC differs
+	return n
+}
+
+// AppendFrameVec appends the non-payload spans of a data frame to blk
+// and the full segment list to segs. blk MUST have VecOverhead(ver,
+// msg) spare capacity: the returned segments alias it, so a growth
+// reallocation would orphan them (transports enforce this with
+// fixed-capacity pooled blocks). The CRC covers the payload bytes as
+// they are now — the usual send contract (payload immutable until
+// delivered) applies.
+func AppendFrameVec(blk []byte, segs [][]byte, ver byte, msg mpx.Message) ([]byte, [][]byte) {
+	body := bodyLen(msg)
+	spanFrom := len(blk)
+	blk = append(blk, ver, KindData)
+	blk = binary.AppendUvarint(blk, uint64(body))
+	crcFrom := len(blk)
+	blk = binary.AppendUvarint(blk, zigzag(msg.Tag))
+	blk = binary.AppendUvarint(blk, uint64(len(msg.Parts)))
+	crc := uint32(0)
+	for _, p := range msg.Parts {
+		blk = binary.AppendUvarint(blk, uint64(p.Dest))
+		blk = binary.AppendUvarint(blk, zigzag(p.Offset))
+		blk = binary.AppendUvarint(blk, uint64(len(p.Data)))
+		if len(p.Data) > 0 {
+			// Close the open blk span, then emit the payload by reference.
+			crc = checksumUpdate(ver, crc, blk[crcFrom:])
+			segs = append(segs, blk[spanFrom:len(blk):len(blk)])
+			spanFrom, crcFrom = len(blk), len(blk)
+			crc = checksumUpdate(ver, crc, p.Data)
+			segs = append(segs, p.Data)
+		}
+		blk = binary.AppendUvarint(blk, uint64(p.Sum))
+	}
+	crc = checksumUpdate(ver, crc, blk[crcFrom:])
+	blk = binary.LittleEndian.AppendUint32(blk, crc)
+	segs = append(segs, blk[spanFrom:len(blk):len(blk)])
+	return blk, segs
+}
+
 // BodyStart returns the offset of the first body byte of the data frame
-// (plain or sequenced) at the start of buf, or -1 if buf does not begin
-// with a well-formed data-frame header. Transports use it to flip body
-// bytes when injecting in-flight corruption: damage past this offset is
-// caught by the CRC without desynchronizing the stream.
+// (plain or sequenced, either version) at the start of buf, or -1 if
+// buf does not begin with a well-formed data-frame header. Transports
+// use it to flip body bytes when injecting in-flight corruption: damage
+// past this offset is caught by the CRC without desynchronizing the
+// stream.
 func BodyStart(buf []byte) int {
-	if len(buf) < 2 || buf[0] != Version || (buf[1] != KindData && buf[1] != KindSeqData) {
+	if len(buf) < 2 || !versionOK(buf[0]) || (buf[1] != KindData && buf[1] != KindSeqData) {
 		return -1
 	}
 	n, k := binary.Uvarint(buf[2:])
@@ -189,79 +357,154 @@ func BodyStart(buf []byte) int {
 	return 2 + k
 }
 
-// Frame is one decoded frame of any kind. Seq carries the sequence
-// number of a KindSeqData frame, the cumulative acknowledgement of a
-// KindAck frame, or the replay-from watermark of a KindNack frame; Msg
-// is set for data-carrying kinds only.
+// Frame is one decoded frame of any kind. Ver is the protocol version
+// byte the frame carried. Seq carries the sequence number of a
+// KindSeqData frame, the cumulative acknowledgement of a KindAck frame,
+// or the replay-from watermark of a KindNack frame; Msg is set for the
+// single-message data kinds, Msgs for KindBatch.
 type Frame struct {
+	Ver  byte
 	Kind byte
 	Seq  uint64
 	Msg  mpx.Message
+	Msgs []mpx.Message
 }
 
-// DecodeAny decodes the frame of any kind at the start of buf, returning
-// the frame, the number of bytes consumed, and an error. ErrBye marks a
-// consumed shutdown frame. On ErrChecksum the frame was consumed whole
-// (n covers it); every other error leaves n at the bytes it could parse.
+// DecodeAny decodes the frame of any kind at the start of buf,
+// returning the frame, the number of bytes consumed, and an error.
+// ErrBye marks a consumed shutdown frame. On ErrChecksum the frame was
+// consumed whole (n covers it); every other error leaves n at the bytes
+// it could parse. The returned frame owns freshly copied payloads.
 func DecodeAny(buf []byte) (Frame, int, error) {
+	var fr Frame
+	_, n, err := DecodeAnyInto(&fr, nil, buf)
+	return fr, n, err
+}
+
+// DecodeAnyInto is DecodeAny with caller-managed reuse: parts are
+// decoded into fr.Msg.Parts / fr.Msgs (capacity reused) and payload
+// bytes into arena, which is grown only when too small and returned for
+// the next call. A caller looping with the same fr and arena decodes
+// warm frames without allocating. The decoded frame — including every
+// payload slice — is valid only until the next call with the same
+// arguments.
+func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
+	fr.Seq = 0
+	fr.Msg.Tag = 0
+	fr.Msg.Parts = fr.Msg.Parts[:0]
+	fr.Msgs = fr.Msgs[:0]
+	arena = arena[:0]
 	if len(buf) < 2 {
-		return Frame{}, 0, ErrTruncated
+		fr.Kind = 0
+		return arena, 0, ErrTruncated
 	}
-	if buf[0] != Version {
-		return Frame{}, 0, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, buf[0], Version)
+	if !versionOK(buf[0]) {
+		return arena, 0, fmt.Errorf("%w: frame version %d, want 1..%d", ErrVersion, buf[0], MaxVersion)
 	}
-	kind := buf[1]
+	ver, kind := buf[0], buf[1]
+	fr.Ver, fr.Kind = ver, kind
 	switch kind {
 	case KindBye:
-		return Frame{Kind: KindBye}, 2, ErrBye
+		return arena, 2, ErrBye
 	case KindAck, KindNack:
 		v, k := binary.Uvarint(buf[2:])
 		if k <= 0 {
-			return Frame{}, 0, fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
+			return arena, 0, fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
 		}
-		return Frame{Kind: kind, Seq: v}, 2 + k, nil
+		fr.Seq = v
+		return arena, 2 + k, nil
 	case KindData, KindSeqData:
+	case KindBatch:
+		if ver < Version2 {
+			return arena, 0, fmt.Errorf("%w: batch frame at version %d", ErrCorrupt, ver)
+		}
+		if len(buf) < 6 {
+			return arena, 0, ErrTruncated
+		}
+		blen := binary.LittleEndian.Uint32(buf[2:6])
+		if blen > MaxBody {
+			return arena, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+		}
+		total := 6 + int(blen) + 4
+		if len(buf) < total {
+			return arena, 0, ErrTruncated
+		}
+		body := buf[6 : 6+blen]
+		if checksum(ver, body) != binary.LittleEndian.Uint32(buf[6+blen:]) {
+			return arena, total, ErrChecksum
+		}
+		arena, err := decodeBatch(fr, arena, body)
+		return arena, total, err
 	default:
-		return Frame{}, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
+		return arena, 0, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
 	blen, k := binary.Uvarint(buf[2:])
 	if k <= 0 {
-		return Frame{}, 0, fmt.Errorf("%w: bad body length", ErrCorrupt)
+		return arena, 0, fmt.Errorf("%w: bad body length", ErrCorrupt)
 	}
 	if blen > MaxBody {
-		return Frame{}, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+		return arena, 0, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
 	}
 	hdr := 2 + k
 	total := hdr + int(blen) + 4
 	if len(buf) < total {
-		return Frame{}, 0, ErrTruncated
+		return arena, 0, ErrTruncated
 	}
 	body := buf[hdr : hdr+int(blen)]
-	want := binary.LittleEndian.Uint32(buf[hdr+int(blen):])
-	if crc32.ChecksumIEEE(body) != want {
-		return Frame{Kind: kind}, total, ErrChecksum
+	if checksum(ver, body) != binary.LittleEndian.Uint32(buf[hdr+int(blen):]) {
+		return arena, total, ErrChecksum
 	}
-	fr := Frame{Kind: kind}
 	if kind == KindSeqData {
 		seq, n, ok := readUvarint(body)
 		if !ok {
-			return Frame{}, total, fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
+			return arena, total, fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
 		}
 		fr.Seq = seq
 		body = body[n:]
 	}
-	msg, err := decodeBody(body)
-	if err != nil {
-		return Frame{}, total, err
+	arena, err := decodeBodyInto(&fr.Msg, arena, body)
+	return arena, total, err
+}
+
+// decodeBatch parses a CRC-verified batch body into fr.Msgs, reusing
+// the slice's element capacity (each element keeps its Parts backing)
+// and one shared arena for every sub-message's payload.
+func decodeBatch(fr *Frame, arena []byte, body []byte) ([]byte, error) {
+	// One arena serves the whole batch. The body length bounds the total
+	// payload, so sizing to it guarantees decodeBodyInto never regrows
+	// mid-batch.
+	if cap(arena) < len(body) {
+		arena = make([]byte, 0, len(body))
 	}
-	fr.Msg = msg
-	return fr, total, nil
+	for len(body) > 0 {
+		mlen, k, ok := readUvarint(body)
+		if !ok || mlen > uint64(len(body)-k) {
+			return arena, fmt.Errorf("%w: bad batch message length", ErrCorrupt)
+		}
+		body = body[k:]
+		// Extend within capacity so a recycled element keeps its Parts
+		// backing array for reuse.
+		if n := len(fr.Msgs); n < cap(fr.Msgs) {
+			fr.Msgs = fr.Msgs[:n+1]
+		} else {
+			fr.Msgs = append(fr.Msgs, mpx.Message{})
+		}
+		m := &fr.Msgs[len(fr.Msgs)-1]
+		var err error
+		arena, err = decodeBodyInto(m, arena, body[:mlen])
+		if err != nil {
+			fr.Msgs = fr.Msgs[:len(fr.Msgs)-1]
+			return arena, err
+		}
+		body = body[mlen:]
+	}
+	return arena, nil
 }
 
 // DecodeFrame decodes the plain data frame at the start of buf — the
 // non-sequenced subset of DecodeAny kept for the plain (non-resilient)
-// transport path. ErrBye marks a consumed shutdown frame; control and
-// sequenced kinds are rejected as ErrCorrupt.
+// transport path. ErrBye marks a consumed shutdown frame; control,
+// batch and sequenced kinds are rejected as ErrCorrupt.
 func DecodeFrame(buf []byte) (mpx.Message, int, error) {
 	fr, n, err := DecodeAny(buf)
 	if err != nil {
@@ -273,64 +516,198 @@ func DecodeFrame(buf []byte) (mpx.Message, int, error) {
 	return fr.Msg, n, nil
 }
 
-// decodeBody parses a CRC-verified frame body. The returned message owns
-// freshly copied payload bytes (body may be a reused read buffer).
+// decodeBody parses a CRC-verified frame body. The returned message
+// owns freshly copied payload bytes (body may be a reused read buffer).
 func decodeBody(body []byte) (mpx.Message, error) {
 	var msg mpx.Message
+	if _, err := decodeBodyInto(&msg, nil, body); err != nil {
+		return mpx.Message{}, err
+	}
+	return msg, nil
+}
+
+// bodyPayload walks the part headers of a body (after tag and count)
+// and sums the payload bytes, without building anything. It lets
+// decodeBodyInto size one arena for the whole message up front — parts
+// slice into the arena, so it must never grow mid-parse.
+func bodyPayload(rest []byte, nparts uint64) (int, bool) {
+	total := 0
+	for i := uint64(0); i < nparts; i++ {
+		for j := 0; j < 2; j++ { // dest, offset
+			_, n, ok := readUvarint(rest)
+			if !ok {
+				return 0, false
+			}
+			rest = rest[n:]
+		}
+		dlen, n, ok := readUvarint(rest)
+		if !ok || dlen > uint64(len(rest)-n) {
+			return 0, false
+		}
+		rest = rest[n+int(dlen):]
+		total += int(dlen)
+		_, n, ok = readUvarint(rest) // sum
+		if !ok {
+			return 0, false
+		}
+		rest = rest[n:]
+	}
+	return total, true
+}
+
+// decodeBodyInto parses one CRC-verified message body. Parts are
+// appended to msg.Parts (reset first, capacity reused) and payload
+// bytes appended to arena — one backing array per message, so a fresh
+// decode costs at most two allocations and a warm reuse costs none.
+// When arena lacks capacity a new one is allocated WITHOUT copying:
+// slices handed out earlier keep the old backing alive, so batch
+// decoding stays safe.
+func decodeBodyInto(msg *mpx.Message, arena []byte, body []byte) ([]byte, error) {
+	msg.Tag = 0
+	msg.Parts = msg.Parts[:0]
 	tag, n, ok := readUvarint(body)
 	if !ok {
-		return msg, fmt.Errorf("%w: bad tag", ErrCorrupt)
+		return arena, fmt.Errorf("%w: bad tag", ErrCorrupt)
 	}
 	body = body[n:]
 	msg.Tag = unzigzag(tag)
 	nparts, n, ok := readUvarint(body)
 	if !ok {
-		return msg, fmt.Errorf("%w: bad part count", ErrCorrupt)
+		return arena, fmt.Errorf("%w: bad part count", ErrCorrupt)
 	}
 	body = body[n:]
 	// Each part costs at least 4 encoded bytes; a count beyond that is a
 	// lie and must not drive the allocation below.
 	if nparts > uint64(len(body)/4)+1 {
-		return msg, fmt.Errorf("%w: %d parts in %d body bytes", ErrCorrupt, nparts, len(body))
+		return arena, fmt.Errorf("%w: %d parts in %d body bytes", ErrCorrupt, nparts, len(body))
 	}
-	if nparts > 0 {
+	total, ok := bodyPayload(body, nparts)
+	if !ok {
+		return arena, fmt.Errorf("%w: bad part layout", ErrCorrupt)
+	}
+	if cap(arena)-len(arena) < total {
+		arena = make([]byte, 0, total)
+	}
+	if nparts > 0 && cap(msg.Parts) < int(nparts) {
 		msg.Parts = make([]mpx.Part, 0, nparts)
 	}
 	for i := uint64(0); i < nparts; i++ {
 		var p mpx.Part
 		dest, n, ok := readUvarint(body)
 		if !ok {
-			return msg, fmt.Errorf("%w: part %d dest", ErrCorrupt, i)
+			return arena, fmt.Errorf("%w: part %d dest", ErrCorrupt, i)
 		}
 		body = body[n:]
 		p.Dest = cube.NodeID(dest)
 		off, n, ok := readUvarint(body)
 		if !ok {
-			return msg, fmt.Errorf("%w: part %d offset", ErrCorrupt, i)
+			return arena, fmt.Errorf("%w: part %d offset", ErrCorrupt, i)
 		}
 		body = body[n:]
 		p.Offset = unzigzag(off)
 		dlen, n, ok := readUvarint(body)
 		if !ok || dlen > uint64(len(body)-n) {
-			return msg, fmt.Errorf("%w: part %d data length", ErrCorrupt, i)
+			return arena, fmt.Errorf("%w: part %d data length", ErrCorrupt, i)
 		}
 		body = body[n:]
 		if dlen > 0 {
-			p.Data = append([]byte(nil), body[:dlen]...)
+			at := len(arena)
+			arena = append(arena, body[:dlen]...)
+			p.Data = arena[at:len(arena):len(arena)]
 			body = body[dlen:]
 		}
 		sum, n, ok := readUvarint(body)
 		if !ok || sum > 0xFFFFFFFF {
-			return msg, fmt.Errorf("%w: part %d checksum", ErrCorrupt, i)
+			return arena, fmt.Errorf("%w: part %d checksum", ErrCorrupt, i)
 		}
 		body = body[n:]
 		p.Sum = uint32(sum)
 		msg.Parts = append(msg.Parts, p)
 	}
 	if len(body) != 0 {
-		return msg, fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(body))
+		return arena, fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(body))
 	}
-	return msg, nil
+	return arena, nil
+}
+
+// decodeBodyAlias parses one CRC-verified message body whose backing
+// buffer the caller owns and will never reuse: parts alias body in
+// place instead of being copied to an arena, so a fresh decode costs
+// one Parts allocation and zero payload moves.
+func decodeBodyAlias(msg *mpx.Message, body []byte) error {
+	msg.Tag = 0
+	msg.Parts = msg.Parts[:0]
+	tag, n, ok := readUvarint(body)
+	if !ok {
+		return fmt.Errorf("%w: bad tag", ErrCorrupt)
+	}
+	body = body[n:]
+	msg.Tag = unzigzag(tag)
+	nparts, n, ok := readUvarint(body)
+	if !ok {
+		return fmt.Errorf("%w: bad part count", ErrCorrupt)
+	}
+	body = body[n:]
+	if nparts > uint64(len(body)/4)+1 {
+		return fmt.Errorf("%w: %d parts in %d body bytes", ErrCorrupt, nparts, len(body))
+	}
+	if nparts > 0 && cap(msg.Parts) < int(nparts) {
+		msg.Parts = make([]mpx.Part, 0, nparts)
+	}
+	for i := uint64(0); i < nparts; i++ {
+		var p mpx.Part
+		dest, n, ok := readUvarint(body)
+		if !ok {
+			return fmt.Errorf("%w: part %d dest", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Dest = cube.NodeID(dest)
+		off, n, ok := readUvarint(body)
+		if !ok {
+			return fmt.Errorf("%w: part %d offset", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Offset = unzigzag(off)
+		dlen, n, ok := readUvarint(body)
+		if !ok || dlen > uint64(len(body)-n) {
+			return fmt.Errorf("%w: part %d data length", ErrCorrupt, i)
+		}
+		body = body[n:]
+		if dlen > 0 {
+			p.Data = body[:dlen:dlen]
+			body = body[dlen:]
+		}
+		sum, n, ok := readUvarint(body)
+		if !ok || sum > 0xFFFFFFFF {
+			return fmt.Errorf("%w: part %d checksum", ErrCorrupt, i)
+		}
+		body = body[n:]
+		p.Sum = uint32(sum)
+		msg.Parts = append(msg.Parts, p)
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d trailing body bytes", ErrCorrupt, len(body))
+	}
+	return nil
+}
+
+// decodeBatchAlias is decodeBatch for a caller-owned body: every
+// message's parts alias the batch body in place.
+func decodeBatchAlias(fr *Frame, body []byte) error {
+	for len(body) > 0 {
+		mlen, k, ok := readUvarint(body)
+		if !ok || mlen > uint64(len(body)-k) {
+			return fmt.Errorf("%w: bad batch message length", ErrCorrupt)
+		}
+		body = body[k:]
+		fr.Msgs = append(fr.Msgs, mpx.Message{})
+		if err := decodeBodyAlias(&fr.Msgs[len(fr.Msgs)-1], body[:mlen]); err != nil {
+			fr.Msgs = fr.Msgs[:len(fr.Msgs)-1]
+			return err
+		}
+		body = body[mlen:]
+	}
+	return nil
 }
 
 // readUvarint is binary.Uvarint with an ok flag instead of sign tricks.
@@ -343,11 +720,14 @@ func readUvarint(b []byte) (uint64, int, bool) {
 }
 
 // Reader decodes frames from a byte stream, reusing one internal buffer
-// across frames (decoded payloads are copied out, so they never alias it).
+// across frames. ReadAny/ReadFrame hand ownership of decoded payloads
+// to the caller (fresh copies); ReadAnyInto additionally reuses the
+// decode structures, so a warm pump loop allocates nothing.
 type Reader struct {
-	r   io.Reader
-	hdr [2]byte
-	buf []byte
+	r     io.Reader
+	hdr   [6]byte
+	buf   []byte
+	arena []byte // payload arena for ReadAnyInto
 }
 
 // NewReader returns a frame reader over r. Wrap r in a bufio.Reader if
@@ -358,73 +738,138 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // orderly shutdown frame and ErrChecksum for a damaged-but-framed body
 // (the stream stays aligned; the caller may keep reading — the returned
 // Frame still carries the kind). Any other error is terminal for the
-// stream.
+// stream. The returned frame owns freshly copied payloads.
 func (r *Reader) ReadAny() (Frame, error) {
-	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
-		return Frame{}, err
+	var fr Frame
+	err := r.readAnyInto(&fr, nil)
+	return fr, err
+}
+
+// ReadAnyInto is ReadAny with full reuse: fr's part/message slices and
+// the reader's internal payload arena are recycled, so a caller looping
+// over a warm stream decodes without allocating. The decoded frame —
+// including every payload slice — is valid only until the next
+// ReadAnyInto call.
+func (r *Reader) ReadAnyInto(fr *Frame) error {
+	if r.arena == nil {
+		r.arena = make([]byte, 0, 64)
 	}
-	if r.hdr[0] != Version {
-		return Frame{}, fmt.Errorf("%w: frame version %d, want %d", ErrVersion, r.hdr[0], Version)
+	return r.readAnyInto(fr, r.arena)
+}
+
+// readAnyInto reads one frame. A nil arena means "fresh allocations,
+// caller keeps the payloads"; otherwise arena is reused and stored back
+// on the reader.
+func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
+	reuse := arena != nil
+	fr.Seq = 0
+	fr.Msg.Tag = 0
+	fr.Msg.Parts = fr.Msg.Parts[:0]
+	fr.Msgs = fr.Msgs[:0]
+	if !reuse {
+		fr.Msg.Parts = nil
+		fr.Msgs = nil
 	}
-	kind := r.hdr[1]
+	if _, err := io.ReadFull(r.r, r.hdr[:2]); err != nil {
+		return err
+	}
+	if !versionOK(r.hdr[0]) {
+		return fmt.Errorf("%w: frame version %d, want 1..%d", ErrVersion, r.hdr[0], MaxVersion)
+	}
+	ver, kind := r.hdr[0], r.hdr[1]
+	fr.Ver, fr.Kind = ver, kind
+	var blen uint64
 	switch kind {
 	case KindBye:
-		return Frame{Kind: KindBye}, ErrBye
+		return ErrBye
 	case KindAck, KindNack:
-		v, err := readUvarintFrom(r.r)
+		v, err := r.readUvarint()
 		if err != nil {
-			return Frame{}, fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
+			return fmt.Errorf("%w: bad ack sequence", ErrCorrupt)
 		}
-		return Frame{Kind: kind, Seq: v}, nil
+		fr.Seq = v
+		return nil
 	case KindData, KindSeqData:
+		v, err := r.readUvarint()
+		if err != nil {
+			return fmt.Errorf("%w: bad body length", ErrCorrupt)
+		}
+		blen = v
+	case KindBatch:
+		if ver < Version2 {
+			return fmt.Errorf("%w: batch frame at version %d", ErrCorrupt, ver)
+		}
+		if _, err := io.ReadFull(r.r, r.hdr[2:6]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		blen = uint64(binary.LittleEndian.Uint32(r.hdr[2:6]))
 	default:
-		return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
-	}
-	blen, err := readUvarintFrom(r.r)
-	if err != nil {
-		return Frame{}, fmt.Errorf("%w: bad body length", ErrCorrupt)
+		return fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
 	}
 	if blen > MaxBody {
-		return Frame{}, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
+		return fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrCorrupt, blen, MaxBody)
 	}
 	need := int(blen) + 4
-	if cap(r.buf) < need {
-		r.buf = make([]byte, need)
+	var raw []byte
+	if reuse {
+		if cap(r.buf) < need {
+			r.buf = make([]byte, need)
+		}
+		raw = r.buf[:need]
+	} else {
+		// Fresh mode hands ownership out with the frame, so the body is
+		// read into a buffer of its own and the decoded parts alias it in
+		// place — the payload bytes are moved exactly once (socket to
+		// buffer), never copied again.
+		raw = make([]byte, need)
 	}
-	r.buf = r.buf[:need]
-	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+	if _, err := io.ReadFull(r.r, raw); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return Frame{}, err
+		return err
 	}
-	body := r.buf[:blen]
-	want := binary.LittleEndian.Uint32(r.buf[blen:])
-	if crc32.ChecksumIEEE(body) != want {
-		return Frame{Kind: kind}, ErrChecksum
+	body := raw[:blen]
+	if checksum(ver, body) != binary.LittleEndian.Uint32(raw[blen:]) {
+		return ErrChecksum
 	}
-	fr := Frame{Kind: kind}
-	if kind == KindSeqData {
+	var err error
+	switch kind {
+	case KindBatch:
+		if reuse {
+			arena, err = decodeBatch(fr, arena[:0], body)
+		} else {
+			err = decodeBatchAlias(fr, body)
+		}
+	case KindSeqData:
 		seq, n, ok := readUvarint(body)
 		if !ok {
-			return Frame{}, fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
+			return fmt.Errorf("%w: bad frame sequence", ErrCorrupt)
 		}
 		fr.Seq = seq
 		body = body[n:]
+		fallthrough
+	default: // KindData (and the SeqData fallthrough)
+		if reuse {
+			arena, err = decodeBodyInto(&fr.Msg, arena[:0], body)
+		} else {
+			err = decodeBodyAlias(&fr.Msg, body)
+		}
 	}
-	msg, err := decodeBody(body)
-	if err != nil {
-		return Frame{}, err
+	if reuse {
+		r.arena = arena
 	}
-	fr.Msg = msg
-	return fr, nil
+	return err
 }
 
 // ReadFrame reads the next plain data frame — the non-sequenced subset
 // of ReadAny kept for the plain (non-resilient) transport path. It
 // returns ErrBye on an orderly shutdown frame and ErrChecksum for a
-// damaged-but-framed body (the stream stays aligned; the caller may keep
-// reading). Any other error is terminal for the stream.
+// damaged-but-framed body (the stream stays aligned; the caller may
+// keep reading). Any other error is terminal for the stream.
 func (r *Reader) ReadFrame() (mpx.Message, error) {
 	fr, err := r.ReadAny()
 	if err != nil {
@@ -436,17 +881,19 @@ func (r *Reader) ReadFrame() (mpx.Message, error) {
 	return fr.Msg, nil
 }
 
-// readUvarintFrom reads a varint byte by byte (frames are length-framed,
-// so over-reads past the varint would steal body bytes).
-func readUvarintFrom(r io.Reader) (uint64, error) {
+// readUvarint reads a varint byte by byte (frames are length-framed, so
+// over-reads past the varint would steal body bytes). The scratch byte
+// lives in r.hdr: a stack buffer would escape through the io.Reader
+// interface and cost the pump one allocation per frame.
+func (r *Reader) readUvarint() (uint64, error) {
 	var v uint64
-	var b [1]byte
 	for shift := uint(0); shift < 64; shift += 7 {
-		if _, err := io.ReadFull(r, b[:]); err != nil {
+		if _, err := io.ReadFull(r.r, r.hdr[2:3]); err != nil {
 			return 0, err
 		}
-		v |= uint64(b[0]&0x7F) << shift
-		if b[0] < 0x80 {
+		b := r.hdr[2]
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
 			return v, nil
 		}
 	}
@@ -455,7 +902,8 @@ func readUvarintFrom(r io.Reader) (uint64, error) {
 
 // Handshake opens every neighbor link: the dialing side announces who it
 // is and which node it wants, the accepting side echoes the pair back.
-// Dim and Version mismatches kill the connection before any frame flows.
+// Dim mismatches and unsupported versions kill the connection before
+// any frame flows.
 type Handshake struct {
 	Dim      int
 	From, To cube.NodeID
@@ -466,7 +914,8 @@ const handshakeLen = 14
 
 var handshakeMagic = [4]byte{'H', 'C', 'U', 'B'}
 
-// AppendHandshake appends the encoded handshake to dst.
+// AppendHandshake appends the encoded handshake to dst at version 1 —
+// the legacy form; version-negotiating transports use AppendHello.
 func AppendHandshake(dst []byte, h Handshake) []byte {
 	dst = append(dst, handshakeMagic[:]...)
 	dst = append(dst, Version, byte(h.Dim))
@@ -491,10 +940,20 @@ func ReadHandshake(r io.Reader) (Handshake, error) {
 // the highest contiguous sequence number the sender has already received
 // on this link — so a resuming peer knows exactly which unacknowledged
 // frames to replay. A fresh resilient link carries RecvSeq 0.
+//
+// The handshake's version byte doubles as the wire-version negotiation:
+// the opening side advertises the highest version it speaks, the
+// accepting side echoes the version it chose (NegotiateVersion of the
+// two maxima), and both ends then frame at the chosen version. A
+// version-1-only peer simply advertises (and is echoed) 1.
 type Hello struct {
 	Handshake
 	Resilient bool
 	RecvSeq   uint64
+	// Version is the handshake's version byte: the advertised maximum on
+	// an opening hello, the chosen version on an echo. Zero encodes as
+	// MaxVersion.
+	Version byte
 }
 
 // resume handshake layout: magic (4) | version (1) | dim (1) |
@@ -504,21 +963,31 @@ const helloLen = handshakeLen + 8
 var resumeMagic = [4]byte{'H', 'C', 'R', 'X'}
 
 // AppendHello appends the encoded handshake in the form selected by
-// h.Resilient.
+// h.Resilient, carrying h.Version (MaxVersion when zero).
 func AppendHello(dst []byte, h Hello) []byte {
-	if !h.Resilient {
-		return AppendHandshake(dst, h.Handshake)
+	v := h.Version
+	if v == 0 {
+		v = MaxVersion
 	}
-	dst = append(dst, resumeMagic[:]...)
-	dst = append(dst, Version, byte(h.Dim))
+	magic := handshakeMagic
+	if h.Resilient {
+		magic = resumeMagic
+	}
+	dst = append(dst, magic[:]...)
+	dst = append(dst, v, byte(h.Dim))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.From))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.To))
-	return binary.LittleEndian.AppendUint64(dst, h.RecvSeq)
+	if h.Resilient {
+		dst = binary.LittleEndian.AppendUint64(dst, h.RecvSeq)
+	}
+	return dst
 }
 
 // ReadHello reads one handshake of either form from r, dispatching on
 // the magic. Accepting transports use it so a single listener serves
 // both fresh plain connects and resilient connect/resume handshakes.
+// Any version in [1, MaxVersion] is accepted and reported in
+// Hello.Version; negotiation is the transport's job.
 func ReadHello(r io.Reader) (Hello, error) {
 	var buf [helloLen]byte
 	if _, err := io.ReadFull(r, buf[:handshakeLen]); err != nil {
@@ -532,9 +1001,10 @@ func ReadHello(r io.Reader) (Hello, error) {
 	default:
 		return Hello{}, fmt.Errorf("%w: bad handshake magic %q", ErrCorrupt, buf[:4])
 	}
-	if buf[4] != Version {
-		return Hello{}, fmt.Errorf("%w: peer speaks version %d, want %d", ErrVersion, buf[4], Version)
+	if !versionOK(buf[4]) {
+		return Hello{}, fmt.Errorf("%w: peer speaks version %d, want 1..%d", ErrVersion, buf[4], MaxVersion)
 	}
+	h.Version = buf[4]
 	h.Dim = int(buf[5])
 	h.From = cube.NodeID(binary.LittleEndian.Uint32(buf[6:10]))
 	h.To = cube.NodeID(binary.LittleEndian.Uint32(buf[10:14]))

@@ -179,9 +179,16 @@ func TestTruncationDetected(t *testing.T) {
 
 func TestVersionMismatch(t *testing.T) {
 	frame := AppendFrame(nil, mpx.Message{Tag: 1})
-	frame[0] = Version + 1
+	frame[0] = MaxVersion + 1
 	if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrVersion) {
 		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	// Rewriting a v1 frame's version byte to v2 must not pass either:
+	// the two versions use different CRC polynomials, so the trailer no
+	// longer verifies.
+	frame[0] = Version2
+	if _, _, err := DecodeFrame(frame); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("v1 frame relabeled v2: got %v, want ErrChecksum", err)
 	}
 }
 
@@ -367,27 +374,34 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != plain {
-		t.Fatalf("plain hello: got %+v, want %+v", got, plain)
+	// A zero Version encodes as the advertised maximum.
+	want := plain
+	want.Version = MaxVersion
+	if got != want {
+		t.Fatalf("plain hello: got %+v, want %+v", got, want)
 	}
-	// The plain form is byte-identical to the legacy handshake.
-	if !bytes.Equal(AppendHello(nil, plain), AppendHandshake(nil, plain.Handshake)) {
-		t.Fatal("plain AppendHello diverged from AppendHandshake")
+	// The version-1 plain form is byte-identical to the legacy handshake.
+	v1 := plain
+	v1.Version = Version1
+	if !bytes.Equal(AppendHello(nil, v1), AppendHandshake(nil, plain.Handshake)) {
+		t.Fatal("plain v1 AppendHello diverged from AppendHandshake")
 	}
 
 	for _, seq := range []uint64{0, 1, 1 << 40, 1<<64 - 1} {
-		res := Hello{Handshake: Handshake{Dim: 9, From: 511, To: 256}, Resilient: true, RecvSeq: seq}
-		got, err := ReadHello(bytes.NewReader(AppendHello(nil, res)))
-		if err != nil {
-			t.Fatalf("seq %d: %v", seq, err)
-		}
-		if got != res {
-			t.Fatalf("seq %d: got %+v, want %+v", seq, got, res)
+		for _, ver := range []byte{Version1, Version2} {
+			res := Hello{Handshake: Handshake{Dim: 9, From: 511, To: 256}, Resilient: true, RecvSeq: seq, Version: ver}
+			got, err := ReadHello(bytes.NewReader(AppendHello(nil, res)))
+			if err != nil {
+				t.Fatalf("seq %d v%d: %v", seq, ver, err)
+			}
+			if got != res {
+				t.Fatalf("seq %d v%d: got %+v, want %+v", seq, ver, got, res)
+			}
 		}
 	}
 
 	bad := AppendHello(nil, Hello{Handshake: Handshake{Dim: 3, From: 1, To: 5}, Resilient: true, RecvSeq: 9})
-	bad[4] = Version + 1
+	bad[4] = MaxVersion + 1
 	if _, err := ReadHello(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
 		t.Fatalf("version flip: %v, want ErrVersion", err)
 	}
