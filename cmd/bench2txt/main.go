@@ -11,7 +11,9 @@
 // ns_per_op/allocs_per_op, throughput entries carry mb_per_s (emitted
 // as a MB/s metric with the steady-state wall time as ns/op, keyed
 // Benchmark<Name>/<transport>/d=<dim> so benchstat lines up transports
-// and dimensions across records).
+// and dimensions across records), and service-load entries (BENCH_6,
+// written by `experiments -bench6`) carry jobs_per_s plus latency
+// percentiles, emitted as jobs/s, p50-ms and p99-ms metrics.
 package main
 
 import (
@@ -31,6 +33,10 @@ type entry struct {
 	MBPerS        float64 `json:"mb_per_s"`
 	SteadySeconds float64 `json:"steady_s"`
 	WallSeconds   float64 `json:"wall_s"`
+
+	JobsPerS float64 `json:"jobs_per_s"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
 }
 
 func main() {
@@ -51,6 +57,11 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range rec.Benchmarks {
+		if b.JobsPerS > 0 {
+			fmt.Printf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.1f jobs/s %.3f p50-ms %.3f p99-ms\n",
+				b.Name, b.Transport, b.Dim, b.WallSeconds*1e9, b.JobsPerS, b.P50Ms, b.P99Ms)
+			continue
+		}
 		if b.MBPerS > 0 {
 			wall := b.SteadySeconds
 			if wall <= 0 {

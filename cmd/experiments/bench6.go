@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/svc"
+)
+
+// bench6Result is one BENCH_6 measurement: the collective service under
+// an open-loop Poisson job stream. Unlike the closed-loop goodput
+// benches (BENCH_3/BENCH_5), arrivals here do not wait for completions
+// — a seeded exponential clock schedules the deterministic MixedJobSpec
+// sequence at OfferedPerS jobs/s, and completion latency is measured
+// from each job's *scheduled arrival* (queueing delay included), the
+// honest open-loop convention. JobsPerS is completed throughput over
+// the window from first arrival to last completion.
+//
+// Fairness: tenants submit interleaved shares of the same mix, so per-
+// tenant completions must come out equal (a starved tenant would hang
+// its share: admission is FIFO within a tenant, round-robin across
+// tenants) and the per-tenant mean latencies should be close; the run
+// fails if any tenant's share is incomplete and records the min/max
+// mean-latency spread for the benchstat gate to watch.
+type bench6Result struct {
+	Name       string  `json:"name"`
+	Transport  string  `json:"transport"`
+	Dim        int     `json:"dim"`
+	Jobs       int     `json:"jobs"`
+	Tenants    int     `json:"tenants"`
+	OfferedPerS float64 `json:"offered_per_s"`
+
+	JobsPerS float64 `json:"jobs_per_s"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+
+	TenantCompletions []int   `json:"tenant_completions"`
+	TenantMeanMsMin   float64 `json:"tenant_mean_ms_min"`
+	TenantMeanMsMax   float64 `json:"tenant_mean_ms_max"`
+
+	WallSeconds float64 `json:"wall_s"`
+
+	PayloadDeliveredBytes int64 `json:"payload_delivered_bytes,omitempty"`
+	PerJobKeys            int   `json:"per_job_keys,omitempty"`
+}
+
+type bench6File struct {
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Note       string         `json:"note"`
+	Benchmarks []bench6Result `json:"benchmarks"`
+}
+
+// runBench6 measures the multi-tenant job runtime (internal/svc) under
+// Poisson load on both backends for d=4..maxD: throughput, completion
+// latency percentiles and per-tenant fairness.
+func runBench6(path string, maxD int) error {
+	const (
+		jobs    = 240
+		tenants = 4
+		rate    = 300.0 // offered jobs/s
+		seed    = 1986
+	)
+	out := bench6File{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note: fmt.Sprintf("collective-as-a-service under open-loop Poisson load: %d mixed jobs "+
+			"(bcast/scatter/allreduce, roots sweeping the cube, 64..646B payloads) from %d tenants "+
+			"offered at %.0f jobs/s to one shared mesh. Latency is completion minus *scheduled* "+
+			"arrival (queueing included); jobs_per_s is completed throughput over first-arrival to "+
+			"last-completion. tenant_completions must be equal shares (asserted); the per-tenant "+
+			"mean-latency spread is recorded for the fairness gate. Single-vCPU container: the "+
+			"whole 2^d-endpoint mesh time-shares one core, latency tails are noisy run to run.",
+			jobs, tenants, rate),
+	}
+	for d := 4; d <= maxD; d++ {
+		for _, tr := range []string{"inproc", "tcp"} {
+			res, err := bench6Measure(tr, d, jobs, tenants, rate, seed)
+			if err != nil {
+				return err
+			}
+			out.Benchmarks = append(out.Benchmarks, res)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func bench6Measure(transport string, d, jobs, tenants int, rate float64, seed int64) (bench6Result, error) {
+	// Unlimited tenant queues keep the generator truly open-loop: a
+	// bounded queue would make Submit block and turn the arrival process
+	// closed-loop under backlog.
+	opt := svc.Options{TenantQueue: -1}
+	var cl *comm.Cluster
+	var err error
+	if transport == "tcp" {
+		cl, err = comm.StartCluster(d, opt, comm.TCPRunOptions{})
+	} else {
+		cl = comm.StartLocalCluster(d, opt)
+	}
+	if err != nil {
+		return bench6Result{}, fmt.Errorf("bench6 %s d=%d: %w", transport, d, err)
+	}
+
+	type rec struct {
+		tenant  int
+		latency time.Duration
+		err     error
+	}
+	recs := make([]rec, jobs)
+	rng := rand.New(rand.NewSource(seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	var offset time.Duration // scheduled arrival of job i, relative to start
+	for i := 0; i < jobs; i++ {
+		offset += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		sched := start.Add(offset)
+		if wait := time.Until(sched); wait > 0 {
+			time.Sleep(wait)
+		}
+		spec := comm.MixedJobSpec(d, tenants, seed, i)
+		h, err := cl.SubmitSpec(spec)
+		if err != nil {
+			cl.Drain()
+			return bench6Result{}, fmt.Errorf("bench6 %s d=%d: submitting job %d: %w", transport, d, i, err)
+		}
+		wg.Add(1)
+		go func(i int, h *comm.ClusterHandle, sched time.Time, tenant int) {
+			defer wg.Done()
+			err := h.Wait()
+			recs[i] = rec{tenant: tenant, latency: time.Since(sched), err: err}
+		}(i, h, sched, spec.Tenant)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	stats := cl.Stats()
+	if err := cl.Drain(); err != nil {
+		return bench6Result{}, fmt.Errorf("bench6 %s d=%d: drain: %w", transport, d, err)
+	}
+
+	lat := make([]float64, 0, jobs)
+	tenantSum := make([]float64, tenants+1)
+	tenantN := make([]int, tenants+1)
+	var mean float64
+	for i, r := range recs {
+		if r.err != nil {
+			return bench6Result{}, fmt.Errorf("bench6 %s d=%d: job %d failed: %w", transport, d, i, r.err)
+		}
+		ms := float64(r.latency) / float64(time.Millisecond)
+		lat = append(lat, ms)
+		mean += ms
+		tenantSum[r.tenant] += ms
+		tenantN[r.tenant]++
+	}
+	mean /= float64(len(lat))
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[min(len(lat)-1, int(p*float64(len(lat))))] }
+
+	res := bench6Result{
+		Name: "PoissonMix", Transport: transport, Dim: d,
+		Jobs: jobs, Tenants: tenants, OfferedPerS: rate,
+		JobsPerS: float64(jobs) / wall.Seconds(),
+		P50Ms:    pct(0.50), P99Ms: pct(0.99), MeanMs: mean, MaxMs: lat[len(lat)-1],
+		TenantCompletions: tenantN[1:],
+		WallSeconds:       wall.Seconds(),
+	}
+	res.TenantMeanMsMin, res.TenantMeanMsMax = -1, -1
+	for t := 1; t <= tenants; t++ {
+		// The mix deals jobs round-robin, so every tenant's share is an
+		// equal jobs/tenants slice; anything else means starvation or a
+		// lost completion.
+		if want := jobs / tenants; tenantN[t] != want {
+			return res, fmt.Errorf("bench6 %s d=%d: tenant %d completed %d jobs, want %d — unfair or starved",
+				transport, d, t, tenantN[t], want)
+		}
+		m := tenantSum[t] / float64(tenantN[t])
+		if res.TenantMeanMsMin < 0 || m < res.TenantMeanMsMin {
+			res.TenantMeanMsMin = m
+		}
+		if m > res.TenantMeanMsMax {
+			res.TenantMeanMsMax = m
+		}
+	}
+	if transport == "tcp" {
+		res.PayloadDeliveredBytes = stats.PayloadDelivered
+		res.PerJobKeys = len(stats.PayloadByJob)
+		if res.PerJobKeys < jobs {
+			return res, fmt.Errorf("bench6 tcp d=%d: per-job metering covered %d keys, want %d",
+				d, res.PerJobKeys, jobs)
+		}
+	}
+	fmt.Printf("Bench6PoissonMix/%s/d=%d %6.1f jobs/s offered %5.1f  p50 %6.2fms  p99 %7.2fms  tenant-mean spread [%5.2f, %5.2f]ms\n",
+		transport, d, res.JobsPerS, rate, res.P50Ms, res.P99Ms, res.TenantMeanMsMin, res.TenantMeanMsMax)
+	return res, nil
+}

@@ -31,6 +31,13 @@
 //
 //	go run ./cmd/experiments -bench5 BENCH_5.json
 //	go run ./cmd/experiments -bench5 BENCH_5.json -bench5-max 4   # CI smoke
+//
+// The collective-service load suite drives the multi-tenant job runtime
+// (internal/svc) with an open-loop Poisson stream of mixed collective
+// jobs and records throughput, completion-latency percentiles and
+// per-tenant fairness on both backends:
+//
+//	go run ./cmd/experiments -bench6 BENCH_6.json
 package main
 
 import (
@@ -61,6 +68,8 @@ func main() {
 	bench3 := flag.String("bench3", "", "run the transport throughput suite (in-process vs TCP loopback) and write its JSON record here")
 	bench5 := flag.String("bench5", "", "run the wire fast-path throughput suite (BENCH_3 jobs on the v2 data plane) and write its JSON record here")
 	bench5Max := flag.Int("bench5-max", 8, "largest cube dimension the -bench5 sweep runs (CI smoke uses 4)")
+	bench6 := flag.String("bench6", "", "run the collective-service Poisson load suite (multi-tenant job mix, throughput + completion-latency percentiles + fairness) and write its JSON record here")
+	bench6Max := flag.Int("bench6-max", 4, "largest cube dimension the -bench6 sweep runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
@@ -109,6 +118,13 @@ func main() {
 	}
 	if *bench5 != "" {
 		if err := runBench5(*bench5, *bench5Max); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench6 != "" {
+		if err := runBench6(*bench6, *bench6Max); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -103,6 +103,36 @@ func TestChaosEightProcessSurvivesFaults(t *testing.T) {
 	}
 }
 
+// TestJobsMultiProcessService runs the collective-as-a-service drill:
+// four OS processes, one cube node each, every process running the svc
+// runtime and submitting the identical 12-job 3-tenant mix. The drill
+// exits nonzero unless every rank verified every job byte-exactly AND
+// the per-job payload metering (aggregated from the children's STATS
+// lines) covered every submitted job, so the exit code carries the
+// assertion; the checks below pin the report format.
+func TestJobsMultiProcessService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 5 processes")
+	}
+	bin := buildHypercomm(t)
+	out, err := exec.Command(bin, "jobs", "-n", "2", "-jobs", "12", "-tenants", "3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("jobs drill failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(text, "OK "+string(rune('0'+i))+": 12 jobs from 3 tenants verified") {
+			t.Errorf("node %d never reported its jobs OK:\n%s", i, text)
+		}
+	}
+	if !strings.Contains(text, "per_job=") {
+		t.Errorf("no child printed per-job payload metering:\n%s", text)
+	}
+	if !strings.Contains(text, "per-job metering covered 12 keys") {
+		t.Errorf("missing jobs summary with full metering coverage:\n%s", text)
+	}
+}
+
 // TestChaosKillNodeFailsFastNamingPeer is the budget-exhaustion half
 // of the acceptance bar: kill one of the eight processes outright and
 // require the run to FAIL fast — survivors exhaust their reconnect

@@ -18,6 +18,8 @@
 //	chaos     -n DIM [-m BYTES] [-for DUR] [-seed S] [-hold DUR]
 //	          [-attempts K -budget DUR -deadline DUR] [-min-events E]
 //	          [-kill-node NODE -kill-after DUR]
+//	jobs      -n DIM [-jobs K -tenants T -seed S] [-resilient]
+//	          [-batch-hold DUR] [-chaos -chaos-seed S -hold DUR -min-events E]
 //
 // serve runs ONE node of the cube in this OS process, carrying every
 // cube link over a TCP socket (checksummed frames, see internal/wire);
@@ -38,6 +40,15 @@
 // agents stay off and one child process is killed outright instead:
 // survivors must exhaust their reconnect budgets and fail fast naming
 // the dead peer — complete or fail with a name, never hang.
+//
+// jobs is the collective-as-a-service drill: every spawned process runs
+// the multi-tenant job runtime (internal/svc) over its TCP endpoint and
+// submits the identical deterministic mix of broadcast, scatter and
+// allreduce jobs from several tenants; each job verifies its own
+// payloads byte-exactly on every rank, and the parent cross-checks the
+// per-job payload metering from the children's STATS lines. With
+// -chaos the children flap their own resilient links mid-run (the
+// multi-job soak).
 //
 // broadcast, scatter and verify accept fault-injection flags: -faults
 // COUNT, -fault-kind {links|nodes|neighbor|drop|corrupt|duplicate|none}
@@ -103,6 +114,8 @@ func main() {
 		err = cmdLaunch(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -114,7 +127,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos|jobs> [flags]
 run "hypercomm <subcommand> -h" for flags`)
 }
 

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/cube"
 	"repro/internal/mpx"
+	"repro/internal/svc"
 	"repro/internal/transport"
 )
 
@@ -48,11 +50,19 @@ func cmdServe(args []string) error {
 	chaos := fs.Bool("chaos", false, "run a chaos agent that kills, flaps and delays this process's own live connections")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the chaos agent's schedule")
 	chaosHold := fs.Duration("chaos-hold", 0, "how long chaos flap/delay faults persist (0 = agent default)")
+	jobs := fs.Int("jobs", 0, "run this many concurrent collective jobs under the svc runtime instead of the lockstep workload (every process must pass the same -jobs/-tenants/-jobs-seed)")
+	tenants := fs.Int("tenants", 4, "number of tenants the job mix rotates over (jobs mode)")
+	jobsSeed := fs.Int64("jobs-seed", 1, "base seed for the deterministic job mix (jobs mode)")
+	batchHold := fs.Duration("batch-hold", 0, "cross-job aggregation window on plain wire-v2 links (jobs mode; ignored with -resilient)")
 	verbose := fs.Bool("v", false, "print a STATS line with the link-health counters after the run")
 	fs.Parse(args)
 
 	if *id < 0 || *id >= 1<<uint(*n) {
 		return fmt.Errorf("serve: node id %d outside the %d-cube", *id, *n)
+	}
+	var cls mpx.JobClassifier
+	if *jobs > 0 {
+		cls = svc.StatsClassifier // per-job payload accounting for the STATS line
 	}
 	tr, err := transport.NewTCP(transport.TCPOptions{
 		Dim:    *n,
@@ -64,6 +74,8 @@ func cmdServe(args []string) error {
 			MaxAttempts: *attempts,
 			Budget:      *budget,
 		},
+		BatchHold:  *batchHold,
+		Classifier: cls,
 	})
 	if err != nil {
 		return err
@@ -103,19 +115,76 @@ func cmdServe(args []string) error {
 		})
 	}
 	machine := mpx.NewWithTransport(tr, nil)
-	runErr := comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline))
+	var runErr error
+	if *jobs > 0 {
+		runErr = serveJobs(machine, *n, *id, *jobs, *tenants, *jobsSeed)
+	} else {
+		runErr = comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline))
+	}
 	if agent != nil {
 		agent.Stop()
 	}
 	if *verbose {
 		if st, ok := machine.Stats(); ok {
-			fmt.Printf("STATS %d: reconnects=%d retransmits=%d crc_dropped=%d acks=%d acks_batched=%d nacks=%d dups_dropped=%d severed=%d replay_hw=%d bytes_sent=%d bytes_recv=%d frames_sent=%d frames_recv=%d payload_delivered=%d\n",
+			line := fmt.Sprintf("STATS %d: reconnects=%d retransmits=%d crc_dropped=%d acks=%d acks_batched=%d nacks=%d dups_dropped=%d severed=%d replay_hw=%d bytes_sent=%d bytes_recv=%d frames_sent=%d frames_recv=%d payload_delivered=%d",
 				*id, st.Reconnects, st.Retransmits, st.CRCDropped, st.AcksSent, st.AcksBatched,
 				st.NacksSent, st.DupsDropped, st.SeveredLinks, st.ReplayHighWater,
 				st.BytesSent, st.BytesReceived, st.FramesSent, st.FramesReceived, st.PayloadDelivered)
+			if len(st.PayloadByJob) > 0 {
+				keys := make([]int, 0, len(st.PayloadByJob))
+				for k := range st.PayloadByJob {
+					keys = append(keys, k)
+				}
+				sort.Ints(keys)
+				parts := make([]string, len(keys))
+				for i, k := range keys {
+					parts[i] = fmt.Sprintf("t%dj%d:%d", svc.KeyTenant(k), svc.KeyJob(k), st.PayloadByJob[k])
+				}
+				line += " per_job=" + strings.Join(parts, ",")
+			}
+			fmt.Println(line)
 		}
 	}
 	return runErr
+}
+
+// serveJobs runs this process's share of a multi-tenant job mix under
+// the svc runtime: submit the deterministic MixedJobSpec sequence (the
+// lockstep submission rule — every process in the cube must submit the
+// SAME jobs in the SAME order, which the shared -jobs/-tenants/-jobs-seed
+// flags guarantee), wait for every handle, and drain. Each job verifies
+// its own payloads byte-exactly on every rank, so the OK line is a real
+// verdict, not a liveness ping.
+func serveJobs(machine *mpx.Machine, n, id, jobs, tenants int, seed int64) error {
+	rt := svc.New(machine, svc.Options{})
+	rt.Start()
+	handles := make([]*svc.Handle, jobs)
+	var firstErr error
+	for i := range handles {
+		s := comm.MixedJobSpec(n, tenants, seed, i)
+		h, err := rt.Submit(s.Tenant, s.Program())
+		if err != nil {
+			firstErr = fmt.Errorf("submitting job %d %v: %w", i, s, err)
+			break
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		if err := h.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("job %d %v: %w", i, comm.MixedJobSpec(n, tenants, seed, i), err)
+		}
+	}
+	if err := rt.Drain(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Printf("OK %d: %d jobs from %d tenants verified (bcast+scatter+allreduce mix)\n", id, jobs, tenants)
+	return nil
 }
 
 // serveProgram runs the verification workload either a fixed number of
@@ -265,6 +334,9 @@ func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cube
 			return nil, nil, fmt.Errorf("starting node %d: %w", i, err)
 		}
 		p.out = bufio.NewScanner(outPipe)
+		// The jobs-mode STATS line carries one per_job entry per job and
+		// can outgrow the scanner's 64KB default token limit.
+		p.out.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 		procs[i] = p
 		stdins[i] = bufio.NewWriter(inPipe)
 	}
@@ -518,5 +590,143 @@ func cmdChaos(args []string) error {
 	}
 	fmt.Printf("chaos: %d processes survived %d injected faults over %v; every rank verified msbt broadcast + bst scatter/gather\n",
 		N, chaosEvents, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// cmdJobs is the multi-process collective-service drill: spawn a cube
+// of serve processes in jobs mode, all submitting the identical
+// deterministic multi-tenant job mix (the lockstep submission rule made
+// concrete across OS processes), and require every rank to verify every
+// job byte-exactly. The parent additionally aggregates the per-job
+// payload counters from the children's STATS lines and fails unless
+// every submitted job actually moved accounted payload — the service's
+// metering must cover the whole mix, not just complete it. With -chaos
+// the children run seeded chaos agents against their own resilient
+// links while the jobs flow (the multi-job soak).
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
+	jobs := fs.Int("jobs", 24, "concurrent collective jobs in the mix")
+	tenants := fs.Int("tenants", 4, "tenants the mix rotates over")
+	seed := fs.Int64("seed", 1, "base seed for the deterministic job mix")
+	resilient := fs.Bool("resilient", false, "run the children with self-healing links")
+	batchHold := fs.Duration("batch-hold", 0, "cross-job aggregation window inside the children (plain links only)")
+	chaos := fs.Bool("chaos", false, "run chaos agents inside the children while the jobs flow (implies -resilient)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "base chaos seed; child i's agent runs schedule chaos-seed+i")
+	hold := fs.Duration("hold", 60*time.Millisecond, "how long chaos flap/delay faults persist inside the children")
+	minEvents := fs.Int("min-events", 1, "with -chaos, fail unless the agents injected at least this many faults")
+	fs.Parse(args)
+
+	if *tenants < 1 {
+		return fmt.Errorf("jobs: -tenants must be at least 1")
+	}
+	N := 1 << uint(*n)
+	childArgs := func(i int) []string {
+		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i),
+			"-jobs", fmt.Sprint(*jobs), "-tenants", fmt.Sprint(*tenants),
+			"-jobs-seed", fmt.Sprint(*seed), "-v"}
+		if *resilient || *chaos {
+			a = append(a, "-resilient")
+		}
+		if *batchHold > 0 {
+			a = append(a, "-batch-hold", batchHold.String())
+		}
+		if *chaos {
+			a = append(a, "-chaos", "-chaos-seed", fmt.Sprint(*chaosSeed+int64(i)), "-chaos-hold", hold.String())
+		}
+		return a
+	}
+	procs, killAll, err := spawnCube(N, childArgs, false)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	start := time.Now()
+
+	var mu sync.Mutex
+	okSeen := make([]bool, N)
+	chaosEvents := 0
+	perJob := map[string]int64{} // "t<tenant>j<job>" -> payload bytes, summed across children
+	exitErrs := make([]error, N)
+	done := make(chan int, N)
+	for i, p := range procs {
+		go func(i int, p *cubeProc) {
+			for p.out.Scan() {
+				line := p.out.Text()
+				mu.Lock()
+				if strings.HasPrefix(line, fmt.Sprintf("OK %d:", i)) {
+					okSeen[i] = true
+				}
+				if strings.HasPrefix(line, "CHAOS ") {
+					chaosEvents++
+				}
+				if idx := strings.Index(line, " per_job="); idx >= 0 {
+					for _, ent := range strings.Split(line[idx+len(" per_job="):], ",") {
+						key, val, ok := strings.Cut(ent, ":")
+						if !ok {
+							continue
+						}
+						var b int64
+						if _, err := fmt.Sscanf(val, "%d", &b); err == nil {
+							perJob[key] += b
+						}
+					}
+				}
+				mu.Unlock()
+				fmt.Printf("[node %d] %s\n", i, line)
+			}
+			err := p.cmd.Wait()
+			mu.Lock()
+			exitErrs[i] = err
+			mu.Unlock()
+			done <- i
+		}(i, p)
+	}
+
+	// Bound the drill: the jobs are small collectives, so even a chaotic
+	// run should finish inside one reconnect budget per fault plus grace.
+	waitTimeout := 90 * time.Second
+	hangTimer := time.NewTimer(waitTimeout)
+	defer hangTimer.Stop()
+	for got := 0; got < N; got++ {
+		select {
+		case <-done:
+		case <-hangTimer.C:
+			killAll()
+			return fmt.Errorf("jobs: run hung — %d/%d children still alive after %v", N-got, N, waitTimeout)
+		}
+	}
+	elapsed := time.Since(start)
+
+	var firstErr error
+	for i, e := range exitErrs {
+		if e != nil && firstErr == nil {
+			firstErr = fmt.Errorf("jobs: node %d: %w", i, e)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for i, ok := range okSeen {
+		if !ok {
+			return fmt.Errorf("jobs: node %d exited cleanly but never reported OK", i)
+		}
+	}
+	var total int64
+	for _, b := range perJob {
+		total += b
+	}
+	if len(perJob) < *jobs {
+		return fmt.Errorf("jobs: per-job payload accounting covers %d job keys, want %d — some jobs moved no accounted payload", len(perJob), *jobs)
+	}
+	if *chaos && chaosEvents < *minEvents {
+		return fmt.Errorf("jobs: agents injected %d events, want at least %d", chaosEvents, *minEvents)
+	}
+	if *chaos {
+		fmt.Printf("jobs: %d processes × %d jobs from %d tenants verified under %d injected faults over %v; per-job metering covered %d keys (%d payload bytes)\n",
+			N, *jobs, *tenants, chaosEvents, elapsed.Round(time.Millisecond), len(perJob), total)
+	} else {
+		fmt.Printf("jobs: %d processes × %d jobs from %d tenants verified over %v; per-job metering covered %d keys (%d payload bytes)\n",
+			N, *jobs, *tenants, elapsed.Round(time.Millisecond), len(perJob), total)
+	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/mpx"
 	"repro/internal/msbt"
 	"repro/internal/sbt"
+	"repro/internal/svc"
 	"repro/internal/transport"
 )
 
@@ -39,6 +40,18 @@ type Comm struct {
 	nd  *mpx.Node
 	n   int
 	seq int // collective sequence number; all nodes advance in lockstep
+
+	// base is the encoded (tenant, job) half of every tag this
+	// communicator sends (svc.Base); key is its svc.JobKey. Standalone
+	// communicators (Run, RunTCP, ...) use base 0 — the legacy tag
+	// space — while job-attached communicators carry their job's slice.
+	base int
+	key  int
+
+	// source yields this communicator's envelope stream for the pump;
+	// ok == false ends it. Standalone communicators read the node inbox
+	// directly; job communicators read a per-job svc mailbox.
+	source func() (mpx.Envelope, bool)
 
 	// deadline, when nonzero, bounds every blocking receive inside the
 	// plain collectives (see SetDeadline).
@@ -49,6 +62,24 @@ type Comm struct {
 	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
 	abandoned map[int]bool           // tags given up on by FT collectives
 	stopped   bool
+}
+
+// newComm builds a communicator over nd whose tags live in the
+// (tenant, job) slice encoded by base, fed by source (nil means read
+// the node inbox directly), and starts its pump.
+func newComm(nd *mpx.Node, n, base int, source func() (mpx.Envelope, bool)) *Comm {
+	c := &Comm{
+		nd: nd, n: n, base: base, key: svc.JobKeyOf(base),
+		mailbox:   map[int][]mpx.Envelope{},
+		abandoned: map[int]bool{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if source == nil {
+		source = func() (mpx.Envelope, bool) { return nd.Recv(), true }
+	}
+	c.source = source
+	go c.pump()
+	return c
 }
 
 // DeadlineError reports a collective receive that outlived the deadline
@@ -122,9 +153,7 @@ func RunOn(m *mpx.Machine, program func(c *Comm) error) error {
 	n := m.Cube().Dim()
 	defer m.Shutdown() // release pumps still blocked in Recv
 	return m.Run(func(nd *mpx.Node) error {
-		c := &Comm{nd: nd, n: n, mailbox: map[int][]mpx.Envelope{}, abandoned: map[int]bool{}}
-		c.cond = sync.NewCond(&c.mu)
-		go c.pump()
+		c := newComm(nd, n, 0, nil)
 		defer c.stop()
 		err := program(c)
 		if err != nil {
@@ -151,6 +180,10 @@ type TCPRunOptions struct {
 	// (0 means the newest the transport speaks); see
 	// transport.TCPOptions.WireVersion.
 	WireVersion int
+	// BatchHold, when positive, lets each endpoint hold small frames
+	// briefly so concurrent jobs' parts share wire-v2 batch frames; see
+	// transport.TCPOptions.BatchHold.
+	BatchHold time.Duration
 	// StatsSink, when non-nil, receives the transport counters summed
 	// across all endpoints after the run finishes — the delivered-payload
 	// numbers benchmarks derive goodput from.
@@ -266,7 +299,10 @@ func (c *Comm) pump() (err error) {
 		c.mu.Unlock()
 	}()
 	for {
-		env := c.nd.Recv()
+		env, ok := c.source()
+		if !ok {
+			return nil
+		}
 		c.mu.Lock()
 		if c.stopped {
 			c.mu.Unlock()
@@ -369,20 +405,22 @@ func (c *Comm) stoppedErr(waitingFor string) error {
 // of the lockstep collective stream. The error carries everything a fault
 // experiment needs to debug it.
 func (c *Comm) staleLocked(tag int) error {
-	sub, seq := tag&0xffff, tag>>16
+	sub, seq := svc.StreamSub(tag), svc.StreamSeq(tag)
 	for k, q := range c.mailbox {
-		if len(q) > 0 && k&0xffff == sub && k>>16 < seq {
+		if len(q) > 0 && svc.JobKeyOf(k) == c.key && svc.StreamSub(k) == sub && svc.StreamSeq(k) < seq {
 			env := q[0]
 			return fmt.Errorf("comm: node %d: corrupt collective stream: message from rank %d with tag %#x (subtag %d) carries sequence %d, expected sequence %d",
-				c.nd.ID, env.From, k, sub, k>>16, seq)
+				c.nd.ID, env.From, k, sub, svc.StreamSeq(k), seq)
 		}
 	}
 	return nil
 }
 
-// tagFor builds a unique message tag for (collective sequence, subtag).
-// Subtags are small (tree index or dimension); 1<<16 of headroom is ample.
-func (c *Comm) tagFor(sub int) int { return c.seq<<16 | sub }
+// tagFor builds this collective's message tag for subtag sub: the
+// communicator's (tenant, job) base ORed with the svc codec's
+// (sequence, subtag) stream half. Subtags are small (tree index,
+// dimension, or rank+1); svc.MaxSub of headroom is ample.
+func (c *Comm) tagFor(sub int) int { return c.base | svc.StreamTag(c.seq, sub) }
 
 // next advances the collective sequence (call exactly once per collective,
 // on every node).
@@ -636,7 +674,7 @@ func (c *Comm) AllGather(mine []byte) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := cube.NodeID(env.Tag&0xffff - 1)
+		r := cube.NodeID(svc.StreamSub(env.Tag) - 1)
 		if out[r] != nil {
 			return nil, fmt.Errorf("comm: duplicate allgather payload from %d", r)
 		}
@@ -666,7 +704,7 @@ func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
 	defer c.mu.Unlock()
 	for {
 		for tag, q := range c.mailbox {
-			if tag>>16 == c.seq && len(q) > 0 {
+			if svc.JobKeyOf(tag) == c.key && svc.StreamSeq(tag) == c.seq && len(q) > 0 {
 				env := q[0]
 				if len(q) == 1 {
 					delete(c.mailbox, tag)
@@ -705,7 +743,7 @@ func (c *Comm) AllToAll(mine [][]byte) ([][]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		r := cube.NodeID(env.Tag&0xffff - 1)
+		r := cube.NodeID(svc.StreamSub(env.Tag) - 1)
 		perChild := map[cube.NodeID][]mpx.Part{}
 		childOf := map[cube.NodeID]cube.NodeID{}
 		children := bst.Children(c.n, me, r)

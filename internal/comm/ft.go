@@ -23,6 +23,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mpx"
 	"repro/internal/msbt"
+	"repro/internal/svc"
 )
 
 // FTOptions tunes failure detection in the fault-tolerant collectives.
@@ -115,7 +116,7 @@ func (c *Comm) recvSeqAnyWait(d time.Duration) (mpx.Envelope, bool, error) {
 	defer c.mu.Unlock()
 	for {
 		for tag, q := range c.mailbox {
-			if tag>>16 == c.seq && len(q) > 0 {
+			if svc.JobKeyOf(tag) == c.key && svc.StreamSeq(tag) == c.seq && len(q) > 0 {
 				env := q[0]
 				if len(q) == 1 {
 					delete(c.mailbox, tag)
@@ -233,7 +234,7 @@ func (c *Comm) BcastFT(root cube.NodeID, data []byte, opt FTOptions) ([]byte, er
 			timeout *= 2
 			continue
 		}
-		j := env.Tag&0xffff - 1
+		j := svc.StreamSub(env.Tag) - 1
 		if j < 0 || j >= c.n || seen[j] {
 			continue // duplicate delivery or junk subtag: ignore
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/fault"
 	"repro/internal/mpx"
+	"repro/internal/svc"
 )
 
 // fast FT options so fault tests spend milliseconds, not seconds, waiting
@@ -239,7 +240,7 @@ func TestScatterFTAroundDeadNode(t *testing.T) {
 func TestStaleSequenceErrorDetail(t *testing.T) {
 	c := &Comm{nd: &mpx.Node{ID: 3}, n: 3, seq: 2, mailbox: map[int][]mpx.Envelope{}, abandoned: map[int]bool{}}
 	c.cond = sync.NewCond(&c.mu)
-	staleTag := 1<<16 | 5 // subtag 5, sequence 1 — one collective behind
+	staleTag := svc.Tag{Seq: 1, Sub: 5}.MustEncode() // one collective behind
 	c.mailbox[staleTag] = []mpx.Envelope{{Message: mpx.Message{Tag: staleTag}, From: 6}}
 	_, err := c.recvTag(c.tagFor(5))
 	if err == nil {

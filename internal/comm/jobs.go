@@ -1,0 +1,324 @@
+// Collective-as-a-service glue: adapters that run comm's collective
+// state machines as jobs under the internal/svc runtime, deterministic
+// self-verifying job programs shared by the e2e tests, the bench6 load
+// generator and the hypercomm jobs drill, and a Cluster harness that
+// runs the service over loopback TCP (one endpoint + machine + runtime
+// per rank, the in-process twin of a multi-process deployment).
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/svc"
+	"repro/internal/transport"
+)
+
+// Job adapts a collective program into an svc.Program: each node's
+// share gets a fresh communicator whose tags live in the job's slice of
+// the tag space (tenant/job base bits) and whose pump reads the job's
+// dispatcher mailbox instead of the node inbox. Unlike RunOn, an
+// erroring job does NOT shut the machine down — isolation is the
+// runtime's concern (it aborts the job's local mailboxes), so sibling
+// jobs keep running.
+func Job(program func(c *Comm) error) svc.Program {
+	return func(jc *svc.JobContext) error {
+		c := newComm(jc.Node, jc.Dim, jc.Base, jc.Source)
+		defer c.stop()
+		return program(c)
+	}
+}
+
+// JobKind selects a collective for a JobSpec.
+type JobKind int
+
+const (
+	JobBcast JobKind = iota
+	JobScatter
+	JobAllReduce
+	numJobKinds
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case JobBcast:
+		return "bcast"
+	case JobScatter:
+		return "scatter"
+	case JobAllReduce:
+		return "allreduce"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// JobSpec describes one deterministic, self-verifying collective job:
+// payloads derive from Seed, so every rank independently computes the
+// expected bytes and compares them against what the collective
+// delivered — byte-exact verification with no side channel, usable
+// unchanged in-process, over loopback TCP, and across OS processes.
+type JobSpec struct {
+	Tenant int
+	Kind   JobKind
+	Root   cube.NodeID
+	Seed   int64
+	// Bytes is the payload size: total for broadcast, per-destination
+	// for scatter, ignored for allreduce (8-byte counters).
+	Bytes int
+}
+
+// MixedJobSpec returns the i-th spec of a deterministic mixed workload:
+// kinds rotate bcast/scatter/allreduce, roots sweep the cube, tenants
+// rotate over nTenants (tenant IDs 1..nTenants), seeds derive from
+// seed+i. One formula shared by tests, bench6 and the multi-process
+// drill, so every process generates the identical job sequence.
+func MixedJobSpec(n int, nTenants int, seed int64, i int) JobSpec {
+	size := 1 << uint(n)
+	return JobSpec{
+		Tenant: 1 + i%nTenants,
+		Kind:   JobKind(i % int(numJobKinds)),
+		Root:   cube.NodeID(i % size),
+		Seed:   seed + int64(i),
+		Bytes:  64 + (i%7)*97,
+	}
+}
+
+// randBytes is the deterministic payload generator job verification is
+// built on.
+func randBytes(seed int64, n int) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}
+
+// contribution is rank r's allreduce input under seed.
+func contribution(seed int64, r int) uint64 {
+	return uint64(seed)*0x9E3779B97F4A7C15 + uint64(r)*2654435761
+}
+
+// Program returns the spec's collective as a runnable job program that
+// verifies its own result on every rank.
+func (s JobSpec) Program() svc.Program {
+	return Job(func(c *Comm) error { return s.run(c) })
+}
+
+func (s JobSpec) run(c *Comm) error {
+	size := c.Size()
+	switch s.Kind {
+	case JobBcast:
+		want := randBytes(s.Seed, s.Bytes)
+		var in []byte
+		if c.Rank() == s.Root {
+			in = want
+		}
+		got, err := c.Bcast(s.Root, in)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("comm: job %v: rank %d: bcast payload mismatch (%d bytes)", s, c.Rank(), len(got))
+		}
+	case JobScatter:
+		all := randBytes(s.Seed, s.Bytes*size)
+		var data [][]byte
+		if c.Rank() == s.Root {
+			data = make([][]byte, size)
+			for i := range data {
+				data[i] = all[i*s.Bytes : (i+1)*s.Bytes]
+			}
+		}
+		got, err := c.Scatter(s.Root, data)
+		if err != nil {
+			return err
+		}
+		me := int(c.Rank())
+		if !bytes.Equal(got, all[me*s.Bytes:(me+1)*s.Bytes]) {
+			return fmt.Errorf("comm: job %v: rank %d: scatter payload mismatch", s, c.Rank())
+		}
+	case JobAllReduce:
+		mine := make([]byte, 8)
+		binary.LittleEndian.PutUint64(mine, contribution(s.Seed, int(c.Rank())))
+		got, err := c.AllReduce(mine, func(a, b []byte) []byte {
+			binary.LittleEndian.PutUint64(a, binary.LittleEndian.Uint64(a)+binary.LittleEndian.Uint64(b))
+			return a
+		})
+		if err != nil {
+			return err
+		}
+		var want uint64
+		for r := 0; r < size; r++ {
+			want += contribution(s.Seed, r)
+		}
+		if binary.LittleEndian.Uint64(got) != want {
+			return fmt.Errorf("comm: job %v: rank %d: allreduce sum %#x, want %#x", s, c.Rank(), binary.LittleEndian.Uint64(got), want)
+		}
+	default:
+		return fmt.Errorf("comm: unknown job kind %v", s.Kind)
+	}
+	return nil
+}
+
+func (s JobSpec) String() string {
+	return fmt.Sprintf("(tenant %d, %v, root %d, seed %d, %dB)", s.Tenant, s.Kind, s.Root, s.Seed, s.Bytes)
+}
+
+// ClusterHandle tracks one job across every runtime of a Cluster (one
+// per TCP endpoint; a single runtime in-process).
+type ClusterHandle struct {
+	Handles []*svc.Handle
+}
+
+// Wait blocks until the job finished on every runtime and returns the
+// first error.
+func (h *ClusterHandle) Wait() error {
+	var first error
+	for _, hh := range h.Handles {
+		if err := hh.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Cluster is a running collective service: one svc.Runtime per machine.
+// In-process clusters have a single runtime hosting the whole cube; TCP
+// clusters have one runtime per endpoint, and Submit fans every job out
+// to all of them in the same order (the lockstep submission rule).
+type Cluster struct {
+	rts []*svc.Runtime
+	trs []*transport.TCP // nil in-process
+
+	mu sync.Mutex // serializes Submit so every runtime sees one order
+}
+
+// StartLocalCluster starts the service on one in-process machine.
+// Per-job payload accounting is always on — it is the point of a
+// multi-tenant service (svc.StatsClassifier keys the stats map).
+func StartLocalCluster(n int, opt svc.Options) *Cluster {
+	tr := mpx.NewChanTransport(n, CollectiveDepth(n), nil)
+	tr.SetJobClassifier(svc.StatsClassifier)
+	rt := svc.New(mpx.NewWithTransport(tr, nil), opt)
+	rt.Start()
+	return &Cluster{rts: []*svc.Runtime{rt}}
+}
+
+// StartCluster starts the service over loopback TCP: 2^n endpoints
+// connected into a cube mesh, one machine + runtime per endpoint.
+// topt's Resilience/Chaos/WireVersion/BatchHold apply to every
+// endpoint; Deadline and StatsSink are ignored here (use Stats).
+func StartCluster(n int, opt svc.Options, topt TCPRunOptions) (*Cluster, error) {
+	size := 1 << uint(n)
+	depth := CollectiveDepth(n)
+	cl := &Cluster{}
+	ok := false
+	defer func() {
+		if !ok {
+			cl.closeTransports()
+		}
+	}()
+	peers := make([]string, size)
+	for i := 0; i < size; i++ {
+		tr, err := transport.NewTCP(transport.TCPOptions{
+			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
+			Resilience: topt.Resilience, WireVersion: topt.WireVersion,
+			BatchHold: topt.BatchHold, Classifier: svc.StatsClassifier,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.trs = append(cl.trs, tr)
+		peers[i] = tr.Addr()
+	}
+	var wg sync.WaitGroup
+	connErrs := make([]error, size)
+	for i, tr := range cl.trs {
+		wg.Add(1)
+		go func(i int, tr *transport.TCP) {
+			defer wg.Done()
+			connErrs[i] = tr.Connect(peers)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range connErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if topt.Chaos != nil {
+		for i, tr := range cl.trs {
+			co := *topt.Chaos
+			co.Seed += int64(i)
+			tr.StartChaos(co)
+		}
+	}
+	for _, tr := range cl.trs {
+		rt := svc.New(mpx.NewWithTransport(tr, nil), opt)
+		rt.Start()
+		cl.rts = append(cl.rts, rt)
+	}
+	ok = true
+	return cl, nil
+}
+
+func (cl *Cluster) closeTransports() {
+	for _, tr := range cl.trs {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+}
+
+// Submit enqueues prog for tenant on every runtime, preserving one
+// global submission order (safe for concurrent callers).
+func (cl *Cluster) Submit(tenant int, prog svc.Program) (*ClusterHandle, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	h := &ClusterHandle{}
+	for _, rt := range cl.rts {
+		hh, err := rt.Submit(tenant, prog)
+		if err != nil {
+			return nil, err
+		}
+		h.Handles = append(h.Handles, hh)
+	}
+	return h, nil
+}
+
+// SubmitSpec is Submit for a self-verifying JobSpec.
+func (cl *Cluster) SubmitSpec(s JobSpec) (*ClusterHandle, error) {
+	return cl.Submit(s.Tenant, s.Program())
+}
+
+// Drain stops admission on every runtime, waits for all jobs, and shuts
+// the mesh down, returning the first error.
+func (cl *Cluster) Drain() error {
+	errs := make(chan error, len(cl.rts))
+	for _, rt := range cl.rts {
+		go func(rt *svc.Runtime) { errs <- rt.Drain() }(rt)
+	}
+	var first error
+	for range cl.rts {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	cl.closeTransports()
+	return first
+}
+
+// Stats sums transport counters across the cluster's endpoints (zero
+// in-process: the chan transport only counts severed links unless a
+// classifier is installed).
+func (cl *Cluster) Stats() mpx.TransportStats {
+	var sum mpx.TransportStats
+	for _, rt := range cl.rts {
+		if st, ok := rt.Machine().Stats(); ok {
+			sum.Add(st)
+		}
+	}
+	return sum
+}

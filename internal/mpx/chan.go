@@ -26,6 +26,13 @@ type ChanTransport struct {
 	// fault-free transport and costs one pointer test per send.
 	inj fault.Injector
 
+	// cls, when non-nil, attributes every delivered payload to a job
+	// key for per-job stats. Nil costs one pointer test per send,
+	// preserving the zero-allocation guarantee of the clean path.
+	cls   JobClassifier
+	jobMu sync.Mutex
+	byJob map[int]int64
+
 	// down is closed by Close, unblocking every Send/Recv.
 	down     chan struct{}
 	downOnce sync.Once
@@ -177,11 +184,40 @@ func (t *ChanTransport) FirstPeerError() error {
 	return nil
 }
 
+// SetJobClassifier installs a per-job payload accountant consulted on
+// every delivery (see JobClassifier). Call it before the machine runs;
+// nil (the default) disables accounting and keeps the clean send path
+// allocation-free.
+func (t *ChanTransport) SetJobClassifier(cls JobClassifier) { t.cls = cls }
+
 // Stats reports health counters (implements StatsReporter). The
-// in-process transport has no wire, so only the severed-link count can
+// in-process transport has no wire, so only the severed-link count —
+// and, with a JobClassifier installed, the per-job payload map — can
 // be nonzero.
 func (t *ChanTransport) Stats() TransportStats {
-	return TransportStats{SeveredLinks: t.nSevered.Load()}
+	st := TransportStats{SeveredLinks: t.nSevered.Load()}
+	if t.cls != nil {
+		t.jobMu.Lock()
+		st.PayloadByJob = make(map[int]int64, len(t.byJob))
+		for k, v := range t.byJob {
+			st.PayloadByJob[k] += v
+			st.PayloadDelivered += v
+		}
+		t.jobMu.Unlock()
+	}
+	return st
+}
+
+// countJob attributes msg's payload bytes to its job key (cls != nil).
+func (t *ChanTransport) countJob(msg Message) {
+	if key, ok := t.cls(msg.Tag); ok {
+		t.jobMu.Lock()
+		if t.byJob == nil {
+			t.byJob = map[int]int64{}
+		}
+		t.byJob[key] += int64(msg.Size())
+		t.jobMu.Unlock()
+	}
 }
 
 // sendClean is the untouched-delivery path, shared by the fault-free
@@ -189,6 +225,9 @@ func (t *ChanTransport) Stats() TransportStats {
 func (t *ChanTransport) sendClean(from, to cube.NodeID, port int, msg Message) error {
 	select {
 	case t.inbox[to] <- Envelope{Message: msg, Port: port, From: from}:
+		if t.cls != nil {
+			t.countJob(msg)
+		}
 		return nil
 	case <-t.down:
 		return ErrDown
@@ -230,6 +269,9 @@ func (t *ChanTransport) sendFaulty(from, to cube.NodeID, port int, msg Message) 
 		}
 		select {
 		case t.inbox[to] <- Envelope{Message: send, Port: port, From: from}:
+			if t.cls != nil {
+				t.countJob(send)
+			}
 		case <-t.down:
 			return ErrDown
 		}

@@ -161,7 +161,17 @@ type TransportStats struct {
 	// AcksBatched counts acknowledgements coalesced into a cumulative
 	// ACK instead of being written as their own control frame.
 	AcksBatched int64
+
+	// PayloadByJob breaks PayloadDelivered down per job key (see
+	// svc.JobKey) on transports configured with a JobClassifier; nil
+	// when no classifier is installed.
+	PayloadByJob map[int]int64
 }
+
+// JobClassifier maps a message tag to a job key for per-job accounting
+// (ok == false leaves the message unclassified). Transports consult it
+// on every delivery when installed; nil costs one pointer test.
+type JobClassifier func(tag int) (key int, ok bool)
 
 // Add accumulates o into s: counters sum, ReplayHighWater takes the
 // maximum. Harnesses use it to aggregate per-endpoint transports into
@@ -183,6 +193,14 @@ func (s *TransportStats) Add(o TransportStats) {
 	s.FramesReceived += o.FramesReceived
 	s.PayloadDelivered += o.PayloadDelivered
 	s.AcksBatched += o.AcksBatched
+	if len(o.PayloadByJob) > 0 {
+		if s.PayloadByJob == nil {
+			s.PayloadByJob = make(map[int]int64, len(o.PayloadByJob))
+		}
+		for k, v := range o.PayloadByJob {
+			s.PayloadByJob[k] += v
+		}
+	}
 }
 
 // StatsReporter is an optional Transport extension exposing health

@@ -1,0 +1,121 @@
+package svc
+
+import (
+	"sync"
+
+	"repro/internal/mpx"
+)
+
+// Dispatcher owns a node's single inbox and demultiplexes it into
+// per-job mailboxes keyed by the tag's JobKey. Jobs whose traffic
+// arrives before the job is opened locally (a neighbor started it
+// first) are buffered in a pending queue and drained into the mailbox
+// on Open; traffic for a job already closed here is dropped as a
+// straggler (e.g. a chaos-duplicated frame).
+type Dispatcher struct {
+	nd *mpx.Node
+
+	mu      sync.Mutex
+	open    map[int]*Mailbox        // job key -> live mailbox
+	pending map[int][]mpx.Envelope  // arrived before Open
+	done    map[int]bool            // closed here; stragglers dropped
+	aborted map[int]bool            // job failed somewhere; Opens come pre-closed
+	down    bool
+}
+
+// NewDispatcher builds a dispatcher over nd. Call Run in its own
+// goroutine to start pumping.
+func NewDispatcher(nd *mpx.Node) *Dispatcher {
+	return &Dispatcher{
+		nd:      nd,
+		open:    map[int]*Mailbox{},
+		pending: map[int][]mpx.Envelope{},
+		done:    map[int]bool{},
+		aborted: map[int]bool{},
+	}
+}
+
+// Run pumps the node inbox into per-job mailboxes until the machine
+// shuts down, then closes every open mailbox and reports via onDown
+// (which is invoked outside the dispatcher's lock, and may be nil).
+func (d *Dispatcher) Run(onDown func()) {
+	defer func() {
+		// Recv panics with the runtime's abort value when the machine
+		// shuts down underneath us — the dispatcher's normal exit.
+		recover()
+		d.mu.Lock()
+		d.down = true
+		for _, mb := range d.open {
+			mb.Close()
+		}
+		d.mu.Unlock()
+		if onDown != nil {
+			onDown()
+		}
+	}()
+	for {
+		env := d.nd.Recv()
+		key := JobKeyOf(env.Tag)
+		d.mu.Lock()
+		switch {
+		case d.open[key] != nil:
+			d.open[key].Put(env)
+		case d.done[key] || d.aborted[key]:
+			// straggler of a finished or aborted job: drop
+		default:
+			d.pending[key] = append(d.pending[key], env)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Open registers job key and returns its mailbox, pre-loaded with any
+// traffic that arrived early. Opening an aborted key (the job failed on
+// another node) or opening after the machine went down yields an
+// already-closed mailbox, so the job unwinds on its first receive.
+// Re-opening a done key recycles it (job IDs wrap within a tenant).
+func (d *Dispatcher) Open(key int) *Mailbox {
+	mb := NewMailbox()
+	d.mu.Lock()
+	delete(d.done, key)
+	for _, env := range d.pending[key] {
+		mb.Put(env)
+	}
+	delete(d.pending, key)
+	d.open[key] = mb
+	if d.aborted[key] || d.down {
+		mb.Close()
+	}
+	d.mu.Unlock()
+	return mb
+}
+
+// CloseJob ends job key on this node: its mailbox closes, its abort
+// mark (if any) clears, and later arrivals for the key are dropped.
+func (d *Dispatcher) CloseJob(key int) {
+	d.mu.Lock()
+	if mb := d.open[key]; mb != nil {
+		mb.Close()
+		delete(d.open, key)
+	}
+	delete(d.aborted, key)
+	delete(d.pending, key)
+	d.done[key] = true
+	d.mu.Unlock()
+}
+
+// Abort poisons job key: its mailbox (current or future) is closed so
+// any local participant blocked on the job's traffic unwinds instead of
+// waiting for peers that will never speak. The runtime calls it on
+// every local dispatcher when a job fails on any local node.
+func (d *Dispatcher) Abort(key int) {
+	d.mu.Lock()
+	if !d.done[key] {
+		d.aborted[key] = true
+		if mb := d.open[key]; mb != nil {
+			mb.Close()
+		}
+		delete(d.pending, key)
+	}
+	d.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// TestBatchHoldAggregatesAcrossStreams: with a BatchHold window, many
+// small messages carrying distinct job tags must ride a handful of
+// KindBatch frames instead of one frame each, and still arrive intact
+// and in order.
+func TestBatchHoldAggregatesAcrossStreams(t *testing.T) {
+	const msgs = 400
+	trs := make([]*TCP, 2)
+	peers := make([]string, 2)
+	for i := range trs {
+		tr, err := NewTCP(TCPOptions{
+			Dim: 1, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: msgs + 8,
+			BatchHold:        3 * time.Millisecond,
+			HandshakeTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		t.Cleanup(func() { tr.Close() })
+		peers[i] = tr.Addr()
+	}
+	var wg sync.WaitGroup
+	connErrs := make([]error, 2)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *TCP) {
+			defer wg.Done()
+			connErrs[i] = tr.Connect(peers)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range connErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	errs := make(chan error, 2)
+	go func() {
+		errs <- mpx.NewWithTransport(trs[0], nil).Run(func(nd *mpx.Node) error {
+			for i := 0; i < msgs; i++ {
+				// Distinct high tag bits simulate interleaved jobs
+				// sharing the link.
+				nd.Send(0, mpx.Message{Tag: i << 8, Parts: []mpx.Part{
+					{Dest: 1, Data: []byte(fmt.Sprintf("job %d payload", i))},
+				}})
+			}
+			return nil
+		})
+	}()
+	go func() {
+		errs <- mpx.NewWithTransport(trs[1], nil).Run(func(nd *mpx.Node) error {
+			for i := 0; i < msgs; i++ {
+				env := nd.Recv()
+				if env.Tag != i<<8 {
+					return fmt.Errorf("message %d arrived with tag %#x, want %#x (reordered?)", i, env.Tag, i<<8)
+				}
+				if got, want := string(env.Parts[0].Data), fmt.Sprintf("job %d payload", i); got != want {
+					return fmt.Errorf("message %d payload %q, want %q", i, got, want)
+				}
+			}
+			return nil
+		})
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := trs[0].Stats().FramesSent
+	if frames >= msgs/4 {
+		t.Errorf("BatchHold sent %d frames for %d messages; want heavy aggregation (< %d)", frames, msgs, msgs/4)
+	}
+	if frames == 0 {
+		t.Error("no frames counted")
+	}
+}

@@ -147,6 +147,18 @@ type TCPOptions struct {
 	// endpoints' caps, negotiated in the Hello handshake, so a
 	// version-1-only peer interoperates with a version-2 endpoint.
 	WireVersion int
+	// BatchHold, when positive, delays the flush of small messages on
+	// plain wire-v2 links by up to this duration so that parts from
+	// concurrent jobs pile into one KindBatch frame (TRAM-style
+	// cross-job aggregation) instead of each paying its own write.
+	// Latency-bound single streams should leave it zero (flush-on-idle);
+	// multi-job service meshes trade that latency for fewer, fuller
+	// frames. Resilient links ignore it: they sequence individual
+	// frames, and batch frames are a protocol violation there.
+	BatchHold time.Duration
+	// Classifier, when non-nil, attributes every delivered payload to a
+	// job key for the per-job stats map (see mpx.JobClassifier).
+	Classifier mpx.JobClassifier
 }
 
 // TCP is a socket-backed mpx.Transport: every cube link whose endpoints
@@ -199,6 +211,11 @@ type TCP struct {
 	framesRecv       atomic.Int64
 	payloadDelivered atomic.Int64
 	acksBatched      atomic.Int64
+
+	// Per-job delivered-payload map, populated when opt.Classifier is
+	// installed (see mpx.TransportStats.PayloadByJob).
+	jobMu sync.Mutex
+	byJob map[int]int64
 }
 
 // seqFrame is one encoded frame parked in a link's replay ring until the
@@ -298,6 +315,14 @@ type link struct {
 	// ackTimer fires the delayed-ACK window on a resilient link.
 	ackTimer *time.Timer
 
+	// holdTimer implements TCPOptions.BatchHold on plain v2 links:
+	// while holdArmed (guarded by mu), small sends skip the
+	// flush-on-idle path and wait for the timer to kick the flusher, so
+	// concurrent jobs' parts aggregate into the open batch frame. The
+	// window is anchored at the first held send.
+	holdTimer *time.Timer
+	holdArmed bool
+
 	// chaosDelay, when set (nanoseconds), stalls every flush — the chaos
 	// harness's slow-link fault.
 	chaosDelay atomic.Int64
@@ -384,7 +409,7 @@ func (t *TCP) CRCDropped() int64 { return t.crcDropped.Load() }
 // Stats reports the transport's health counters (implements
 // mpx.StatsReporter).
 func (t *TCP) Stats() mpx.TransportStats {
-	return mpx.TransportStats{
+	st := mpx.TransportStats{
 		CRCDropped:       t.crcDropped.Load(),
 		Retransmits:      t.retransmits.Load(),
 		Reconnects:       t.reconnects.Load(),
@@ -399,6 +424,28 @@ func (t *TCP) Stats() mpx.TransportStats {
 		FramesReceived:   t.framesRecv.Load(),
 		PayloadDelivered: t.payloadDelivered.Load(),
 		AcksBatched:      t.acksBatched.Load(),
+	}
+	if t.opt.Classifier != nil {
+		t.jobMu.Lock()
+		st.PayloadByJob = make(map[int]int64, len(t.byJob))
+		for k, v := range t.byJob {
+			st.PayloadByJob[k] = v
+		}
+		t.jobMu.Unlock()
+	}
+	return st
+}
+
+// countJob attributes msg's payload bytes to its job key (Classifier
+// installed).
+func (t *TCP) countJob(msg mpx.Message) {
+	if key, ok := t.opt.Classifier(msg.Tag); ok {
+		t.jobMu.Lock()
+		if t.byJob == nil {
+			t.byJob = map[int]int64{}
+		}
+		t.byJob[key] += int64(payloadLen(msg))
+		t.jobMu.Unlock()
 	}
 }
 
@@ -874,6 +921,9 @@ func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out 
 		select {
 		case t.inbox[to] <- mpx.Envelope{Message: send, Port: port, From: from}:
 			t.payloadDelivered.Add(int64(payloadLen(send)))
+			if t.opt.Classifier != nil {
+				t.countJob(send)
+			}
 		case <-t.down:
 			return mpx.ErrDown
 		}
@@ -1011,9 +1061,28 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		l.t.framesSent.Add(1)
 	}
 	big := l.queued >= coalesceLimit
+	// With BatchHold configured, small v2 sends arm a hold window
+	// instead of flushing on idle: messages from every job sharing the
+	// link pile into the open batch frame until the timer kicks the
+	// flusher (or the queue grows big enough to flush for backpressure).
+	hold := false
+	if d := l.t.opt.BatchHold; d > 0 && !bulk && !big && l.ver >= wire.Version2 && !(out.Corrupt || out.Duplicate) {
+		hold = true
+		if !l.holdArmed {
+			l.holdArmed = true
+			if l.holdTimer == nil {
+				l.holdTimer = time.AfterFunc(d, l.holdExpire)
+			} else {
+				l.holdTimer.Reset(d)
+			}
+		}
+	}
 	l.mu.Unlock()
 	if big {
 		return l.flush()
+	}
+	if hold {
+		return nil
 	}
 	// Non-bulk messages flush inline when the writer is idle: the
 	// TryLock succeeds exactly when no flush is in progress, so a lone
@@ -1027,6 +1096,15 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 	}
 	l.kickFlusher()
 	return nil
+}
+
+// holdExpire ends a BatchHold window: the queued batch goes to the
+// flusher.
+func (l *link) holdExpire() {
+	l.mu.Lock()
+	l.holdArmed = false
+	l.mu.Unlock()
+	l.kickFlusher()
 }
 
 // queueFaultyLocked encodes a contiguous frame for a corrupt and/or
@@ -1627,6 +1705,9 @@ func (l *link) deliver(msg mpx.Message) bool {
 	select {
 	case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
 		l.t.payloadDelivered.Add(int64(payloadLen(msg)))
+		if l.t.opt.Classifier != nil {
+			l.t.countJob(msg)
+		}
 		return true
 	case <-l.t.down:
 		return false
