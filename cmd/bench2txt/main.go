@@ -14,6 +14,10 @@
 // and dimensions across records), and service-load entries (BENCH_6,
 // written by `experiments -bench6`) carry jobs_per_s plus latency
 // percentiles, emitted as jobs/s, p50-ms and p99-ms metrics.
+// Self-tuning data-plane entries (BENCH_7, written by `experiments
+// -bench7`) are throughput entries that additionally carry an autotune
+// flag; it becomes an /auto=on|off axis in the key so benchstat lines
+// up the tuned and untuned rows of each transport × dimension.
 package main
 
 import (
@@ -33,6 +37,9 @@ type entry struct {
 	MBPerS        float64 `json:"mb_per_s"`
 	SteadySeconds float64 `json:"steady_s"`
 	WallSeconds   float64 `json:"wall_s"`
+	// Autotune distinguishes BENCH_7 rows; a pointer, because absence
+	// (BENCH_3/BENCH_5) and "off" must key differently.
+	Autotune *bool `json:"autotune"`
 
 	JobsPerS float64 `json:"jobs_per_s"`
 	P50Ms    float64 `json:"p50_ms"`
@@ -67,8 +74,15 @@ func main() {
 			if wall <= 0 {
 				wall = b.WallSeconds
 			}
-			fmt.Printf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.2f MB/s\n",
-				b.Name, b.Transport, b.Dim, wall*1e9, b.MBPerS)
+			axis := ""
+			if b.Autotune != nil {
+				axis = "/auto=off"
+				if *b.Autotune {
+					axis = "/auto=on"
+				}
+			}
+			fmt.Printf("Benchmark%s/%s%s/d=%d 1 %.0f ns/op %.2f MB/s\n",
+				b.Name, b.Transport, axis, b.Dim, wall*1e9, b.MBPerS)
 			continue
 		}
 		fmt.Printf("Benchmark%s %d %.0f ns/op %.0f allocs/op\n",

@@ -42,14 +42,9 @@ type bench3File struct {
 
 // bench3Runners are the two transport backends under comparison: the
 // in-process channel transport and loopback TCP sockets (one endpoint
-// per node, checksummed frames).
-var bench3Runners = []struct {
-	name string
-	run  func(n int, program func(c *comm.Comm) error) error
-}{
-	{"inproc", comm.Run},
-	{"tcp", comm.RunTCP},
-}
+// per node, checksummed frames). The names dispatch through the shared
+// harness (runMesh).
+var bench3Runners = []string{"inproc", "tcp"}
 
 // runBench3 measures MSBT broadcast and BST scatter throughput on both
 // transports for d = 4..8 and writes the JSON record to path. Each job
@@ -71,17 +66,17 @@ func runBench3(path string) error {
 			"barrier-bracketed steady window, mesh dial reported as setup_s; "+
 			"tcp = one loopback endpoint per node, wire-framed + CRC", rounds),
 	}
-	for _, r := range bench3Runners {
+	for _, tr := range bench3Runners {
 		for d := 4; d <= 8; d++ {
 			N := 1 << uint(d)
 			bb := int64(bcastM) * int64(N-1)
-			res, err := bench3Measure("BcastMSBT", r.name, d, rounds, bb, r.run, bcastJob(rounds, bcastM))
+			res, err := bench3Measure("BcastMSBT", tr, d, rounds, bb, bcastJob(rounds, bcastM))
 			if err != nil {
 				return err
 			}
 			out.Benchmarks = append(out.Benchmarks, res)
 			sb := int64(scatterPP) * int64(N-1)
-			res, err = bench3Measure("ScatterBST", r.name, d, rounds, sb, r.run, scatterJob(rounds, scatterPP))
+			res, err = bench3Measure("ScatterBST", tr, d, rounds, sb, scatterJob(rounds, scatterPP))
 			if err != nil {
 				return err
 			}
@@ -100,22 +95,20 @@ func runBench3(path string) error {
 // the mesh — is reported separately so the goodput number measures
 // collectives, not connection establishment.
 func bench3Measure(name, transport string, d, rounds int, bytesPerRound int64,
-	run func(int, func(*comm.Comm) error) error, job func(*comm.Comm) error) (bench3Result, error) {
-	var st steadyTimer
-	start := time.Now()
-	if err := run(d, st.wrap(job)); err != nil {
+	job func(*comm.Comm) error) (bench3Result, error) {
+	m, err := measureMesh(meshSpec{transport: transport, dim: d}, rounds, bytesPerRound, nil, job)
+	if err != nil {
 		return bench3Result{}, fmt.Errorf("bench3 %s/%s d=%d: %w", name, transport, d, err)
 	}
-	wall := time.Since(start)
-	setup, steady := st.seconds(wall)
-	mbps := float64(bytesPerRound) * float64(rounds) / steady / (1 << 20)
+	// BENCH_3's mb_per_s has always been the job-arithmetic view (final-
+	// destination payload), even on tcp — keep that.
 	fmt.Printf("Bench3%s/%s/d=%d setup %7.3fs steady %7.3fs %12.1f MB/s\n",
-		name, transport, d, setup, steady, mbps)
+		name, transport, d, m.SetupSeconds, m.SteadySeconds, m.CollectiveMBPerS)
 	return bench3Result{
 		Name: name, Transport: transport, Dim: d, Rounds: rounds,
 		BytesPerRound: bytesPerRound,
-		SetupSeconds:  setup, SteadySeconds: steady,
-		WallSeconds: wall.Seconds(), MBPerS: mbps,
+		SetupSeconds:  m.SetupSeconds, SteadySeconds: m.SteadySeconds,
+		WallSeconds: m.WallSeconds, MBPerS: m.CollectiveMBPerS,
 	}, nil
 }
 

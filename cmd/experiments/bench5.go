@@ -5,52 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/comm"
-	"repro/internal/mpx"
 )
-
-// steadyTimer separates mesh setup from the measured collective rounds:
-// wrap brackets a job with barriers and rank 0 times only the window
-// between them, so dialing 2^d loopback sockets does not pollute the
-// goodput number (that cost is reported separately as setup_s).
-type steadyTimer struct {
-	mu     sync.Mutex
-	steady time.Duration
-}
-
-func (st *steadyTimer) wrap(job func(c *comm.Comm) error) func(c *comm.Comm) error {
-	return func(c *comm.Comm) error {
-		if err := c.Barrier(); err != nil {
-			return err
-		}
-		start := time.Now()
-		if err := job(c); err != nil {
-			return err
-		}
-		if err := c.Barrier(); err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			st.mu.Lock()
-			st.steady = time.Since(start)
-			st.mu.Unlock()
-		}
-		return nil
-	}
-}
-
-func (st *steadyTimer) seconds(wall time.Duration) (setup, steady float64) {
-	st.mu.Lock()
-	d := st.steady
-	st.mu.Unlock()
-	if d <= 0 || d > wall {
-		d = wall
-	}
-	return (wall - d).Seconds(), d.Seconds()
-}
 
 // bench5Result is one BENCH_5 measurement. MBPerS is steady-state
 // delivered-payload goodput over SteadySeconds. For TCP rows it is
@@ -147,44 +105,26 @@ func runBench5(path string, maxD int) error {
 
 func bench5Measure(name, transport string, d, rounds int, bytesPerRound int64,
 	job func(*comm.Comm) error) (bench5Result, error) {
-	var st steadyTimer
-	var stats mpx.TransportStats
-	wrapped := st.wrap(job)
-	start := time.Now()
-	var err error
-	if transport == "tcp" {
-		err = comm.RunTCPWith(d, comm.TCPRunOptions{
-			StatsSink: func(s mpx.TransportStats) { stats = s },
-		}, wrapped)
-	} else {
-		err = comm.Run(d, wrapped)
-	}
-	wall := time.Since(start)
+	m, err := measureMesh(meshSpec{transport: transport, dim: d}, rounds, bytesPerRound, nil, job)
 	if err != nil {
 		return bench5Result{}, fmt.Errorf("bench5 %s/%s d=%d: %w", name, transport, d, err)
 	}
-	setup, steady := st.seconds(wall)
-	collective := float64(bytesPerRound) * float64(rounds) / steady / (1 << 20)
-	mbps := collective
-	if transport == "tcp" {
-		mbps = float64(stats.PayloadDelivered) / steady / (1 << 20)
-	}
 	fmt.Printf("Bench5%s/%s/d=%d setup %7.3fs steady %7.3fs %10.1f MB/s (collective %8.1f MB/s)\n",
-		name, transport, d, setup, steady, mbps, collective)
+		name, transport, d, m.SetupSeconds, m.SteadySeconds, m.MBPerS, m.CollectiveMBPerS)
 	res := bench5Result{
 		Name: name, Transport: transport, Dim: d, Rounds: rounds,
 		BytesPerRound: bytesPerRound,
-		SetupSeconds:  setup, SteadySeconds: steady, WallSeconds: wall.Seconds(),
-		MBPerS: mbps, CollectiveMBS: collective,
+		SetupSeconds:  m.SetupSeconds, SteadySeconds: m.SteadySeconds, WallSeconds: m.WallSeconds,
+		MBPerS: m.MBPerS, CollectiveMBS: m.CollectiveMBPerS,
 	}
-	if transport == "tcp" {
-		res.WireBytesSent = stats.BytesSent
-		res.WireFramesSent = stats.FramesSent
-		res.PayloadDeliveredBytes = stats.PayloadDelivered
-		res.BatchedAcks = stats.AcksBatched
-		if stats.PayloadDelivered < bytesPerRound*int64(rounds) {
+	if m.HaveStats {
+		res.WireBytesSent = m.Stats.BytesSent
+		res.WireFramesSent = m.Stats.FramesSent
+		res.PayloadDeliveredBytes = m.Stats.PayloadDelivered
+		res.BatchedAcks = m.Stats.AcksBatched
+		if m.Stats.PayloadDelivered < bytesPerRound*int64(rounds) {
 			return res, fmt.Errorf("bench5 %s/tcp d=%d: transport observed %d delivered payload bytes, "+
-				"claim needs at least %d", name, d, stats.PayloadDelivered, bytesPerRound*int64(rounds))
+				"claim needs at least %d", name, d, m.Stats.PayloadDelivered, bytesPerRound*int64(rounds))
 		}
 	}
 	return res, nil

@@ -107,13 +107,7 @@ func bench6Measure(transport string, d, jobs, tenants int, rate float64, seed in
 	// bounded queue would make Submit block and turn the arrival process
 	// closed-loop under backlog.
 	opt := svc.Options{TenantQueue: -1}
-	var cl *comm.Cluster
-	var err error
-	if transport == "tcp" {
-		cl, err = comm.StartCluster(d, opt, comm.TCPRunOptions{})
-	} else {
-		cl = comm.StartLocalCluster(d, opt)
-	}
+	cl, err := startBenchCluster(transport, d, opt, comm.TCPRunOptions{})
 	if err != nil {
 		return bench6Result{}, fmt.Errorf("bench6 %s d=%d: %w", transport, d, err)
 	}

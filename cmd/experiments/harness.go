@@ -1,0 +1,156 @@
+package main
+
+// Shared measurement harness for the goodput benches (bench3, bench5,
+// bench7) and the cluster bench (bench6): backend dispatch by name,
+// barrier-bracketed steady-state timing, and the setup/steady/goodput
+// arithmetic every suite used to duplicate.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/mpx"
+	"repro/internal/svc"
+)
+
+// steadyTimer separates mesh setup from the measured collective rounds:
+// wrap brackets a job with barriers and rank 0 times only the window
+// between them, so dialing 2^d loopback sockets does not pollute the
+// goodput number (that cost is reported separately as setup_s).
+type steadyTimer struct {
+	mu     sync.Mutex
+	steady time.Duration
+}
+
+func (st *steadyTimer) wrap(job func(c *comm.Comm) error) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := job(c); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			st.mu.Lock()
+			st.steady = time.Since(start)
+			st.mu.Unlock()
+		}
+		return nil
+	}
+}
+
+func (st *steadyTimer) seconds(wall time.Duration) (setup, steady float64) {
+	st.mu.Lock()
+	d := st.steady
+	st.mu.Unlock()
+	if d <= 0 || d > wall {
+		d = wall
+	}
+	return (wall - d).Seconds(), d.Seconds()
+}
+
+// meshSpec names one measured mesh configuration: a backend plus the
+// socket options (ignored for inproc).
+type meshSpec struct {
+	transport string // "inproc", "tcp" or "uds"
+	dim       int
+	opt       comm.TCPRunOptions
+}
+
+// runMesh dispatches program to the comm runner for spec's backend.
+func runMesh(spec meshSpec, program func(c *comm.Comm) error) error {
+	switch spec.transport {
+	case "inproc":
+		return comm.Run(spec.dim, program)
+	case "tcp":
+		return comm.RunTCPWith(spec.dim, spec.opt, program)
+	case "uds":
+		return comm.RunUDSWith(spec.dim, spec.opt, program)
+	}
+	return fmt.Errorf("unknown transport %q", spec.transport)
+}
+
+// meshMeasurement is the timing/goodput record every mesh bench shares.
+type meshMeasurement struct {
+	SetupSeconds  float64
+	SteadySeconds float64
+	WallSeconds   float64
+	// CollectiveMBPerS is job arithmetic: bytesPerRound × rounds over the
+	// steady window — payload at final destinations only, comparable
+	// across backends.
+	CollectiveMBPerS float64
+	// MBPerS is the delivered-payload view: on socket backends from the
+	// transport's own PayloadDelivered counter (relay hops included), on
+	// inproc identical to CollectiveMBPerS (no transport counters there).
+	MBPerS float64
+	// Stats carries the summed transport counters; HaveStats says whether
+	// the backend produced any.
+	Stats     mpx.TransportStats
+	HaveStats bool
+}
+
+// measureMesh runs rounds of job inside ONE mesh on spec's backend with
+// the steady window barrier-bracketed by steadyTimer. warm, when
+// non-nil, runs inside the mesh before the timed window — per-rank
+// setup (enabling autotuning, settling the link estimator) that must
+// not pollute the goodput number.
+func measureMesh(spec meshSpec, rounds int, bytesPerRound int64,
+	warm, job func(c *comm.Comm) error) (meshMeasurement, error) {
+	var st steadyTimer
+	var m meshMeasurement
+	program := st.wrap(job)
+	if warm != nil {
+		timed := program
+		program = func(c *comm.Comm) error {
+			if err := warm(c); err != nil {
+				return err
+			}
+			return timed(c)
+		}
+	}
+	if spec.transport != "inproc" {
+		m.HaveStats = true
+		prev := spec.opt.StatsSink
+		spec.opt.StatsSink = func(s mpx.TransportStats) {
+			m.Stats = s
+			if prev != nil {
+				prev(s)
+			}
+		}
+	}
+	start := time.Now()
+	err := runMesh(spec, program)
+	wall := time.Since(start)
+	if err != nil {
+		return m, err
+	}
+	m.WallSeconds = wall.Seconds()
+	m.SetupSeconds, m.SteadySeconds = st.seconds(wall)
+	m.CollectiveMBPerS = float64(bytesPerRound) * float64(rounds) / m.SteadySeconds / (1 << 20)
+	m.MBPerS = m.CollectiveMBPerS
+	if m.HaveStats {
+		m.MBPerS = float64(m.Stats.PayloadDelivered) / m.SteadySeconds / (1 << 20)
+	}
+	return m, nil
+}
+
+// startBenchCluster is runMesh's twin for the collective service: start
+// the multi-tenant runtime mesh on the named backend.
+func startBenchCluster(transport string, d int, opt svc.Options, topt comm.TCPRunOptions) (*comm.Cluster, error) {
+	switch transport {
+	case "inproc":
+		return comm.StartLocalCluster(d, opt), nil
+	case "tcp":
+		return comm.StartCluster(d, opt, topt)
+	case "uds":
+		topt.Network = "unix"
+		return comm.StartCluster(d, opt, topt)
+	}
+	return nil, fmt.Errorf("unknown transport %q", transport)
+}

@@ -38,6 +38,13 @@
 // per-tenant fairness on both backends:
 //
 //	go run ./cmd/experiments -bench6 BENCH_6.json
+//
+// The self-tuning data-plane suite compares MSBT broadcast goodput with
+// online B_opt packet sizing off and on, across the in-process,
+// loopback-TCP and Unix-domain-socket backends:
+//
+//	go run ./cmd/experiments -bench7 BENCH_7.json
+//	go run ./cmd/experiments -bench7 BENCH_7.json -bench7-max 4   # CI smoke
 package main
 
 import (
@@ -70,6 +77,8 @@ func main() {
 	bench5Max := flag.Int("bench5-max", 8, "largest cube dimension the -bench5 sweep runs (CI smoke uses 4)")
 	bench6 := flag.String("bench6", "", "run the collective-service Poisson load suite (multi-tenant job mix, throughput + completion-latency percentiles + fairness) and write its JSON record here")
 	bench6Max := flag.Int("bench6-max", 4, "largest cube dimension the -bench6 sweep runs")
+	bench7 := flag.String("bench7", "", "run the self-tuning data-plane suite (MSBT broadcast with online B_opt sizing off/on, inproc vs TCP vs UDS) and write its JSON record here")
+	bench7Max := flag.Int("bench7-max", 8, "largest cube dimension the -bench7 sweep runs (CI smoke uses 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
@@ -125,6 +134,13 @@ func main() {
 	}
 	if *bench6 != "" {
 		if err := runBench6(*bench6, *bench6Max); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench7 != "" {
+		if err := runBench7(*bench7, *bench7Max); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

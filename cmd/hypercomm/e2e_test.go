@@ -21,25 +21,40 @@ func buildHypercomm(t *testing.T) string {
 
 // TestLaunchEightProcessCube builds the hypercomm binary and runs
 // `launch -n 3`: eight real OS processes, one cube node each, every
-// link a TCP socket. Every rank must verify the MSBT broadcast and the
-// BST scatter payloads and report OK.
+// link a socket. Every rank must verify the MSBT broadcast and the BST
+// scatter payloads and report OK. The variants pin both socket
+// families plus the self-tuning data plane (autotuned packet sizing
+// and striped links) end to end across process boundaries.
 func TestLaunchEightProcessCube(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns 9 processes")
 	}
 	bin := buildHypercomm(t)
-	out, err := exec.Command(bin, "launch", "-n", "3", "-m", "4096").CombinedOutput()
-	if err != nil {
-		t.Fatalf("launch: %v\n%s", err, out)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"tcp", []string{"-transport", "tcp"}},
+		{"uds", []string{"-transport", "uds"}},
+		{"uds-tuned-striped", []string{"-transport", "uds", "-autotune", "-stripes", "3", "-m", "65536"}},
 	}
-	text := string(out)
-	for i := 0; i < 8; i++ {
-		if !strings.Contains(text, "OK "+string(rune('0'+i))+":") {
-			t.Errorf("node %d never reported OK:\n%s", i, text)
-		}
-	}
-	if !strings.Contains(text, "launch: 8 processes") {
-		t.Errorf("missing launch summary:\n%s", text)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"launch", "-n", "3", "-m", "4096"}, tc.args...)
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("launch: %v\n%s", err, out)
+			}
+			text := string(out)
+			for i := 0; i < 8; i++ {
+				if !strings.Contains(text, "OK "+string(rune('0'+i))+":") {
+					t.Errorf("node %d never reported OK:\n%s", i, text)
+				}
+			}
+			if !strings.Contains(text, "launch: 8 processes") {
+				t.Errorf("missing launch summary:\n%s", text)
+			}
+		})
 	}
 }
 
@@ -70,8 +85,9 @@ func TestServeExplicitPeers(t *testing.T) {
 
 // TestChaosEightProcessSurvivesFaults is the multi-process soak from
 // the acceptance bar: `chaos -n 3` spawns eight resilient serve
-// processes, each running a seeded chaos agent that kills, flaps and
-// delays its own live TCP connections while lockstep MSBT broadcast +
+// processes (Unix-domain links — launch's same-host default), each
+// running a seeded chaos agent that kills, flaps and
+// delays its own live connections while lockstep MSBT broadcast +
 // BST scatter/gather rounds flow. The drill itself fails unless every
 // rank verified every payload AND at least one fault was actually
 // injected mid-run, so a passing exit code is the whole assertion; the

@@ -12,25 +12,34 @@
 //	ablate    -n DIM
 //	route     -n DIM -perm {bitrev|transpose|random}
 //	serve     -n DIM -id NODE [-listen ADDR] [-peers A0,A1,...] [-m BYTES]
+//	          [-transport {tcp|uds|auto}] [-autotune] [-stripes K]
 //	          [-resilient -attempts K -budget DUR] [-rounds R | -for DUR]
 //	          [-deadline DUR] [-chaos -chaos-seed S -chaos-hold DUR] [-v]
-//	launch    -n DIM [-m BYTES]
+//	launch    -n DIM [-m BYTES] [-transport {tcp|uds|auto}] [-autotune] [-stripes K]
 //	chaos     -n DIM [-m BYTES] [-for DUR] [-seed S] [-hold DUR]
 //	          [-attempts K -budget DUR -deadline DUR] [-min-events E]
-//	          [-kill-node NODE -kill-after DUR]
+//	          [-kill-node NODE -kill-after DUR] [-transport {tcp|uds|auto}]
 //	jobs      -n DIM [-jobs K -tenants T -seed S] [-resilient]
 //	          [-batch-hold DUR] [-chaos -chaos-seed S -hold DUR -min-events E]
+//	          [-transport {tcp|uds|auto}]
 //
 // serve runs ONE node of the cube in this OS process, carrying every
-// cube link over a TCP socket (checksummed frames, see internal/wire);
+// cube link over a socket (checksummed frames, see internal/wire);
 // launch spawns a full 2^n-process cube on localhost, wires the
 // processes together and verifies an MSBT broadcast and a BST scatter
-// end to end. With -resilient the links self-heal: a lost connection
-// is redialed with jittered exponential backoff and the sequenced
-// frames the peer missed are retransmitted from a replay ring, so
-// collectives survive socket kills invisibly; -v prints the per-node
-// link-health counters (reconnects, retransmits, CRC drops, ...)
-// after the run.
+// end to end. -transport picks the socket family: the default "auto"
+// uses Unix-domain sockets when peers are discovered over the stdio
+// handshake (launch and its drills deploy on one host, where the
+// TCP/IP stack buys nothing) and TCP with an explicit -peers list that
+// may span hosts. -autotune turns on model-driven packet sizing: the
+// transport fits the link constants (tau, t_c) online and collectives
+// split payloads at the paper's B_opt. -stripes opens K parallel
+// connections per link and stripes bulk sends across them. With
+// -resilient the links self-heal: a lost connection is redialed with
+// jittered exponential backoff and the sequenced frames the peer
+// missed are retransmitted from a replay ring, so collectives survive
+// socket kills invisibly; -v prints the per-node link-health counters
+// (reconnects, retransmits, CRC drops, ...) after the run.
 //
 // chaos is the robustness drill built on launch: every child runs a
 // seeded chaos agent that kills, flaps and delays its own live

@@ -1,5 +1,6 @@
 // The networked subcommands: `serve` runs one node of a multi-process
-// cube over the TCP transport, `launch` spawns a whole cube of serve
+// cube over the socket transport (TCP or Unix-domain, see -transport),
+// `launch` spawns a whole cube of serve
 // processes on localhost and verifies the collectives end to end, and
 // `chaos` is the self-healing drill: a launch whose children run chaos
 // agents against their own live sockets (or, with -kill-node, lose a
@@ -38,8 +39,11 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	n := fs.Int("n", 3, "cube dimension")
 	id := fs.Int("id", 0, "node this process hosts")
-	listen := fs.String("listen", "127.0.0.1:0", "listen address (port 0 = pick a free one)")
+	listen := fs.String("listen", "", "listen address (tcp default 127.0.0.1:0 = pick a free port; uds default = fresh socket path)")
 	peersS := fs.String("peers", "", "comma-separated listen addresses of all 2^n nodes in node order (empty = stdio handshake: print ADDR, read PEERS)")
+	transportS := fs.String("transport", "auto", "socket family for the cube links: tcp, uds, or auto (uds when peers arrive over the stdio handshake — a same-host deployment — tcp with an explicit -peers list)")
+	autotune := fs.Bool("autotune", false, "model-driven packet sizing: collectives split payloads at the online B_opt from the link-cost fit")
+	stripes := fs.Int("stripes", 0, "parallel connections per link for striped bulk sends (0/1 = single connection; incompatible with -resilient)")
 	m := fs.Int("m", 4096, "broadcast payload size in bytes")
 	rounds := fs.Int("rounds", 1, "workload repetitions (each: msbt broadcast + bst scatter/gather + barrier)")
 	runFor := fs.Duration("for", 0, "run workload rounds in lockstep until this much wall-clock time elapses at the root (overrides -rounds)")
@@ -60,15 +64,38 @@ func cmdServe(args []string) error {
 	if *id < 0 || *id >= 1<<uint(*n) {
 		return fmt.Errorf("serve: node id %d outside the %d-cube", *id, *n)
 	}
+	// Resolve the socket family. "auto" picks Unix-domain sockets when the
+	// peers arrive over the stdio handshake — launch/chaos/jobs spawn the
+	// whole cube on this host, so the TCP/IP stack buys nothing — and TCP
+	// when an explicit -peers list may span hosts. Peer addresses are
+	// self-describing on the wire ("unix:<path>" vs "host:port"), so mixed
+	// choices across processes still interconnect.
+	var network string
+	switch *transportS {
+	case "tcp":
+		network = "tcp"
+	case "uds":
+		network = "unix"
+	case "auto":
+		if *peersS == "" {
+			network = "unix"
+		} else {
+			network = "tcp"
+		}
+	default:
+		return fmt.Errorf("serve: unknown -transport %q (want tcp, uds or auto)", *transportS)
+	}
 	var cls mpx.JobClassifier
 	if *jobs > 0 {
 		cls = svc.StatsClassifier // per-job payload accounting for the STATS line
 	}
 	tr, err := transport.NewTCP(transport.TCPOptions{
-		Dim:    *n,
-		Locals: []cube.NodeID{cube.NodeID(*id)},
-		Listen: *listen,
-		Depth:  comm.CollectiveDepth(*n),
+		Dim:     *n,
+		Locals:  []cube.NodeID{cube.NodeID(*id)},
+		Listen:  *listen,
+		Network: network,
+		Stripes: *stripes,
+		Depth:   comm.CollectiveDepth(*n),
 		Resilience: transport.ResilienceOptions{
 			Enabled:     *resilient,
 			MaxAttempts: *attempts,
@@ -119,7 +146,7 @@ func cmdServe(args []string) error {
 	if *jobs > 0 {
 		runErr = serveJobs(machine, *n, *id, *jobs, *tenants, *jobsSeed)
 	} else {
-		runErr = comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline))
+		runErr = comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline, *autotune))
 	}
 	if agent != nil {
 		agent.Stop()
@@ -193,11 +220,12 @@ func serveJobs(machine *mpx.Machine, n, id, jobs, tenants int, seed int64) error
 // continue/stop flag each round, so all ranks agree on the round count
 // without shared memory. The timed mode is what keeps collectives in
 // flight while a chaos agent or an external kill disturbs the links.
-func serveProgram(mbytes, rounds int, runFor, deadline time.Duration) func(c *comm.Comm) error {
+func serveProgram(mbytes, rounds int, runFor, deadline time.Duration, autotune bool) func(c *comm.Comm) error {
 	return func(c *comm.Comm) error {
 		if deadline > 0 {
 			c.SetDeadline(deadline)
 		}
+		c.SetAutotune(autotune)
 		done := 0
 		if runFor > 0 {
 			start := time.Now()
@@ -371,11 +399,22 @@ func cmdLaunch(args []string) error {
 	fs := flag.NewFlagSet("launch", flag.ExitOnError)
 	n := fs.Int("n", 3, "cube dimension (spawns 2^n serve processes)")
 	m := fs.Int("m", 4096, "broadcast payload size in bytes")
+	transportS := fs.String("transport", "auto", "socket family the children link over: tcp, uds, or auto (same-host launch = uds)")
+	autotune := fs.Bool("autotune", false, "enable model-driven packet sizing inside the children")
+	stripes := fs.Int("stripes", 0, "parallel connections per link inside the children (0/1 = single connection)")
 	fs.Parse(args)
 
 	N := 1 << uint(*n)
 	procs, killAll, err := spawnCube(N, func(i int) []string {
-		return []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m)}
+		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m),
+			"-transport", *transportS}
+		if *autotune {
+			a = append(a, "-autotune")
+		}
+		if *stripes > 1 {
+			a = append(a, "-stripes", fmt.Sprint(*stripes))
+		}
+		return a
 	}, false)
 	if err != nil {
 		return fmt.Errorf("launch: %w", err)
@@ -416,7 +455,13 @@ func cmdLaunch(args []string) error {
 			return fmt.Errorf("launch: node %d exited cleanly but never reported OK", i)
 		}
 	}
-	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter over TCP\n", N)
+	// Children resolve "auto" themselves; under the launcher's stdio
+	// handshake that is always the same-host answer, uds.
+	family := *transportS
+	if family == "auto" {
+		family = "uds"
+	}
+	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter (transport %s)\n", N, family)
 	return nil
 }
 
@@ -442,6 +487,7 @@ func cmdChaos(args []string) error {
 	minEvents := fs.Int("min-events", 1, "fail unless the agents injected at least this many faults")
 	killNode := fs.Int("kill-node", -1, "kill this child outright instead of running agents: the budget-exhaustion drill")
 	killAfter := fs.Duration("kill-after", 200*time.Millisecond, "when to deliver the -kill-node kill")
+	transportS := fs.String("transport", "auto", "socket family the children link over: tcp, uds, or auto (same-host launch = uds)")
 	fs.Parse(args)
 
 	N := 1 << uint(*n)
@@ -450,7 +496,7 @@ func cmdChaos(args []string) error {
 	}
 	childArgs := func(i int) []string {
 		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m),
-			"-resilient", "-for", runFor.String(), "-v"}
+			"-resilient", "-for", runFor.String(), "-v", "-transport", *transportS}
 		if *attempts > 0 {
 			a = append(a, "-attempts", fmt.Sprint(*attempts))
 		}
@@ -615,6 +661,7 @@ func cmdJobs(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "base chaos seed; child i's agent runs schedule chaos-seed+i")
 	hold := fs.Duration("hold", 60*time.Millisecond, "how long chaos flap/delay faults persist inside the children")
 	minEvents := fs.Int("min-events", 1, "with -chaos, fail unless the agents injected at least this many faults")
+	transportS := fs.String("transport", "auto", "socket family the children link over: tcp, uds, or auto (same-host launch = uds)")
 	fs.Parse(args)
 
 	if *tenants < 1 {
@@ -624,7 +671,7 @@ func cmdJobs(args []string) error {
 	childArgs := func(i int) []string {
 		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i),
 			"-jobs", fmt.Sprint(*jobs), "-tenants", fmt.Sprint(*tenants),
-			"-jobs-seed", fmt.Sprint(*seed), "-v"}
+			"-jobs-seed", fmt.Sprint(*seed), "-v", "-transport", *transportS}
 		if *resilient || *chaos {
 			a = append(a, "-resilient")
 		}

@@ -1,0 +1,130 @@
+// Online packet-size tuning: the paper's B_opt, fed by the transport's
+// live cost model instead of assumed constants.
+//
+// The paper derives the optimal broadcast packet size B_opt =
+// sqrt(M·τ/(t_c·n)) for MSBT under one-send-and-receive (Table 3) from
+// the two link constants τ (per-packet start-up) and t_c (per-byte
+// transfer). On real transports those constants are not known a priori
+// and drift with load, so the transports fit them online
+// (mpx.LinkEstimator) and expose the fit through mpx.Profiler. With
+// autotuning enabled, BcastMSBT queries the profile per collective and
+// splits each tree's segment into packets of the clamped B_opt — the
+// store-and-forward pipelining the paper's multi-packet analysis
+// assumes — instead of sending one monolithic chunk per tree.
+package comm
+
+import (
+	"repro/internal/model"
+	"repro/internal/mpx"
+)
+
+// minAutoB is the smallest packet autotuning will pick: below the
+// transports' zero-copy threshold (4 KiB) the per-packet overhead is
+// all start-up cost and splitting can only lose.
+const minAutoB = 4 << 10
+
+// maxAutoSplit caps the packets per tree segment. The modeled
+// pipelining gain has steeply diminishing returns — the first split
+// already overlaps a packet's forwarding with the next one's arrival
+// at every relay hop — while the costs the sender-side estimator
+// cannot see (receiver wakeups, mailbox matching, forward scheduling)
+// grow linearly with the packet count. A congested run also inflates
+// the fitted t_c (flushes that block on a full socket buffer look
+// like per-byte cost), which without the cap would drive B toward the
+// floor and bury the collective in framing overhead.
+const maxAutoSplit = 2
+
+// autotuneHysteresis is the relative band within which a new B_opt is
+// ignored in favor of the previous choice: the estimator jitters
+// sample-to-sample, and packet-count churn costs more than a few
+// percent of modeled optimality.
+const autotuneHysteresis = 4 // denominator: keep lastB when within ±1/4
+
+// AutotuneStats reports what the tuner chose (per communicator; read it
+// after the collectives ran).
+type AutotuneStats struct {
+	// Collectives counts the autotuned collective calls.
+	Collectives int
+	// LastB is the most recent packet size chosen, in bytes.
+	LastB int
+	// MinB and MaxB bound the choices over the communicator's lifetime.
+	MinB, MaxB int
+}
+
+// SetAutotune enables model-driven packet sizing on this communicator's
+// collectives. Until the transport's cost profile settles
+// (mpx.ProfileMinSamples timed observations), collectives keep the
+// legacy fixed split; after that, BcastMSBT sizes its packets by the
+// paper's B_opt evaluated at the live (τ, t_c) fit. Call it before the
+// collectives run, from the rank's own goroutine.
+func (c *Comm) SetAutotune(on bool) { c.autotune = on }
+
+// AutotuneStats returns what the tuner has chosen so far.
+func (c *Comm) AutotuneStats() AutotuneStats { return c.at }
+
+// Profile returns the transport's live link-cost fit — the (τ, t_c)
+// pair chooseB evaluates the paper's B_opt at — and whether the
+// transport measures one at all.
+func (c *Comm) Profile() (mpx.LinkProfile, bool) { return c.nd.Profile() }
+
+// chooseB picks the broadcast packet size for an M-byte MSBT payload:
+// the paper's B_opt = sqrt(M·τ/(t_c·n)) at the transport's live cost
+// profile, clamped to [max(minAutoB, seg/maxAutoSplit), seg] for the
+// per-tree segment seg = ceil(M/n), and damped by hysteresis.
+// Returns 0 when tuning is off or the profile has not settled — the
+// caller keeps the legacy one-chunk-per-tree split, so an
+// under-informed estimator never changes behavior.
+func (c *Comm) chooseB(m int) int {
+	if !c.autotune || m <= 0 || c.n <= 0 {
+		return 0
+	}
+	if c.forceB > 0 {
+		// Test hook: pin the packet size, bypassing profile and clamps,
+		// so the adaptive wire framing is exercised deterministically.
+		return c.forceB
+	}
+	p, ok := c.nd.Profile()
+	if !ok || !p.Valid() {
+		return 0
+	}
+	seg := (m + c.n - 1) / c.n // largest per-tree segment
+	B := seg
+	if p.Tc > 0 {
+		bopt := model.BroadcastBopt(model.MSBT, model.OneSendAndRecv, model.Params{
+			N: c.n, M: float64(m), Tau: p.Tau, Tc: p.Tc,
+		})
+		if int(bopt) < B {
+			B = int(bopt)
+		}
+	}
+	// A zero (or tiny) t_c sends B_opt to infinity: one packet per tree,
+	// i.e. exactly the legacy split — the right answer for an in-process
+	// transport, whose per-byte cost really is negligible.
+	if floor := (seg + maxAutoSplit - 1) / maxAutoSplit; B < floor {
+		B = floor
+	}
+	if B < minAutoB {
+		B = minAutoB
+	}
+	if B > seg {
+		B = seg
+	}
+	if B < 1 {
+		B = 1
+	}
+	if c.lastB > 0 {
+		if lo, hi := c.lastB-c.lastB/autotuneHysteresis, c.lastB+c.lastB/autotuneHysteresis; B >= lo && B <= hi {
+			B = c.lastB
+		}
+	}
+	c.lastB = B
+	c.at.Collectives++
+	c.at.LastB = B
+	if c.at.MinB == 0 || B < c.at.MinB {
+		c.at.MinB = B
+	}
+	if B > c.at.MaxB {
+		c.at.MaxB = B
+	}
+	return B
+}

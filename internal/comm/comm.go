@@ -57,6 +57,15 @@ type Comm struct {
 	// plain collectives (see SetDeadline).
 	deadline time.Duration
 
+	// autotune enables model-driven packet sizing (see SetAutotune);
+	// lastB is the previous choice (hysteresis anchor) and at the
+	// counters. All three are touched only from the rank's own
+	// goroutine, like seq.
+	autotune bool
+	lastB    int
+	forceB   int // test hook: pin chooseB's answer
+	at       AutotuneStats
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
@@ -188,6 +197,16 @@ type TCPRunOptions struct {
 	// across all endpoints after the run finishes — the delivered-payload
 	// numbers benchmarks derive goodput from.
 	StatsSink func(mpx.TransportStats)
+	// Network picks the socket family for every endpoint: "tcp"
+	// (default, loopback) or "unix" (Unix-domain sockets; see
+	// transport.NewUDS).
+	Network string
+	// Stripes, when > 1, opens that many parallel connections per link
+	// and stripes bulk sends across them; see transport.TCPOptions.Stripes.
+	Stripes int
+	// Autotune enables model-driven packet sizing on every rank's
+	// communicator (Comm.SetAutotune) before the program runs.
+	Autotune bool
 }
 
 // RunTCP is Run with every cube link carried over a loopback TCP
@@ -197,6 +216,20 @@ type TCPRunOptions struct {
 // unchanged; only the transport underneath differs.
 func RunTCP(n int, program func(c *Comm) error) error {
 	return RunTCPWith(n, TCPRunOptions{}, program)
+}
+
+// RunUDS is RunTCP with every cube link carried over a Unix-domain
+// socket instead of loopback TCP: the same wire protocol and framing,
+// minus the TCP/IP stack — the transport `hypercomm serve` picks
+// automatically for same-host deployments.
+func RunUDS(n int, program func(c *Comm) error) error {
+	return RunTCPWith(n, TCPRunOptions{Network: "unix"}, program)
+}
+
+// RunUDSWith is RunTCPWith over Unix-domain sockets.
+func RunUDSWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
+	opt.Network = "unix"
+	return RunTCPWith(n, opt, program)
 }
 
 // RunTCPWith is RunTCP with self-healing links, chaos injection and
@@ -218,6 +251,7 @@ func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 		tr, err := transport.NewTCP(transport.TCPOptions{
 			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
 			Resilience: opt.Resilience, WireVersion: opt.WireVersion,
+			Network: opt.Network, Stripes: opt.Stripes, BatchHold: opt.BatchHold,
 		})
 		if err != nil {
 			return err
@@ -249,9 +283,12 @@ func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 		}
 	}
 	run := program
-	if opt.Deadline > 0 {
+	if opt.Deadline > 0 || opt.Autotune {
 		run = func(c *Comm) error {
-			c.SetDeadline(opt.Deadline)
+			if opt.Deadline > 0 {
+				c.SetDeadline(opt.Deadline)
+			}
+			c.SetAutotune(opt.Autotune)
 			return program(c)
 		}
 	}
@@ -451,37 +488,100 @@ func (c *Comm) Bcast(root cube.NodeID, data []byte) ([]byte, error) {
 
 // BcastMSBT distributes data from root down the n edge-disjoint ERSBTs
 // (chunk j through tree j), reassembling at every rank.
+//
+// With autotuning enabled (SetAutotune) and a settled transport
+// profile, the root splits each tree's segment into packets of at most
+// the live B_opt and announces the count with a manifest — a
+// zero-length part whose Offset is the negated packet count, riding
+// ahead of the first packet in the same message, with the remaining
+// packets following as separate messages. Non-root ranks detect the
+// manifest and forward
+// every message down the tree as it arrives, so packet k+1 overlaps
+// packet k's next hop: the store-and-forward pipelining the paper's
+// multi-packet MSBT analysis models. Receivers handle both framings
+// regardless of their own autotune setting; a legacy single-message
+// tree and an adaptive one differ only in what the root chose to send.
 func (c *Comm) BcastMSBT(root cube.NodeID, data []byte) ([]byte, error) {
 	defer c.next()
 	if c.Rank() == root {
 		bounds := chunkBounds(len(data), c.n)
+		B := c.chooseB(len(data))
 		for j := 0; j < c.n; j++ {
-			c.send(msbt.RootOf(j, root), j+1,
-				[]mpx.Part{{Dest: root, Offset: bounds[j], Data: data[bounds[j]:bounds[j+1]]}})
+			seg := data[bounds[j]:bounds[j+1]]
+			tr := msbt.RootOf(j, root)
+			if B <= 0 || len(seg) <= B {
+				c.send(tr, j+1, []mpx.Part{{Dest: root, Offset: bounds[j], Data: seg}})
+				continue
+			}
+			q := (len(seg) + B - 1) / B
+			// The manifest part rides in the first packet's message, so
+			// adaptive framing costs q messages per tree, not q+1.
+			c.send(tr, j+1, []mpx.Part{
+				{Dest: root, Offset: -q},
+				{Dest: root, Offset: bounds[j], Data: seg[:B]},
+			})
+			for k := 1; k < q; k++ {
+				lo := k * B
+				hi := lo + B
+				if hi > len(seg) {
+					hi = len(seg)
+				}
+				c.send(tr, j+1, []mpx.Part{{Dest: root, Offset: bounds[j] + lo, Data: seg[lo:hi]}})
+			}
 		}
 		return data, nil
 	}
-	// Length is unknown off-root; collect all n chunks first.
+	// Length is unknown off-root; collect every tree's packets first.
 	type chunk struct {
 		off  int
 		data []byte
 	}
-	chunks := make([]chunk, c.n)
+	var chunks []chunk
 	total := 0
 	for j := 0; j < c.n; j++ {
-		env, err := c.recvTag(c.tagFor(j + 1))
+		recvChunk := func() (mpx.Envelope, error) {
+			env, err := c.recvTag(c.tagFor(j + 1))
+			if err != nil {
+				return env, err
+			}
+			if p, ok := msbt.Parent(c.n, j, c.Rank(), root); !ok || env.From != p {
+				return env, fmt.Errorf("comm: bcastmsbt chunk %d from %d, want tree parent", j, env.From)
+			}
+			for _, ch := range msbt.Children(c.n, j, c.Rank(), root) {
+				c.send(ch, j+1, env.Parts)
+			}
+			return env, nil
+		}
+		env, err := recvChunk()
 		if err != nil {
 			return nil, err
 		}
-		if p, ok := msbt.Parent(c.n, j, c.Rank(), root); !ok || env.From != p {
-			return nil, fmt.Errorf("comm: bcastmsbt chunk %d from %d, want tree parent", j, env.From)
-		}
 		pt := env.Parts[0]
-		chunks[j] = chunk{pt.Offset, pt.Data}
-		total += len(pt.Data)
-		for _, ch := range msbt.Children(c.n, j, c.Rank(), root) {
-			c.send(ch, j+1, env.Parts)
+		if len(pt.Data) == 0 && pt.Offset < 0 {
+			// Adaptive framing: the manifest names the packet count, and
+			// any parts after it (the first packet rides with the
+			// manifest) already count toward it.
+			got := 0
+			for _, p := range env.Parts[1:] {
+				chunks = append(chunks, chunk{p.Offset, p.Data})
+				total += len(p.Data)
+				got++
+			}
+			for got < -pt.Offset {
+				penv, err := recvChunk()
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range penv.Parts {
+					chunks = append(chunks, chunk{p.Offset, p.Data})
+					total += len(p.Data)
+					got++
+				}
+			}
+			continue
 		}
+		chunks = append(chunks, chunk{pt.Offset, pt.Data})
+		total += len(pt.Data)
 	}
 	out := make([]byte, total)
 	for _, ck := range chunks {

@@ -20,6 +20,7 @@ var runners = []struct {
 }{
 	{"chan", Run},
 	{"tcp", RunTCP},
+	{"uds", RunUDS},
 }
 
 // eachTransport runs the test body once per transport backend.

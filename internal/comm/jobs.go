@@ -206,10 +206,11 @@ func StartLocalCluster(n int, opt svc.Options) *Cluster {
 	return &Cluster{rts: []*svc.Runtime{rt}}
 }
 
-// StartCluster starts the service over loopback TCP: 2^n endpoints
+// StartCluster starts the service over loopback sockets: 2^n endpoints
 // connected into a cube mesh, one machine + runtime per endpoint.
-// topt's Resilience/Chaos/WireVersion/BatchHold apply to every
-// endpoint; Deadline and StatsSink are ignored here (use Stats).
+// topt's Resilience/Chaos/WireVersion/BatchHold/Network/Stripes apply
+// to every endpoint; Deadline and StatsSink are ignored here (use
+// Stats).
 func StartCluster(n int, opt svc.Options, topt TCPRunOptions) (*Cluster, error) {
 	size := 1 << uint(n)
 	depth := CollectiveDepth(n)
@@ -225,6 +226,7 @@ func StartCluster(n int, opt svc.Options, topt TCPRunOptions) (*Cluster, error) 
 		tr, err := transport.NewTCP(transport.TCPOptions{
 			Dim: n, Locals: []cube.NodeID{cube.NodeID(i)}, Depth: depth,
 			Resilience: topt.Resilience, WireVersion: topt.WireVersion,
+			Network: topt.Network, Stripes: topt.Stripes,
 			BatchHold: topt.BatchHold, Classifier: svc.StatsClassifier,
 		})
 		if err != nil {

@@ -33,6 +33,13 @@ type ChanTransport struct {
 	jobMu sync.Mutex
 	byJob map[int]int64
 
+	// est fits the link cost model from sampled sends: every
+	// chanProfileSample-th clean send is timed end-to-end (including any
+	// inbox-full blocking — honest occupancy). Sampling keeps the
+	// zero-allocation fast path free of clock reads on 63 of 64 sends.
+	est       LinkEstimator
+	sendCount atomic.Int64
+
 	// down is closed by Close, unblocking every Send/Recv.
 	down     chan struct{}
 	downOnce sync.Once
@@ -220,11 +227,30 @@ func (t *ChanTransport) countJob(msg Message) {
 	}
 }
 
+// chanProfileSample is the send-sampling interval of the in-process
+// cost estimator (must be a power of two).
+const chanProfileSample = 64
+
+// Profile reports the live link cost model fitted from sampled sends
+// (implements Profiler). In-process delivery copies nothing, so the
+// fitted per-byte cost is near zero and model-driven packet sizing
+// degenerates to the legacy single-chunk split — the right answer for
+// a channel transport.
+func (t *ChanTransport) Profile() LinkProfile { return t.est.Profile() }
+
 // sendClean is the untouched-delivery path, shared by the fault-free
 // machine and by faulty sends whose Outcome.IsZero().
 func (t *ChanTransport) sendClean(from, to cube.NodeID, port int, msg Message) error {
+	var start time.Time
+	sample := t.sendCount.Add(1)&(chanProfileSample-1) == 0
+	if sample {
+		start = time.Now()
+	}
 	select {
 	case t.inbox[to] <- Envelope{Message: msg, Port: port, From: from}:
+		if sample {
+			t.est.Observe(1, msg.Size(), time.Since(start))
+		}
 		if t.cls != nil {
 			t.countJob(msg)
 		}

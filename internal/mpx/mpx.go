@@ -356,6 +356,15 @@ func (m *Machine) Stats() (TransportStats, bool) {
 	return TransportStats{}, false
 }
 
+// Profile reports the transport's live link cost model; ok is false
+// when the transport does not implement Profiler.
+func (m *Machine) Profile() (LinkProfile, bool) {
+	if pr, ok := m.tr.(Profiler); ok {
+		return pr.Profile(), true
+	}
+	return LinkProfile{}, false
+}
+
 // Node is the per-node handle passed to node programs.
 type Node struct {
 	ID cube.NodeID
@@ -374,6 +383,10 @@ func (nd *Node) PeerError() error { return nd.m.PeerError(nd.ID) }
 // ANY link of the machine hosting this node — the machine-wide view a
 // rank needs when its own links are fine but the job died anyway.
 func (nd *Node) AnyPeerError() error { return nd.m.FirstPeerError() }
+
+// Profile reports the live link cost model of the transport hosting
+// this node; ok is false when the transport does not estimate one.
+func (nd *Node) Profile() (LinkProfile, bool) { return nd.m.Profile() }
 
 // Send transmits msg through the given port (to the neighbor differing in
 // bit `port`). It blocks while the receiver's inbox is full. On a machine

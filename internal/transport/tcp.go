@@ -7,9 +7,13 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cube"
@@ -159,7 +163,27 @@ type TCPOptions struct {
 	// Classifier, when non-nil, attributes every delivered payload to a
 	// job key for the per-job stats map (see mpx.JobClassifier).
 	Classifier mpx.JobClassifier
+	// Network selects the socket family: "tcp" (the default) or "unix"
+	// for Unix-domain sockets between co-located endpoints (NewUDS).
+	// Everything above the dial — wire codec, resilience supervisors,
+	// BatchHold, striping, per-job metering — is family-agnostic.
+	Network string
+	// Stripes, when > 1, opens that many parallel connections per
+	// neighbor link. Bulk sends (a part >= zcThreshold) round-robin
+	// across all stripes; small sends stay on stripe 0 for latency.
+	// Every frame on a striped link carries a link-level sequence
+	// number the receiver reassembles in order, so the mpx per-sender
+	// ordering contract holds across connections. Striping is a plain-
+	// link feature (it shares the sequencing machinery's wire kind but
+	// not its replay protocol) and is rejected alongside Resilience;
+	// both endpoints of a mesh must configure the same count.
+	Stripes int
 }
+
+// MaxStripes bounds TCPOptions.Stripes (the attach handshake carries
+// the index in one byte, and more parallel sockets per link than this
+// has no plausible win).
+const MaxStripes = 16
 
 // TCP is a socket-backed mpx.Transport: every cube link whose endpoints
 // live in different processes is one TCP connection carrying
@@ -177,10 +201,11 @@ type TCPOptions struct {
 // which redials, resumes and replays, and only escalates to that fatal
 // path once the reconnect budget is spent.
 type TCP struct {
-	c    *cube.Cube
-	opt  TCPOptions
-	ln   net.Listener
-	self string // bound listen address
+	c      *cube.Cube
+	opt    TCPOptions
+	ln     net.Listener
+	self   string // bound listen address
+	udsDir string // temp dir owning an auto-created unix socket path
 
 	local  []bool
 	locals []cube.NodeID
@@ -306,6 +331,31 @@ type link struct {
 	batchAt  int
 	queued   int
 
+	// qframes counts the wire frames currently queued (guarded by mu);
+	// each flush drains it into the cost estimator alongside the byte
+	// total and the measured write duration.
+	qframes int
+
+	// est fits this link's τ/t_c cost model from timed flushes.
+	est mpx.LinkEstimator
+
+	// Striping. On a striped link's OWNER: stripes holds the extra
+	// connections as sub-links (each with its own queue, flusher and
+	// socket), striped is true, sseq assigns the link-level sequence
+	// every frame carries (guarded by mu), and nextDeliver/pending are
+	// the receive-side reorder state — smu serializes delivery drains
+	// across the per-connection read pumps so in-order frames reach the
+	// inbox in sequence. On a sub-link: owner points back (sub-links
+	// never appear in t.links and their failures escalate on the owner).
+	striped     bool
+	stripes     []*link
+	stripeRR    atomic.Uint32
+	sseq        uint64
+	nextDeliver uint64
+	pending     map[uint64]mpx.Message
+	smu         sync.Mutex
+	owner       *link
+
 	// lost and replaced (cap 1) connect the pumps to the supervisor:
 	// disconnect signals lost, install signals replaced.
 	lost, replaced chan struct{}
@@ -339,8 +389,35 @@ func NewTCP(opts TCPOptions) (*TCP, error) {
 	if len(opts.Locals) == 0 {
 		return nil, errors.New("transport: TCPOptions.Locals is empty")
 	}
-	if opts.Listen == "" {
-		opts.Listen = "127.0.0.1:0"
+	udsDir := ""
+	switch opts.Network {
+	case "", "tcp":
+		opts.Network = "tcp"
+		if opts.Listen == "" {
+			opts.Listen = "127.0.0.1:0"
+		}
+	case "unix":
+		if opts.Listen == "" {
+			// Socket paths are length-limited (~104 bytes), so a short
+			// fresh directory under the default temp root.
+			dir, err := os.MkdirTemp("", "hcube")
+			if err != nil {
+				return nil, fmt.Errorf("transport: uds socket dir: %w", err)
+			}
+			udsDir = dir
+			opts.Listen = filepath.Join(dir, fmt.Sprintf("n%d.sock", opts.Locals[0]))
+		}
+	default:
+		return nil, fmt.Errorf("transport: unsupported network %q (want tcp or unix)", opts.Network)
+	}
+	if opts.Stripes < 0 || opts.Stripes > MaxStripes {
+		return nil, fmt.Errorf("transport: Stripes %d outside 0..%d", opts.Stripes, MaxStripes)
+	}
+	if opts.Stripes <= 1 {
+		opts.Stripes = 1
+	}
+	if opts.Stripes > 1 && opts.Resilience.Enabled {
+		return nil, errors.New("transport: striping and resilience are mutually exclusive (striped links sequence frames without a replay protocol)")
 	}
 	if opts.Depth <= 0 {
 		opts.Depth = mpx.DepthForScatter(opts.Dim, 1)
@@ -378,18 +455,57 @@ func NewTCP(opts TCPOptions) (*TCP, error) {
 		t.local[id] = true
 		t.inbox[id] = make(chan mpx.Envelope, opts.Depth)
 	}
-	ln, err := net.Listen("tcp", opts.Listen)
+	t.udsDir = udsDir
+	ln, err := net.Listen(opts.Network, opts.Listen)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", opts.Listen, err)
+		if udsDir != "" {
+			os.RemoveAll(udsDir)
+		}
+		return nil, fmt.Errorf("transport: listen %s %s: %w", opts.Network, opts.Listen, err)
 	}
 	t.ln = ln
 	t.self = ln.Addr().String()
 	return t, nil
 }
 
-// Addr returns the bound listen address ("host:port") other endpoints
-// must be given as this transport's peers entry.
-func (t *TCP) Addr() string { return t.self }
+// NewUDS is NewTCP over Unix-domain sockets: co-located endpoints skip
+// the TCP/IP stack (no checksum offload games, no Nagle, cheaper
+// per-byte copies through the kernel) while the wire codec, resilience
+// supervisors, BatchHold, striping and per-job metering run unchanged.
+// An empty Listen picks a fresh socket path under the temp root; Addr
+// returns it "unix:"-prefixed so it can be mixed into the same peers
+// slice as TCP addresses.
+func NewUDS(opts TCPOptions) (*TCP, error) {
+	opts.Network = "unix"
+	return NewTCP(opts)
+}
+
+// Addr returns the bound listen address other endpoints must be given
+// as this transport's peers entry: "host:port" for TCP, "unix:<path>"
+// for Unix-domain endpoints. Dials parse the prefix per peer entry, so
+// a mesh may mix families.
+func (t *TCP) Addr() string {
+	if t.opt.Network == "unix" {
+		return "unix:" + t.self
+	}
+	return t.self
+}
+
+// splitAddr resolves a peers entry to its socket family: a "unix:"
+// prefix names a Unix-domain socket path, anything else is a TCP
+// host:port.
+func splitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	return "tcp", addr
+}
+
+// dialAddr dials a peers entry of either family.
+func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
+	network, address := splitAddr(addr)
+	return net.DialTimeout(network, address, timeout)
+}
 
 // Cube returns the topology.
 func (t *TCP) Cube() *cube.Cube { return t.c }
@@ -434,6 +550,25 @@ func (t *TCP) Stats() mpx.TransportStats {
 		t.jobMu.Unlock()
 	}
 	return st
+}
+
+// Profile reports the endpoint's live link cost model (implements
+// mpx.Profiler): the per-link τ/t_c estimators — fed one observation
+// per timed flush — pooled across every socket link and stripe.
+// Endpoints whose links are all in-process report an unsettled profile
+// (zero samples), which callers treat as "keep the defaults".
+func (t *TCP) Profile() mpx.LinkProfile {
+	var agg mpx.LinkEstimator
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		l.est.AddTo(&agg)
+		for _, s := range l.stripes {
+			s.est.AddTo(&agg)
+		}
+	}
+	return agg.Profile()
 }
 
 // countJob attributes msg's payload bytes to its job key (Classifier
@@ -504,13 +639,24 @@ func (t *TCP) Connect(peers []string) error {
 		l   *link
 		err error
 	}
-	results := make(chan result, len(dials)+expectAccepts)
+	results := make(chan result, len(dials)+expectAccepts+1)
 
-	// Accept side: the peer's handshake tells us which link it is.
+	// Striping phase 2 sizing: each accepted primary link brings
+	// Stripes-1 extra connections, dialed by the same peer that dialed
+	// the primary. Their attach hellos can arrive interleaved with other
+	// peers' primary hellos, so the accept loop routes both kinds.
+	expectStripes := 0
+	if t.opt.Stripes > 1 {
+		expectStripes = expectAccepts * (t.opt.Stripes - 1)
+	}
+	stripeCh := make(chan stripeConn, expectStripes)
+
+	// Accept side: the peer's handshake tells us which link (or which
+	// link's stripe) it is.
 	acceptDone := make(chan struct{})
 	go func() {
 		defer close(acceptDone)
-		for n := 0; n < expectAccepts; {
+		for prim, strip := 0, 0; prim < expectAccepts || strip < expectStripes; {
 			conn, err := t.ln.Accept()
 			if err != nil {
 				select {
@@ -520,14 +666,32 @@ func (t *TCP) Connect(peers []string) error {
 				}
 				return
 			}
-			l, err := t.acceptHandshake(conn, deadline)
+			conn.SetDeadline(deadline)
+			hs, err := wire.ReadHello(conn)
+			if err != nil {
+				conn.Close()
+				results <- result{err: fmt.Errorf("transport: reading handshake: %w", err)}
+				return
+			}
+			if hs.Stripe > 0 {
+				sc, err := t.acceptStripe(conn, hs)
+				if err != nil {
+					conn.Close()
+					results <- result{err: err}
+					return
+				}
+				stripeCh <- sc
+				strip++
+				continue
+			}
+			l, err := t.acceptHandshake(conn, hs)
 			if err != nil {
 				conn.Close()
 				results <- result{err: err}
 				return
 			}
 			results <- result{l: l}
-			n++
+			prim++
 		}
 	}()
 
@@ -556,23 +720,90 @@ collect:
 			break collect
 		}
 	}
+	// Phase 2 (striping only): dial the extra connections for every link
+	// we dialed, then wait for the peers' attach hellos on ours. Both
+	// sides dial after their primary collect succeeded, so neither waits
+	// on a peer that has not started dialing yet.
+	if firstErr == nil && t.opt.Stripes > 1 {
+		for _, l := range links {
+			if !l.dialer {
+				continue
+			}
+			for i := 1; i < t.opt.Stripes && firstErr == nil; i++ {
+				var s *link
+				if s, firstErr = t.dialStripe(l, i, deadline); firstErr == nil {
+					l.stripes = append(l.stripes, s)
+				}
+			}
+			if firstErr != nil {
+				break
+			}
+		}
+		if firstErr == nil {
+			wait := time.NewTimer(time.Until(deadline) + time.Second)
+			select {
+			case <-acceptDone:
+			case <-wait.C:
+				firstErr = fmt.Errorf("transport: node(s) %v: stripe attach timed out after %v (mismatched Stripes config?)", t.locals, t.opt.HandshakeTimeout)
+			}
+			wait.Stop()
+		}
+		if firstErr == nil {
+			// An error the accept loop hit after the primary collect ended.
+			select {
+			case r := <-results:
+				firstErr = r.err
+			default:
+			}
+		}
+	}
+
 	if firstErr != nil {
 		t.Close()
 		for _, l := range links {
 			l.conn.Close()
+			for _, s := range l.stripes {
+				s.conn.Close()
+			}
 		}
-		return firstErr
+		for {
+			select {
+			case sc := <-stripeCh:
+				sc.conn.Close()
+			default:
+				return firstErr
+			}
+		}
 	}
 
-	if !t.resilient() {
+	if !t.resilient() && expectStripes == 0 {
 		// Every expected connection is up: the listener's job is done
 		// (there is no reconnection protocol), so the accept loop can end.
 		t.ln.Close()
 	}
 	<-acceptDone
+	if !t.resilient() && expectStripes > 0 {
+		t.ln.Close()
+	}
 
 	for _, l := range links {
 		t.links[t.linkIndex(l.self, l.port)] = l
+	}
+	// Attach the accepted stripe connections now that t.links resolves
+	// their owner links.
+drain:
+	for {
+		select {
+		case sc := <-stripeCh:
+			owner := t.links[t.linkIndex(sc.to, t.c.Port(sc.to, sc.from))]
+			if owner == nil {
+				sc.conn.Close()
+				continue
+			}
+			owner.stripes = append(owner.stripes, t.newStripeLink(owner, sc.conn))
+		default:
+			break drain
+		}
 	}
 	for _, l := range links {
 		t.startLink(l)
@@ -600,6 +831,11 @@ func (t *TCP) startLink(l *link) {
 		t.wg.Add(1)
 		go l.supervise()
 	}
+	for _, s := range l.stripes {
+		t.wg.Add(2)
+		go s.flusher()
+		go s.readPump(s.conn, s.gen)
+	}
 }
 
 // dialHandshake connects self→peer, retrying while the peer's listener
@@ -607,7 +843,7 @@ func (t *TCP) startLink(l *link) {
 func (t *TCP) dialHandshake(self, peer cube.NodeID, port int, addr string, deadline time.Time) (*link, error) {
 	backoff := 20 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		conn, err := dialAddr(addr, time.Until(deadline))
 		if err == nil {
 			l, err := t.finishDial(conn, self, peer, port, addr, deadline)
 			if err == nil {
@@ -662,13 +898,68 @@ func (t *TCP) finishDial(conn net.Conn, self, peer cube.NodeID, port int, addr s
 	return t.newLink(self, peer, port, conn, true, addr, echo.Version), nil
 }
 
-// acceptHandshake validates an inbound handshake and echoes it.
-func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) {
-	conn.SetDeadline(deadline)
-	hs, err := wire.ReadHello(conn)
-	if err != nil {
-		return nil, fmt.Errorf("transport: reading handshake: %w", err)
+// stripeConn is an accepted stripe-attach connection parked until its
+// owner link is installed in t.links.
+type stripeConn struct {
+	conn     net.Conn
+	from, to cube.NodeID
+	idx      int
+}
+
+// acceptStripe validates an inbound stripe-attach hello (already read
+// by the accept loop) and echoes it. The connection is parked; it joins
+// its owner link once the primary links are installed.
+func (t *TCP) acceptStripe(conn net.Conn, hs wire.Hello) (stripeConn, error) {
+	if hs.Dim != t.opt.Dim {
+		return stripeConn{}, fmt.Errorf("transport: stripe attach from node %d speaks a %d-cube, this is a %d-cube", hs.From, hs.Dim, t.opt.Dim)
 	}
+	if t.opt.Stripes <= 1 || hs.Stripe >= t.opt.Stripes {
+		return stripeConn{}, fmt.Errorf("transport: node %d attached stripe %d but this endpoint is configured for %d stripes", hs.From, hs.Stripe, t.opt.Stripes)
+	}
+	if int(hs.To) >= t.c.Nodes() || !t.local[hs.To] {
+		return stripeConn{}, fmt.Errorf("transport: stripe attach for node %d, which is not hosted here", hs.To)
+	}
+	if t.c.Port(hs.To, hs.From) < 0 {
+		return stripeConn{}, fmt.Errorf("transport: stripe attach from node %d, not a neighbor of %d", hs.From, hs.To)
+	}
+	echo := wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From}
+	if _, err := conn.Write(wire.AppendStripeHello(nil, echo, hs.Stripe)); err != nil {
+		return stripeConn{}, fmt.Errorf("transport: stripe attach echo to node %d: %w", hs.From, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return stripeConn{conn: conn, from: hs.From, to: hs.To, idx: hs.Stripe}, nil
+}
+
+// dialStripe opens stripe connection idx of the striped link l (the
+// primary-link dialer dials the stripes too) and completes the
+// HSTA attach handshake.
+func (t *TCP) dialStripe(l *link, idx int, deadline time.Time) (*link, error) {
+	conn, err := dialAddr(l.addr, time.Until(deadline))
+	if err != nil {
+		return nil, fmt.Errorf("transport: node %d: dialing stripe %d to peer %d: %w", l.self, idx, l.peer, err)
+	}
+	conn.SetDeadline(deadline)
+	hello := wire.Handshake{Dim: t.opt.Dim, From: l.self, To: l.peer}
+	if _, err := conn.Write(wire.AppendStripeHello(nil, hello, idx)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: node %d: stripe %d attach to peer %d: %w", l.self, idx, l.peer, err)
+	}
+	echo, err := wire.ReadHello(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: node %d: stripe %d attach reply from peer %d: %w", l.self, idx, l.peer, err)
+	}
+	if echo.Stripe != idx || echo.From != l.peer || echo.To != l.self {
+		conn.Close()
+		return nil, fmt.Errorf("transport: node %d: stripe %d attach to peer %d answered as node %d stripe %d", l.self, idx, l.peer, echo.From, echo.Stripe)
+	}
+	conn.SetDeadline(time.Time{})
+	return t.newStripeLink(l, conn), nil
+}
+
+// acceptHandshake validates an inbound handshake (already read by the
+// accept loop) and echoes it.
+func (t *TCP) acceptHandshake(conn net.Conn, hs wire.Hello) (*link, error) {
 	if hs.Resilient != t.resilient() {
 		return nil, fmt.Errorf("transport: peer %d resilience mode mismatch (peer resilient=%v, local resilient=%v)",
 			hs.From, hs.Resilient, t.resilient())
@@ -699,12 +990,54 @@ func (t *TCP) acceptHandshake(conn net.Conn, deadline time.Time) (*link, error) 
 	return t.newLink(hs.To, hs.From, port, conn, false, "", ver), nil
 }
 
-func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bool, addr string, ver byte) *link {
-	if tc, ok := conn.(*net.TCPConn); ok {
+// udsBufBytes is the socket buffer size requested for Unix-domain
+// connections. TCP autotunes its windows into the tens of megabytes
+// (net.ipv4.tcp_rmem), but unix stream sockets sit at
+// net.core.{r,w}mem_default (~208 KiB) forever, so a bulk writer
+// blocks and context-switches long before a loopback TCP writer
+// would — which also poisons the link estimator: a flush blocked on a
+// full buffer looks like per-byte transfer cost. With CAP_NET_ADMIN
+// the FORCE setsockopts lift the buffers past net.core.{r,w}mem_max
+// to TCP-autotune territory; without it the plain options still get
+// us to {r,w}mem_max. The kernel silently caps either request, so
+// asking big is safe everywhere.
+const udsBufBytes = 32 << 20
+
+// tuneConn applies per-family socket tuning to a freshly established
+// cube-link connection.
+func tuneConn(conn net.Conn) {
+	switch c := conn.(type) {
+	case *net.TCPConn:
 		// Frames are already coalesced by the write queue; Nagle on top
 		// would only add latency.
-		tc.SetNoDelay(true)
+		c.SetNoDelay(true)
+	case *net.UnixConn:
+		if !forceUnixBuf(c, udsBufBytes) {
+			c.SetReadBuffer(udsBufBytes)
+			c.SetWriteBuffer(udsBufBytes)
+		}
 	}
+}
+
+// forceUnixBuf tries SO_{RCV,SND}BUFFORCE (privileged: may exceed
+// net.core.{r,w}mem_max) and reports whether both took.
+func forceUnixBuf(c *net.UnixConn, n int) bool {
+	raw, err := c.SyscallConn()
+	if err != nil {
+		return false
+	}
+	ok := false
+	raw.Control(func(fd uintptr) {
+		if syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUFFORCE, n) != nil {
+			return
+		}
+		ok = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUFFORCE, n) == nil
+	})
+	return ok
+}
+
+func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bool, addr string, ver byte) *link {
+	tuneConn(conn)
 	l := &link{
 		t: t, self: self, peer: peer, port: port,
 		conn: conn, gen: 1, dialer: dialer, addr: addr, ver: ver,
@@ -721,8 +1054,29 @@ func (t *TCP) newLink(self, peer cube.NodeID, port int, conn net.Conn, dialer bo
 		l.ackTimer.Stop()
 	} else {
 		l.cur = getBlock()
+		if t.opt.Stripes > 1 {
+			l.striped = true
+			l.nextDeliver = 1
+			l.pending = make(map[uint64]mpx.Message)
+		}
 	}
 	return l
+}
+
+// newStripeLink wraps one extra connection of a striped link as a
+// sub-link: it has its own write queue, flusher and read pump, but no
+// identity of its own — it never appears in t.links, and its failures
+// escalate on the owner.
+func (t *TCP) newStripeLink(owner *link, conn net.Conn) *link {
+	tuneConn(conn)
+	return &link{
+		t: t, self: owner.self, peer: owner.peer, port: owner.port,
+		conn: conn, gen: 1, ver: owner.ver,
+		kick:    make(chan struct{}, 1),
+		batchAt: -1,
+		cur:     getBlock(),
+		owner:   owner,
+	}
 }
 
 // ackTimerFire closes the delayed-ACK window: whatever is unacked now
@@ -811,9 +1165,7 @@ func (t *TCP) handleResume(conn net.Conn) error {
 // under both locks, the generation advances, the replay cursor rewinds
 // to peerRecv+1 and a fresh read pump starts.
 func (l *link) install(conn net.Conn, peerRecv uint64) {
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
+	tuneConn(conn)
 	l.mu.Lock()
 	old := l.conn
 	l.mu.Unlock()
@@ -1010,6 +1362,9 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 	if l.r != nil {
 		return l.sendResilient(msg, out)
 	}
+	if l.striped {
+		return l.sendStriped(msg, out)
+	}
 	l.mu.Lock()
 	if l.err != nil {
 		err := l.err
@@ -1032,6 +1387,7 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		*l.cur, l.outSegs = wire.AppendFrameVec(*l.cur, l.outSegs, l.ver, msg)
 		l.spanFrom = len(*l.cur)
 		l.queued += over + payloadLen(msg)
+		l.qframes++
 		l.t.framesSent.Add(1)
 	case wire.BatchMsgSize(msg)+wire.BatchOverhead+6 > blockSize:
 		// Small parts but a block-exceeding total: encode contiguously
@@ -1042,6 +1398,7 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		buf := wire.AppendFrameV(make([]byte, 0, wire.BatchMsgSize(msg)+6), l.ver, msg)
 		l.outSegs = append(l.outSegs, buf)
 		l.queued += len(buf)
+		l.qframes++
 		l.t.framesSent.Add(1)
 	case l.ver >= wire.Version2:
 		need := wire.BatchMsgSize(msg)
@@ -1049,6 +1406,7 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		if l.batchAt < 0 {
 			*l.cur, l.batchAt = wire.BeginBatch(*l.cur)
 			l.queued += wire.BatchOverhead - 4 // CRC counted at seal
+			l.qframes++
 			l.t.framesSent.Add(1)
 		}
 		*l.cur = wire.AppendBatchMsg(*l.cur, msg)
@@ -1058,6 +1416,7 @@ func (l *link) send(msg mpx.Message, out fault.Outcome) error {
 		l.ensureLocked(need)
 		*l.cur = wire.AppendFrameV(*l.cur, l.ver, msg)
 		l.queued += need
+		l.qframes++
 		l.t.framesSent.Add(1)
 	}
 	big := l.queued >= coalesceLimit
@@ -1139,7 +1498,133 @@ func (l *link) queueFaultyLocked(msg mpx.Message, out fault.Outcome) {
 			}
 		}
 		l.queued += len(frame)
+		l.qframes++
 		l.t.framesSent.Add(1)
+	}
+}
+
+// sendStriped is the owner-side send path of a striped link. Every
+// message gets a link-level sequence number (assigned under the owner's
+// mu, so the sender-visible order IS the sequence order) and rides one
+// of the parallel connections: bulk messages round-robin across all of
+// them — that is the striping — while small messages stay on the
+// primary, whose inline flush keeps the latency chains short. The
+// receive side reassembles by sequence, so which connection a frame
+// lands on (and any cross-connection reordering) is invisible above
+// the transport.
+func (l *link) sendStriped(msg mpx.Message, out fault.Outcome) error {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.sseq++
+	seq := l.sseq
+	l.mu.Unlock()
+
+	bulk := maxPartLen(msg) >= zcThreshold
+	target := l
+	if bulk {
+		if i := int(l.stripeRR.Add(1)) % (1 + len(l.stripes)); i > 0 {
+			target = l.stripes[i-1]
+		}
+	}
+	big, err := target.queueSeq(seq, msg, out, bulk)
+	if err != nil {
+		return err
+	}
+	if big {
+		target.wmu.Lock()
+		return target.flushWLocked()
+	}
+	if !bulk && target.wmu.TryLock() {
+		return target.flushWLocked()
+	}
+	target.kickFlusher()
+	return nil
+}
+
+// queueSeq queues one sequenced frame on this (owner or stripe sub-)
+// link's plain write queue. Returns whether the queue grew big enough
+// to warrant a synchronous backpressure flush. Batching never applies:
+// every message on a striped link is its own KindSeqData frame, because
+// the receive side reorders by per-frame sequence.
+func (l *link) queueSeq(seq uint64, msg mpx.Message, out fault.Outcome, bulk bool) (bool, error) {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return false, err
+	}
+	switch {
+	case out.Corrupt || out.Duplicate:
+		copies := 1
+		if out.Duplicate {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			frame := wire.AppendSeqFrameV(nil, l.ver, seq, msg)
+			if i == 0 && out.Corrupt {
+				if b := wire.BodyStart(frame); b >= 0 && b < len(frame)-4 {
+					frame[b] ^= 0xFF
+				}
+			}
+			l.outSegs = append(l.outSegs, frame)
+			l.queued += len(frame)
+			l.qframes++
+			l.t.framesSent.Add(1)
+		}
+	case bulk:
+		over := wire.SeqVecOverhead(l.ver, seq, msg)
+		l.ensureLocked(over)
+		l.closeSpanLocked()
+		*l.cur, l.outSegs = wire.AppendSeqFrameVec(*l.cur, l.outSegs, l.ver, seq, msg)
+		l.spanFrom = len(*l.cur)
+		l.queued += over + payloadLen(msg)
+		l.qframes++
+		l.t.framesSent.Add(1)
+	default:
+		frame := wire.AppendSeqFrameV(nil, l.ver, seq, msg)
+		l.outSegs = append(l.outSegs, frame)
+		l.queued += len(frame)
+		l.qframes++
+		l.t.framesSent.Add(1)
+	}
+	big := l.queued >= coalesceLimit
+	l.mu.Unlock()
+	return big, nil
+}
+
+// deliverStriped reassembles the striped link's sequence stream: frames
+// arriving on any of the parallel connections park in pending until
+// their turn, then drain to the inbox in order. smu serializes the
+// drains across the per-connection read pumps; holding it while the
+// inbox is full is deliberate backpressure (Close unblocks deliver).
+// Returns false when the transport shut down.
+func (l *link) deliverStriped(seq uint64, msg mpx.Message) bool {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	if seq < l.nextDeliver {
+		// A duplicate (fault injection): already delivered, drop.
+		l.t.dupsDropped.Add(1)
+		return true
+	}
+	if seq != l.nextDeliver {
+		l.pending[seq] = msg
+		return true
+	}
+	for {
+		if !l.deliver(msg) {
+			return false
+		}
+		l.nextDeliver++
+		next, ok := l.pending[l.nextDeliver]
+		if !ok {
+			return true
+		}
+		delete(l.pending, l.nextDeliver)
+		msg = next
 	}
 }
 
@@ -1230,6 +1715,8 @@ func (l *link) flushWLocked() error {
 	l.fsegs, l.outSegs = l.outSegs, l.fsegs[:0]
 	l.fblks, l.outBlks = l.outBlks, l.fblks[:0]
 	l.queued = 0
+	frames := l.qframes
+	l.qframes = 0
 	conn := l.conn
 	l.mu.Unlock()
 	if len(l.fsegs) == 0 {
@@ -1243,7 +1730,9 @@ func (l *link) flushWLocked() error {
 		total += len(s)
 	}
 	bufs := net.Buffers(l.fsegs)
+	start := time.Now()
 	_, err := bufs.WriteTo(conn)
+	dt := time.Since(start)
 	// WriteTo consumed bufs (it advances the slice in place), so release
 	// the payload references through our own header and recycle the
 	// blocks this write retired.
@@ -1258,6 +1747,7 @@ func (l *link) flushWLocked() error {
 	if err != nil {
 		return l.fail(err)
 	}
+	l.est.Observe(frames, total, dt)
 	l.t.bytesSent.Add(int64(total))
 	return nil
 }
@@ -1363,8 +1853,14 @@ func (l *link) flushResilientWLocked() {
 	for _, s := range segs {
 		total += len(s)
 	}
+	// Each resilient segment is one complete frame (ring data frames and
+	// control appends alike), so len(segs) is the frame count the cost
+	// estimator wants.
+	frames := len(segs)
 	bufs := net.Buffers(segs)
+	start := time.Now()
 	_, err := bufs.WriteTo(conn)
+	dt := time.Since(start)
 	for i := range l.fsegs {
 		l.fsegs[i] = nil
 	}
@@ -1373,12 +1869,18 @@ func (l *link) flushResilientWLocked() {
 		l.disconnect(gen, err)
 		return
 	}
+	l.est.Observe(frames, total, dt)
 	l.t.bytesSent.Add(int64(total))
 }
 
 // fail records the first escalated failure on this link (sticky) as a
-// PeerError and wakes any sender blocked on the replay window.
+// PeerError and wakes any sender blocked on the replay window. A stripe
+// sub-link's failure escalates on its owner: one dead stripe is a dead
+// link.
 func (l *link) fail(err error) error {
+	if l.owner != nil {
+		return l.owner.fail(err)
+	}
 	l.mu.Lock()
 	if l.err == nil {
 		l.err = &mpx.PeerError{Self: l.self, Peer: l.peer, Err: err}
@@ -1469,7 +1971,7 @@ func (l *link) reestablish() error {
 	defer timer.Stop()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		conn, err := net.DialTimeout("tcp", l.addr, time.Until(deadline))
+		conn, err := dialAddr(l.addr, time.Until(deadline))
 		if err == nil {
 			peerRecv, herr := l.resumeHandshake(conn, deadline)
 			if herr == nil {
@@ -1626,6 +2128,15 @@ func (l *link) readPump(conn net.Conn, gen int) {
 			l.t.crcDropped.Add(1)
 			if l.r != nil {
 				l.noteGap()
+				continue
+			}
+			if l.striped || l.owner != nil {
+				// A striped link has no replay protocol: a dropped frame
+				// would stall the reorder stream forever, so corruption is
+				// fatal, exactly like a lost connection on a plain link.
+				l.fail(errors.New("corrupt frame on a striped link"))
+				l.t.Close()
+				return
 			}
 			continue
 		case errors.Is(err, wire.ErrBye):
@@ -1657,6 +2168,13 @@ func (l *link) readPump(conn net.Conn, gen int) {
 				l.t.Close()
 				return
 			}
+			if l.striped || l.owner != nil {
+				// Every frame on a striped link carries a sequence; an
+				// unsequenced frame means the peer did not enable striping.
+				l.fail(errors.New("unsequenced frame on a striped link (stripe config mismatch?)"))
+				l.t.Close()
+				return
+			}
 			msg = fr.Msg
 		case wire.KindBatch:
 			if l.r != nil {
@@ -1664,6 +2182,11 @@ func (l *link) readPump(conn net.Conn, gen int) {
 				// batch cannot carry a sequence number, so its presence is
 				// the same unhealable violation as a plain data frame.
 				l.fail(errors.New("batch frame on a resilient link"))
+				l.t.Close()
+				return
+			}
+			if l.striped || l.owner != nil {
+				l.fail(errors.New("batch frame on a striped link (stripe config mismatch?)"))
 				l.t.Close()
 				return
 			}
@@ -1675,9 +2198,19 @@ func (l *link) readPump(conn net.Conn, gen int) {
 			continue
 		case wire.KindSeqData:
 			if l.r == nil {
-				l.fail(errors.New("sequenced frame on a plain link"))
-				l.t.Close()
-				return
+				owner := l.owner
+				if owner == nil {
+					owner = l
+				}
+				if !owner.striped {
+					l.fail(errors.New("sequenced frame on a plain link"))
+					l.t.Close()
+					return
+				}
+				if !owner.deliverStriped(fr.Seq, fr.Msg) {
+					return
+				}
+				continue
 			}
 			if !l.admitSeq(fr.Seq) {
 				continue
@@ -1862,9 +2395,18 @@ func (t *TCP) Close() error {
 		t.ln.Close()
 		dirty := t.FirstPeerError() != nil
 		for _, l := range t.links {
-			if l != nil {
-				l.shutdown(dirty)
+			if l == nil {
+				continue
 			}
+			for _, s := range l.stripes {
+				s.shutdown(dirty)
+			}
+			l.shutdown(dirty)
+		}
+		if t.udsDir != "" {
+			// The *net.UnixListener unlinked its socket on Close; drop the
+			// directory that held it.
+			os.RemoveAll(t.udsDir)
 		}
 	})
 	return nil

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+)
+
+// meshWith builds a connected full-cube mesh like mesh, but lets the
+// caller shape each endpoint's TCPOptions (network family, striping,
+// resilience) before NewTCP.
+func meshWith(t *testing.T, dim int, hosts [][]cube.NodeID, shape func(*TCPOptions)) []*TCP {
+	t.Helper()
+	trs := make([]*TCP, len(hosts))
+	peers := make([]string, 1<<uint(dim))
+	for i, locals := range hosts {
+		opts := TCPOptions{Dim: dim, Locals: locals, HandshakeTimeout: 10 * time.Second}
+		if shape != nil {
+			shape(&opts)
+		}
+		tr, err := NewTCP(opts)
+		if err != nil {
+			t.Fatalf("NewTCP(%v): %v", locals, err)
+		}
+		trs[i] = tr
+		t.Cleanup(func() { tr.Close() })
+		for _, id := range locals {
+			peers[id] = tr.Addr()
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(trs))
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *TCP) {
+			defer wg.Done()
+			errs[i] = tr.Connect(peers)
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Connect endpoint %d: %v", i, err)
+		}
+	}
+	return trs
+}
+
+func hostsOnePerNode(dim int) [][]cube.NodeID {
+	hosts := make([][]cube.NodeID, 1<<uint(dim))
+	for i := range hosts {
+		hosts[i] = []cube.NodeID{cube.NodeID(i)}
+	}
+	return hosts
+}
+
+func TestUDSOneProcessPerNode(t *testing.T) {
+	trs := meshWith(t, 3, hostsOnePerNode(3), func(o *TCPOptions) { o.Network = "unix" })
+	if !strings.HasPrefix(trs[0].Addr(), "unix:") {
+		t.Fatalf("Addr() = %q, want unix: scheme", trs[0].Addr())
+	}
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDSResilient(t *testing.T) {
+	trs := meshWith(t, 2, hostsOnePerNode(2), func(o *TCPOptions) {
+		o.Network = "unix"
+		o.Resilience = ResilienceOptions{Enabled: true}
+	})
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDSMixedFamilies checks that a mesh can mix address families per
+// endpoint: the scheme prefix in each peer entry picks the dial family.
+func TestUDSMixedFamilies(t *testing.T) {
+	trs := meshWith(t, 2, hostsOnePerNode(2), func(o *TCPOptions) {
+		if o.Locals[0]%2 == 0 {
+			o.Network = "unix"
+		}
+	})
+	if err := runAll(trs, neighborExchange); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripedExchange(t *testing.T) {
+	for _, network := range []string{"tcp", "unix"} {
+		t.Run(network, func(t *testing.T) {
+			trs := meshWith(t, 2, hostsOnePerNode(2), func(o *TCPOptions) {
+				o.Network = network
+				o.Stripes = 3
+			})
+			if err := runAll(trs, neighborExchange); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStripedOrdering interleaves bulk payloads (which round-robin over
+// the parallel connections) with small control messages (which stay on
+// the primary) on one link and checks the receiver observes exactly the
+// send order — the reassembly contract striping must preserve.
+func TestStripedOrdering(t *testing.T) {
+	const msgs = 200
+	trs := meshWith(t, 1, hostsOnePerNode(1), func(o *TCPOptions) { o.Stripes = 4 })
+	if len(trs[0].links[0].stripes) != 3 && len(trs[1].links[0].stripes) != 3 {
+		t.Fatalf("no endpoint attached 3 stripe sub-links")
+	}
+	err := runAll(trs, func(nd *mpx.Node) error {
+		if nd.ID == 0 {
+			for i := 0; i < msgs; i++ {
+				data := []byte{byte(i)}
+				if i%3 == 0 {
+					// Every third message is bulk. Each send gets its own
+					// buffer: payloads are queued by reference and must stay
+					// unmodified until flushed.
+					data = make([]byte, 8<<10)
+					data[0] = byte(i)
+				}
+				nd.Send(0, mpx.Message{Tag: i, Parts: []mpx.Part{{Dest: 1, Data: data}}})
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			env, ok := nd.RecvTimeout(10 * time.Second)
+			if !ok {
+				return fmt.Errorf("timed out waiting for message %d", i)
+			}
+			if env.Tag != i {
+				return fmt.Errorf("message %d arrived with tag %d: striped reordering leaked through", i, env.Tag)
+			}
+			if env.Parts[0].Data[0] != byte(i) {
+				return fmt.Errorf("message %d carries payload byte %d", i, env.Parts[0].Data[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripesRejectResilience(t *testing.T) {
+	_, err := NewTCP(TCPOptions{
+		Dim: 1, Locals: []cube.NodeID{0}, Stripes: 2,
+		Resilience: ResilienceOptions{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("NewTCP accepted striping combined with resilience")
+	}
+}
+
+func TestStripesRejectOutOfRange(t *testing.T) {
+	if _, err := NewTCP(TCPOptions{Dim: 1, Locals: []cube.NodeID{0}, Stripes: MaxStripes + 1}); err == nil {
+		t.Fatal("NewTCP accepted Stripes above MaxStripes")
+	}
+}
+
+// TestTCPProfileSettles drives enough traffic through a socket mesh for
+// the online cost estimator to settle, and checks the fitted profile is
+// physically plausible. Concurrent Profile reads race real flushes, so
+// this doubles as the estimator's data-race drill on the wire backend.
+func TestTCPProfileSettles(t *testing.T) {
+	trs := meshWith(t, 1, hostsOnePerNode(1), nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // hammer Profile() while traffic flows
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				trs[0].Profile()
+				trs[1].Profile()
+			}
+		}
+	}()
+	data := make([]byte, 16<<10)
+	err := runAll(trs, func(nd *mpx.Node) error {
+		const rounds = 200
+		for i := 0; i < rounds; i++ {
+			nd.Send(0, mpx.Message{Tag: i, Parts: []mpx.Part{{Dest: nd.ID ^ 1, Data: data}}})
+			if _, ok := nd.RecvTimeout(10 * time.Second); !ok {
+				return fmt.Errorf("timed out in round %d", i)
+			}
+		}
+		return nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trs[0].Profile()
+	if !p.Valid() {
+		t.Fatalf("profile did not settle after 200 timed flushes: %+v", p)
+	}
+	if p.Tau <= 0 || p.Tau > 0.1 {
+		t.Fatalf("implausible per-frame cost %v", p.Tau)
+	}
+}

@@ -340,6 +340,54 @@ func AppendFrameVec(blk []byte, segs [][]byte, ver byte, msg mpx.Message) ([]byt
 	return blk, segs
 }
 
+// SeqVecOverhead returns the number of non-payload bytes
+// AppendSeqFrameVec appends to blk for a version-ver sequenced frame
+// carrying seq and msg.
+func SeqVecOverhead(ver byte, seq uint64, msg mpx.Message) int {
+	body := uvarintLen(seq) + bodyLen(msg)
+	n := 2 + uvarintLen(uint64(body)) + body + 4
+	for _, p := range msg.Parts {
+		n -= len(p.Data)
+	}
+	_ = ver
+	return n
+}
+
+// AppendSeqFrameVec is AppendFrameVec for a KindSeqData frame: the
+// sequence number leads the CRC-covered body, the payload stays in the
+// parts' own Data slices. Striped links use it so bulk frames keep the
+// zero-copy vectored path while carrying the link-level sequence their
+// receiver reorders by. The same capacity contract as AppendFrameVec
+// applies: blk MUST have SeqVecOverhead spare capacity.
+func AppendSeqFrameVec(blk []byte, segs [][]byte, ver byte, seq uint64, msg mpx.Message) ([]byte, [][]byte) {
+	body := uvarintLen(seq) + bodyLen(msg)
+	spanFrom := len(blk)
+	blk = append(blk, ver, KindSeqData)
+	blk = binary.AppendUvarint(blk, uint64(body))
+	crcFrom := len(blk)
+	blk = binary.AppendUvarint(blk, seq)
+	blk = binary.AppendUvarint(blk, zigzag(msg.Tag))
+	blk = binary.AppendUvarint(blk, uint64(len(msg.Parts)))
+	crc := uint32(0)
+	for _, p := range msg.Parts {
+		blk = binary.AppendUvarint(blk, uint64(p.Dest))
+		blk = binary.AppendUvarint(blk, zigzag(p.Offset))
+		blk = binary.AppendUvarint(blk, uint64(len(p.Data)))
+		if len(p.Data) > 0 {
+			crc = checksumUpdate(ver, crc, blk[crcFrom:])
+			segs = append(segs, blk[spanFrom:len(blk):len(blk)])
+			spanFrom, crcFrom = len(blk), len(blk)
+			crc = checksumUpdate(ver, crc, p.Data)
+			segs = append(segs, p.Data)
+		}
+		blk = binary.AppendUvarint(blk, uint64(p.Sum))
+	}
+	crc = checksumUpdate(ver, crc, blk[crcFrom:])
+	blk = binary.LittleEndian.AppendUint32(blk, crc)
+	segs = append(segs, blk[spanFrom:len(blk):len(blk)])
+	return blk, segs
+}
+
 // BodyStart returns the offset of the first body byte of the data frame
 // (plain or sequenced, either version) at the start of buf, or -1 if
 // buf does not begin with a well-formed data-frame header. Transports
@@ -954,6 +1002,11 @@ type Hello struct {
 	// an opening hello, the chosen version on an echo. Zero encodes as
 	// MaxVersion.
 	Version byte
+	// Stripe is the 1-based stripe index of an HSTA stripe-attach hello
+	// (see AppendStripeHello); 0 on the primary forms. Stripe
+	// connections join an already-established link, so the attach hello
+	// is never resilient and carries no resume watermark.
+	Stripe int
 }
 
 // resume handshake layout: magic (4) | version (1) | dim (1) |
@@ -961,6 +1014,24 @@ type Hello struct {
 const helloLen = handshakeLen + 8
 
 var resumeMagic = [4]byte{'H', 'C', 'R', 'X'}
+
+// stripe-attach layout: magic (4) | version (1) | dim (1) |
+// from (4, LE) | to (4, LE) | stripe (1).
+const stripeHelloLen = handshakeLen + 1
+
+var stripeMagic = [4]byte{'H', 'S', 'T', 'A'}
+
+// AppendStripeHello appends the handshake an extra striped connection
+// opens with: it names the already-established from->to link it joins
+// and its 1-based stripe index. Both endpoints must be configured with
+// the same stripe count — an unexpecting acceptor rejects the magic.
+func AppendStripeHello(dst []byte, h Handshake, stripe int) []byte {
+	dst = append(dst, stripeMagic[:]...)
+	dst = append(dst, MaxVersion, byte(h.Dim))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.To))
+	return append(dst, byte(stripe))
+}
 
 // AppendHello appends the encoded handshake in the form selected by
 // h.Resilient, carrying h.Version (MaxVersion when zero).
@@ -994,10 +1065,13 @@ func ReadHello(r io.Reader) (Hello, error) {
 		return Hello{}, err
 	}
 	var h Hello
+	stripe := false
 	switch [4]byte(buf[:4]) {
 	case handshakeMagic:
 	case resumeMagic:
 		h.Resilient = true
+	case stripeMagic:
+		stripe = true
 	default:
 		return Hello{}, fmt.Errorf("%w: bad handshake magic %q", ErrCorrupt, buf[:4])
 	}
@@ -1013,6 +1087,15 @@ func ReadHello(r io.Reader) (Hello, error) {
 			return Hello{}, err
 		}
 		h.RecvSeq = binary.LittleEndian.Uint64(buf[handshakeLen:])
+	}
+	if stripe {
+		if _, err := io.ReadFull(r, buf[handshakeLen:stripeHelloLen]); err != nil {
+			return Hello{}, err
+		}
+		h.Stripe = int(buf[handshakeLen])
+		if h.Stripe == 0 {
+			return Hello{}, fmt.Errorf("%w: stripe-attach hello with stripe index 0", ErrCorrupt)
+		}
 	}
 	return h, nil
 }
