@@ -18,6 +18,10 @@
 // -bench7`) are throughput entries that additionally carry an autotune
 // flag; it becomes an /auto=on|off axis in the key so benchstat lines
 // up the tuned and untuned rows of each transport × dimension.
+// Elastic-membership entries (BENCH_8, written by `experiments
+// -bench8`) carry a mode ("clean" or "churn") that becomes the key's
+// axis, goodput as MB/s, and — on the churn rows — the elasticity
+// latencies as detect-ms / repair-ms / join-ms metrics.
 package main
 
 import (
@@ -44,6 +48,12 @@ type entry struct {
 	JobsPerS float64 `json:"jobs_per_s"`
 	P50Ms    float64 `json:"p50_ms"`
 	P99Ms    float64 `json:"p99_ms"`
+
+	// Mode distinguishes BENCH_8 rows ("clean" or "churn").
+	Mode         string  `json:"mode"`
+	DetectMillis float64 `json:"detect_ms"`
+	RepairMillis float64 `json:"repair_ms"`
+	JoinMillis   float64 `json:"join_admit_ms"`
 }
 
 func main() {
@@ -64,6 +74,16 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range rec.Benchmarks {
+		if b.Mode != "" {
+			line := fmt.Sprintf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.2f MB/s",
+				b.Name, b.Mode, b.Dim, b.WallSeconds*1e9, b.MBPerS)
+			if b.Mode == "churn" {
+				line += fmt.Sprintf(" %.3f detect-ms %.3f repair-ms %.3f join-ms",
+					b.DetectMillis, b.RepairMillis, b.JoinMillis)
+			}
+			fmt.Println(line)
+			continue
+		}
 		if b.JobsPerS > 0 {
 			fmt.Printf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.1f jobs/s %.3f p50-ms %.3f p99-ms\n",
 				b.Name, b.Transport, b.Dim, b.WallSeconds*1e9, b.JobsPerS, b.P50Ms, b.P99Ms)

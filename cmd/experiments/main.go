@@ -45,6 +45,14 @@
 //
 //	go run ./cmd/experiments -bench7 BENCH_7.json
 //	go run ./cmd/experiments -bench7 BENCH_7.json -bench7-max 4   # CI smoke
+//
+// The elastic-membership suite measures collective goodput over a mesh
+// whose population changes at runtime — a stable view versus a seeded
+// crash + hole-join storm — plus the repair latencies (crash detection,
+// first post-repair completion, join admission):
+//
+//	go run ./cmd/experiments -bench8 BENCH_8.json
+//	go run ./cmd/experiments -bench8 BENCH_8.json -bench8-max 3   # CI smoke
 package main
 
 import (
@@ -79,6 +87,8 @@ func main() {
 	bench6Max := flag.Int("bench6-max", 4, "largest cube dimension the -bench6 sweep runs")
 	bench7 := flag.String("bench7", "", "run the self-tuning data-plane suite (MSBT broadcast with online B_opt sizing off/on, inproc vs TCP vs UDS) and write its JSON record here")
 	bench7Max := flag.Int("bench7-max", 8, "largest cube dimension the -bench7 sweep runs (CI smoke uses 4)")
+	bench8 := flag.String("bench8", "", "run the elastic-membership suite (collective goodput on a stable view vs through a crash + hole-join storm, with detection/repair/join latencies) and write its JSON record here")
+	bench8Max := flag.Int("bench8-max", 4, "largest cube dimension the -bench8 sweep runs (CI smoke uses 3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
@@ -141,6 +151,13 @@ func main() {
 	}
 	if *bench7 != "" {
 		if err := runBench7(*bench7, *bench7Max); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench8 != "" {
+		if err := runBench8(*bench8, *bench8Max); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

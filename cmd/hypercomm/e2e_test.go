@@ -149,6 +149,33 @@ func TestJobsMultiProcessService(t *testing.T) {
 	}
 }
 
+// TestChurnElasticStorm runs the elastic-membership drill: four member
+// processes drive root-signed collective rounds while the parent's
+// seeded storm crashes one mid-traffic, joins a fresh incarnation back
+// into the hole, and drains another. The command exits nonzero unless
+// every round either completed byte-exactly on some epoch or failed
+// with the typed view-change error and was retried, at least one
+// collective was actually interrupted, and every survivor agrees on
+// the final view — so the exit code carries the assertion; the output
+// checks pin the storm actually happened.
+func TestChurnElasticStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns 6 processes")
+	}
+	bin := buildHypercomm(t)
+	out, err := exec.Command(bin, "churn", "-n", "2", "-seed", "7",
+		"-budget", "1s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("churn drill failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, marker := range []string{"CRASHED ", "DRAINED ", "DONE 0 ", "survived the seeded storm"} {
+		if !strings.Contains(text, marker) {
+			t.Errorf("missing %q in the drill output:\n%s", marker, text)
+		}
+	}
+}
+
 // TestChaosKillNodeFailsFastNamingPeer is the budget-exhaustion half
 // of the acceptance bar: kill one of the eight processes outright and
 // require the run to FAIL fast — survivors exhaust their reconnect

@@ -22,6 +22,12 @@
 //	jobs      -n DIM [-jobs K -tenants T -seed S] [-resilient]
 //	          [-batch-hold DUR] [-chaos -chaos-seed S -hold DUR -min-events E]
 //	          [-transport {tcp|uds|auto}]
+//	member    -n DIM -id NODE [-peers A0,A1,...] [-join] [-drain-after DUR]
+//	          [-for DUR] [-attempts K -budget DUR] [-transport {tcp|uds|auto}]
+//	join      (member -join) attach a late joiner through a dead rank's hole
+//	drain     (member -drain-after 2s) a member that leaves gracefully
+//	churn     -n DIM [-seed S] [-attempts K -budget DUR]
+//	          [-transport {tcp|uds|auto}]
 //
 // serve runs ONE node of the cube in this OS process, carrying every
 // cube link over a socket (checksummed frames, see internal/wire);
@@ -58,6 +64,17 @@
 // per-job payload metering from the children's STATS lines. With
 // -chaos the children flap their own resilient links mid-run (the
 // multi-job soak).
+//
+// member runs one rank of an ELASTIC mesh — population changes at
+// runtime (internal/member): ranks join through dead ranks' holes,
+// leave gracefully by draining, or crash and get detected by the
+// survivors' reconnect supervisors, while epoch-pinned collective
+// rounds keep flowing over reactively repaired spanning trees. join
+// and drain are convenience spellings of the joiner and the graceful
+// leaver. churn is the storm drill: a seeded crash + hole-join + drain
+// sequence against a live cube of member processes, self-verdicting on
+// byte-exact round delivery, typed view-change retries, and final-view
+// agreement across the survivors.
 //
 // broadcast, scatter and verify accept fault-injection flags: -faults
 // COUNT, -fault-kind {links|nodes|neighbor|drop|corrupt|duplicate|none}
@@ -125,6 +142,14 @@ func main() {
 		err = cmdChaos(os.Args[2:])
 	case "jobs":
 		err = cmdJobs(os.Args[2:])
+	case "member":
+		err = cmdMember(os.Args[2:])
+	case "join":
+		err = cmdJoin(os.Args[2:])
+	case "drain":
+		err = cmdDrain(os.Args[2:])
+	case "churn":
+		err = cmdChurn(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -136,7 +161,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos|jobs> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos|jobs|member|join|drain|churn> [flags]
 run "hypercomm <subcommand> -h" for flags`)
 }
 

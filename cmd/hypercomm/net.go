@@ -315,22 +315,24 @@ func workloadRound(c *comm.Comm, mbytes int) error {
 type cubeProc struct {
 	cmd    *exec.Cmd
 	out    *bufio.Scanner
+	in     *bufio.Writer // the child's stdin, kept open after the handshake
 	stderr *bytes.Buffer // nil unless stderr is captured
 }
 
 // spawnCube starts one serve child per cube node, runs the ADDR/PEERS
-// discovery handshake, and returns the wired processes plus a killAll
-// for abandoning the job. With captureStderr the children's stderr is
-// buffered per child for post-mortem inspection (the chaos drill reads
-// it to find the dead peer's name); otherwise it interleaves on the
-// parent's stderr.
-func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cubeProc, func(), error) {
+// discovery handshake, and returns the wired processes, the discovered
+// peer address list, and a killAll for abandoning the job. Each child's
+// stdin stays open (cubeProc.in) so drills can send runtime commands —
+// the churn drill drives CRASH/DRAIN/STOP over it. With captureStderr
+// the children's stderr is buffered per child for post-mortem
+// inspection (the chaos drill reads it to find the dead peer's name);
+// otherwise it interleaves on the parent's stderr.
+func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cubeProc, []string, func(), error) {
 	exe, err := os.Executable()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	procs := make([]*cubeProc, N)
-	stdins := make([]*bufio.Writer, N)
 	killAll := func() {
 		for _, p := range procs {
 			if p != nil && p.cmd.Process != nil {
@@ -350,23 +352,23 @@ func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cube
 		inPipe, err := cmd.StdinPipe()
 		if err != nil {
 			killAll()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		outPipe, err := cmd.StdoutPipe()
 		if err != nil {
 			killAll()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if err := cmd.Start(); err != nil {
 			killAll()
-			return nil, nil, fmt.Errorf("starting node %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("starting node %d: %w", i, err)
 		}
 		p.out = bufio.NewScanner(outPipe)
 		// The jobs-mode STATS line carries one per_job entry per job and
 		// can outgrow the scanner's 64KB default token limit.
 		p.out.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		p.in = bufio.NewWriter(inPipe)
 		procs[i] = p
-		stdins[i] = bufio.NewWriter(inPipe)
 	}
 
 	// Phase 1: collect every child's ADDR announcement.
@@ -374,25 +376,25 @@ func spawnCube(N int, argsFor func(i int) []string, captureStderr bool) ([]*cube
 	for i, p := range procs {
 		if !p.out.Scan() {
 			killAll()
-			return nil, nil, fmt.Errorf("node %d exited before announcing its address", i)
+			return nil, nil, nil, fmt.Errorf("node %d exited before announcing its address", i)
 		}
 		fields := strings.Fields(p.out.Text())
 		if len(fields) != 3 || fields[0] != "ADDR" || fields[1] != fmt.Sprint(i) {
 			killAll()
-			return nil, nil, fmt.Errorf("node %d announced %q, want \"ADDR %d <addr>\"", i, p.out.Text(), i)
+			return nil, nil, nil, fmt.Errorf("node %d announced %q, want \"ADDR %d <addr>\"", i, p.out.Text(), i)
 		}
 		peers[i] = fields[2]
 	}
 
 	// Phase 2: hand the full address list to every child.
 	peerLine := "PEERS " + strings.Join(peers, " ") + "\n"
-	for i, w := range stdins {
-		if _, err := w.WriteString(peerLine); err != nil || w.Flush() != nil {
+	for i, p := range procs {
+		if _, err := p.in.WriteString(peerLine); err != nil || p.in.Flush() != nil {
 			killAll()
-			return nil, nil, fmt.Errorf("feeding peers to node %d: %v", i, err)
+			return nil, nil, nil, fmt.Errorf("feeding peers to node %d: %v", i, err)
 		}
 	}
-	return procs, killAll, nil
+	return procs, peers, killAll, nil
 }
 
 func cmdLaunch(args []string) error {
@@ -405,7 +407,7 @@ func cmdLaunch(args []string) error {
 	fs.Parse(args)
 
 	N := 1 << uint(*n)
-	procs, killAll, err := spawnCube(N, func(i int) []string {
+	procs, _, killAll, err := spawnCube(N, func(i int) []string {
 		a := []string{"serve", "-n", fmt.Sprint(*n), "-id", fmt.Sprint(i), "-m", fmt.Sprint(*m),
 			"-transport", *transportS}
 		if *autotune {
@@ -511,7 +513,7 @@ func cmdChaos(args []string) error {
 		}
 		return a
 	}
-	procs, killAll, err := spawnCube(N, childArgs, true)
+	procs, _, killAll, err := spawnCube(N, childArgs, true)
 	if err != nil {
 		return fmt.Errorf("chaos: %w", err)
 	}
@@ -683,7 +685,7 @@ func cmdJobs(args []string) error {
 		}
 		return a
 	}
-	procs, killAll, err := spawnCube(N, childArgs, false)
+	procs, _, killAll, err := spawnCube(N, childArgs, false)
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}

@@ -1,0 +1,154 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// allNodeSoak runs the all-node collectives — AllGather, AllToAll,
+// AllReduce — in a lockstep loop with every rank's deadline armed while
+// chaos agents kill, flap and delay the live sockets. The resilience
+// layer must keep every collective correct, and the (generous) deadline
+// must never fire on a self-healing mesh: a trip means a fault leaked
+// past the replay protocol as a silent hang.
+func allNodeSoak(t *testing.T, network string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	var events atomic.Int64
+	opt := TCPRunOptions{
+		Network: network,
+		Resilience: transport.ResilienceOptions{
+			Enabled:     true,
+			MaxAttempts: 50,
+			Budget:      20 * time.Second,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		},
+		Chaos: &transport.ChaosOptions{
+			Seed:     271,
+			Kinds:    []transport.ChaosKind{transport.ChaosKill, transport.ChaosFlap, transport.ChaosDelay},
+			MinPause: 20 * time.Millisecond,
+			MaxPause: 80 * time.Millisecond,
+			Hold:     60 * time.Millisecond,
+			Log: func(format string, args ...any) {
+				events.Add(1)
+			},
+		},
+		// Every blocking receive inside the collectives runs on the
+		// deadline path (recvTagWait / recvSeqAnyWait) instead of the
+		// unbounded one — the soak exercises exactly the code the
+		// all-node ready queue feeds.
+		Deadline: 30 * time.Second,
+	}
+	const (
+		n         = 2
+		minEvents = 5
+		maxRounds = 2000
+	)
+	N := 1 << uint(n)
+	start := time.Now()
+	err := RunTCPWith(n, opt, func(c *Comm) error {
+		for r := 0; ; r++ {
+			var flag []byte
+			if c.Rank() == 0 {
+				flag = []byte{1}
+				if events.Load() >= minEvents || r >= maxRounds || time.Since(start) > 15*time.Second {
+					flag = []byte{0}
+				}
+			}
+			flag, err := c.Bcast(0, flag)
+			if err != nil {
+				return fmt.Errorf("round %d continue-flag bcast: %w", r, err)
+			}
+			if flag[0] == 0 {
+				return nil
+			}
+			// AllGather: every rank's round-stamped payload lands on
+			// every rank.
+			mine := bytes.Repeat([]byte{byte(c.Rank()), byte(r)}, 64)
+			all, err := c.AllGather(mine)
+			if err != nil {
+				return fmt.Errorf("round %d allgather: %w", r, err)
+			}
+			for i := 0; i < N; i++ {
+				want := bytes.Repeat([]byte{byte(i), byte(r)}, 64)
+				if !bytes.Equal(all[i], want) {
+					return fmt.Errorf("round %d: allgather slot %d corrupted", r, i)
+				}
+			}
+			// AllToAll: rank i's packet for rank j is (i, j, r)-stamped.
+			outbound := make([][]byte, N)
+			for j := 0; j < N; j++ {
+				outbound[j] = bytes.Repeat([]byte{byte(c.Rank()), byte(j), byte(r)}, 32)
+			}
+			got, err := c.AllToAll(outbound)
+			if err != nil {
+				return fmt.Errorf("round %d alltoall: %w", r, err)
+			}
+			for i := 0; i < N; i++ {
+				want := bytes.Repeat([]byte{byte(i), byte(c.Rank()), byte(r)}, 32)
+				if !bytes.Equal(got[i], want) {
+					return fmt.Errorf("round %d: alltoall packet from %d corrupted", r, i)
+				}
+			}
+			// AllReduce: sum of rank ids, identical on every rank.
+			acc, err := c.AllReduce([]byte{byte(c.Rank())}, func(a, b []byte) []byte {
+				return []byte{a[0] + b[0]}
+			})
+			if err != nil {
+				return fmt.Errorf("round %d allreduce: %w", r, err)
+			}
+			if int(acc[0]) != N*(N-1)/2 {
+				return fmt.Errorf("round %d: allreduce %d, want %d", r, acc[0], N*(N-1)/2)
+			}
+		}
+	})
+	if err != nil {
+		var de *DeadlineError
+		if errors.As(err, &de) {
+			t.Fatalf("deadline fired on a self-healing mesh (fault leaked as a hang): %v", err)
+		}
+		t.Fatalf("all-node soak failed: %v", err)
+	}
+	if events.Load() == 0 {
+		t.Fatal("chaos agents injected no events: the soak proved nothing")
+	}
+}
+
+// TestChaosAllNodeCollectivesTCP: the all-node soak over loopback TCP.
+func TestChaosAllNodeCollectivesTCP(t *testing.T) { allNodeSoak(t, "tcp") }
+
+// TestChaosAllNodeCollectivesUDS: the same soak over Unix-domain
+// sockets — the same framing minus the TCP/IP stack, so a fault class
+// that only reproduces on one family shows up as a split verdict.
+func TestChaosAllNodeCollectivesUDS(t *testing.T) { allNodeSoak(t, "unix") }
+
+// TestDeadlineFiresOnSilentAllNodeCollective parks three ranks in
+// AllGather's any-root receive while rank 0 stays silent: the armed
+// deadline must convert the hang into a typed *DeadlineError on the
+// recvSeqAnyWait path (the ready-queue-fed twin of recvTag's).
+func TestDeadlineFiresOnSilentAllNodeCollective(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // never participates
+		}
+		c.SetDeadline(80 * time.Millisecond)
+		_, err := c.AllGather([]byte{byte(c.Rank())})
+		return err
+	})
+	if err == nil {
+		t.Fatal("AllGather with a silent rank returned nil")
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %v, want a *DeadlineError", err)
+	}
+}

@@ -66,11 +66,32 @@ type Comm struct {
 	forceB   int // test hook: pin chooseB's answer
 	at       AutotuneStats
 
+	// routes caches, per tree root, this rank's BST child list and a
+	// flat dest→child-slot table (see route). Touched only from the
+	// rank's own goroutine, like seq.
+	routes []*rootRoute
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
 	abandoned map[int]bool           // tags given up on by FT collectives
 	stopped   bool
+
+	// ready is a FIFO of mailbox tags with queued envelopes belonging to
+	// the CURRENT collective sequence, one entry per envelope, in arrival
+	// order. recvTagAnyRoot pops from its head — O(1) per wakeup instead
+	// of rescanning the whole mailbox map in nondeterministic order. The
+	// pump appends matching arrivals; next() reseeds it from the mailbox
+	// for envelopes that arrived early (a neighbor running ahead).
+	// Entries can go stale when another receive path drains the same tag;
+	// the pop validates against the mailbox before trusting one.
+	ready []int
+
+	// interrupt, when non-nil, fails every blocking receive immediately —
+	// the elastic runtime sets it (with a *member.ViewChangedError) when
+	// the membership view advances under an epoch-pinned collective.
+	// Guarded by mu.
+	interrupt error
 }
 
 // newComm builds a communicator over nd whose tags live in the
@@ -354,6 +375,9 @@ func (c *Comm) pump() (err error) {
 			continue
 		}
 		c.mailbox[env.Tag] = append(c.mailbox[env.Tag], env)
+		if svc.JobKeyOf(env.Tag) == c.key && svc.StreamSeq(env.Tag) == c.seq {
+			c.ready = append(c.ready, env.Tag)
+		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
 	}
@@ -397,6 +421,11 @@ func (c *Comm) recvTag(tag int) (mpx.Envelope, error) {
 			return env, nil
 		}
 		if err := c.staleLocked(tag); err != nil {
+			return mpx.Envelope{}, err
+		}
+		if err := c.interrupt; err != nil {
+			// The view changed under an epoch-pinned collective: fail now
+			// rather than block on peers that have moved to a new epoch.
 			return mpx.Envelope{}, err
 		}
 		if c.stopped {
@@ -460,8 +489,31 @@ func (c *Comm) staleLocked(tag int) error {
 func (c *Comm) tagFor(sub int) int { return c.base | svc.StreamTag(c.seq, sub) }
 
 // next advances the collective sequence (call exactly once per collective,
-// on every node).
-func (c *Comm) next() { c.seq++ }
+// on every node). The bump happens under the mailbox lock — the pump
+// compares arrival tags against seq — and reseeds the ready queue with
+// envelopes of the new sequence that arrived early.
+func (c *Comm) next() {
+	c.mu.Lock()
+	c.seq++
+	c.reseedLocked()
+	c.mu.Unlock()
+}
+
+// reseedLocked rebuilds the ready queue for the current sequence from
+// the mailbox: one scan per collective, so the per-wakeup receive path
+// stays O(1). Early arrivals lose their exact arrival order here (the
+// map does not remember it); everything arriving after this point is
+// appended by the pump in true order.
+func (c *Comm) reseedLocked() {
+	c.ready = c.ready[:0]
+	for tag, q := range c.mailbox {
+		if svc.JobKeyOf(tag) == c.key && svc.StreamSeq(tag) == c.seq {
+			for range q {
+				c.ready = append(c.ready, tag)
+			}
+		}
+	}
+}
 
 // send wraps SendTo with the current collective's tag.
 func (c *Comm) send(to cube.NodeID, sub int, parts []mpx.Part) {
@@ -622,31 +674,9 @@ func (c *Comm) Scatter(root cube.NodeID, data [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var mine []byte
-	found := false
-	perChild := map[cube.NodeID][]mpx.Part{}
-	childOf := map[cube.NodeID]cube.NodeID{}
-	children := bst.Children(c.n, me, root)
-	for _, ch := range children {
-		for _, d := range subtreeBST(c.n, ch, root) {
-			childOf[d] = ch
-		}
-	}
-	for _, pt := range env.Parts {
-		if pt.Dest == me {
-			mine, found = pt.Data, true
-			continue
-		}
-		ch, ok := childOf[pt.Dest]
-		if !ok {
-			return nil, fmt.Errorf("comm: scatter part for %d outside %d's subtree", pt.Dest, me)
-		}
-		perChild[ch] = append(perChild[ch], pt)
-	}
-	for _, ch := range children {
-		if parts := perChild[ch]; len(parts) > 0 {
-			c.send(ch, 0, parts)
-		}
+	mine, found, err := c.routeParts(c.route(root), env.Parts, 0, "scatter")
+	if err != nil {
+		return nil, err
 	}
 	if !found {
 		return nil, fmt.Errorf("comm: rank %d missing from scatter bundle", me)
@@ -662,6 +692,101 @@ func subtreeBST(n int, v, root cube.NodeID) []cube.NodeID {
 		out = append(out, subtreeBST(n, ch, root)...)
 	}
 	return out
+}
+
+// rootRoute is this rank's routing state in the BST rooted at one rank:
+// the child list and, for every destination, which child subtree it
+// lives under (-1: not routed through this rank). counts is reusable
+// scratch for bucketing one envelope's parts by child.
+type rootRoute struct {
+	children []cube.NodeID
+	slot     []int16
+	// starts/ends are per-child bucket bounds, scratch reused across
+	// envelopes (the part buffer itself is not reused — it escapes into
+	// sends that in-process transports hold by reference).
+	starts, ends []int
+}
+
+// route returns the (lazily built, per-communicator) routing table for
+// the BST rooted at r, backed by the process-wide canonical tree cache.
+// The all-node collectives consult it once per envelope instead of
+// rebuilding childOf/perChild maps N−1 times per call.
+func (c *Comm) route(r cube.NodeID) *rootRoute {
+	if c.routes == nil {
+		c.routes = make([]*rootRoute, c.Size())
+	}
+	if rt := c.routes[r]; rt != nil {
+		return rt
+	}
+	tr := bst.Cached(c.n, r)
+	me := c.Rank()
+	rt := &rootRoute{
+		children: tr.Children(me),
+		slot:     make([]int16, c.Size()),
+	}
+	for i := range rt.slot {
+		rt.slot[i] = -1
+	}
+	for ci, ch := range rt.children {
+		for _, d := range tr.SubtreeNodes(ch) {
+			rt.slot[d] = int16(ci)
+		}
+	}
+	rt.starts = make([]int, len(rt.children))
+	rt.ends = make([]int, len(rt.children))
+	c.routes[r] = rt
+	return rt
+}
+
+// routeParts buckets one envelope's parts by the child subtree each
+// destination lives under and forwards every non-empty bucket, returning
+// this rank's own payload (nil, false when absent). One backing slice is
+// allocated per envelope — it escapes into the sends, which may hold it
+// by reference on in-process transports — and parts outside the tree
+// report an error via the op name.
+func (c *Comm) routeParts(rt *rootRoute, parts []mpx.Part, sub int, op string) ([]byte, bool, error) {
+	me := c.Rank()
+	var mine []byte
+	found := false
+	// Pass 1: count each child's bucket.
+	for i := range rt.ends {
+		rt.ends[i] = 0
+	}
+	forward := 0
+	for _, pt := range parts {
+		if pt.Dest == me {
+			continue
+		}
+		s := rt.slot[pt.Dest]
+		if s < 0 {
+			return nil, false, fmt.Errorf("comm: %s part for %d outside %d's subtree", op, pt.Dest, me)
+		}
+		rt.ends[s]++
+		forward++
+	}
+	// Prefix-sum into bucket bounds, then pass 2: place parts.
+	buf := make([]mpx.Part, forward)
+	off := 0
+	for i, n := range rt.ends {
+		rt.starts[i] = off
+		off += n
+		rt.ends[i] = rt.starts[i]
+	}
+	for _, pt := range parts {
+		if pt.Dest == me {
+			mine, found = pt.Data, true
+			continue
+		}
+		s := rt.slot[pt.Dest]
+		buf[rt.ends[s]] = pt
+		rt.ends[s]++
+	}
+	for i, ch := range rt.children {
+		if seg := buf[rt.starts[i]:rt.ends[i]]; len(seg) > 0 {
+			c.send(ch, sub, seg)
+		}
+	}
+	return mine, found, nil
 }
 
 // Gather collects every rank's payload at root along the balanced
@@ -779,7 +904,7 @@ func (c *Comm) AllGather(mine []byte) ([][]byte, error) {
 			return nil, fmt.Errorf("comm: duplicate allgather payload from %d", r)
 		}
 		out[r] = env.Parts[0].Data
-		for _, ch := range bst.Children(c.n, me, r) {
+		for _, ch := range c.route(r).children {
 			c.send(ch, int(r)+1, env.Parts)
 		}
 	}
@@ -803,16 +928,25 @@ func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
-		for tag, q := range c.mailbox {
-			if svc.JobKeyOf(tag) == c.key && svc.StreamSeq(tag) == c.seq && len(q) > 0 {
-				env := q[0]
-				if len(q) == 1 {
-					delete(c.mailbox, tag)
-				} else {
-					c.mailbox[tag] = q[1:]
-				}
-				return env, nil
+		for len(c.ready) > 0 {
+			tag := c.ready[0]
+			c.ready = c.ready[1:]
+			// Validate: another receive path (an FT collective's scan, a
+			// recvTag on the same tag) may have drained this entry already.
+			q := c.mailbox[tag]
+			if len(q) == 0 || svc.StreamSeq(tag) != c.seq {
+				continue
 			}
+			env := q[0]
+			if len(q) == 1 {
+				delete(c.mailbox, tag)
+			} else {
+				c.mailbox[tag] = q[1:]
+			}
+			return env, nil
+		}
+		if err := c.interrupt; err != nil {
+			return mpx.Envelope{}, err
 		}
 		if c.stopped {
 			return mpx.Envelope{}, c.stoppedErr("all-node collective traffic")
@@ -844,32 +978,15 @@ func (c *Comm) AllToAll(mine [][]byte) ([][]byte, error) {
 			return nil, err
 		}
 		r := cube.NodeID(svc.StreamSub(env.Tag) - 1)
-		perChild := map[cube.NodeID][]mpx.Part{}
-		childOf := map[cube.NodeID]cube.NodeID{}
-		children := bst.Children(c.n, me, r)
-		for _, ch := range children {
-			for _, d := range subtreeBST(c.n, ch, r) {
-				childOf[d] = ch
-			}
+		mine, found, err := c.routeParts(c.route(r), env.Parts, int(r)+1, "alltoall")
+		if err != nil {
+			return nil, err
 		}
-		for _, pt := range env.Parts {
-			if pt.Dest == me {
-				if out[r] != nil {
-					return nil, fmt.Errorf("comm: duplicate alltoall payload from %d", r)
-				}
-				out[r] = pt.Data
-				continue
+		if found {
+			if out[r] != nil {
+				return nil, fmt.Errorf("comm: duplicate alltoall payload from %d", r)
 			}
-			ch, ok := childOf[pt.Dest]
-			if !ok {
-				return nil, fmt.Errorf("comm: alltoall part for %d outside subtree (tree %d)", pt.Dest, r)
-			}
-			perChild[ch] = append(perChild[ch], pt)
-		}
-		for _, ch := range children {
-			if parts := perChild[ch]; len(parts) > 0 {
-				c.send(ch, int(r)+1, parts)
-			}
+			out[r] = mine
 		}
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cube"
+	"repro/internal/member"
 	"repro/internal/mpx"
 )
 
@@ -113,6 +114,7 @@ type job struct {
 	prog       Program
 	h          *Handle
 	remaining  int // local node executions outstanding
+	started    int // local node executions claimed by a scheduler
 	err        error
 }
 
@@ -307,6 +309,7 @@ func (rt *Runtime) nextJob(ns *nodeState) *job {
 					ns.nextGlobal++
 					ns.inflight[j.tenant]++
 					ns.globalInflight++
+					j.started++
 					return j
 				}
 			}
@@ -337,6 +340,7 @@ func (rt *Runtime) pickRR(ns *nodeState) *job {
 			ns.cursor[t] = cur + 1
 			ns.inflight[t]++
 			ns.rrPos = (ns.rrPos + i + 1) % nt
+			ts.queue[cur].started++
 			return ts.queue[cur]
 		}
 	}
@@ -381,6 +385,32 @@ func (rt *Runtime) jobDone(ns *nodeState, j *job, err error) {
 	if h != nil {
 		h.finish(jerr)
 	}
+}
+
+// NoteViewChange reacts to a membership epoch change (internal/member):
+// every job with an execution in flight is aborted with a typed
+// *member.ViewChangedError carrying the new epoch — its blocked
+// collectives unwind instead of waiting on ranks that left the view,
+// and the caller can errors.As the handle's error to retry on the new
+// view. The runtime itself keeps serving: queued jobs still start,
+// new submissions are still accepted, and tenants whose jobs were not
+// in flight never notice. Returns how many jobs were aborted.
+func (rt *Runtime) NoteViewChange(epoch uint64) int {
+	rt.mu.Lock()
+	aborted := 0
+	for _, j := range rt.order {
+		if j.started == 0 || j.remaining == 0 || j.err != nil {
+			continue
+		}
+		j.err = &member.ViewChangedError{Epoch: epoch, Op: fmt.Sprintf("tenant %d job %d", j.tenant, j.id)}
+		for _, d := range rt.disps {
+			d.Abort(j.key)
+		}
+		aborted++
+	}
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+	return aborted
 }
 
 // noteDown is called by a dispatcher when the machine shut down. An

@@ -83,13 +83,7 @@ func (t *TCP) StartChaos(opts ChaosOptions) *Chaos {
 		opts.Log = func(string, ...any) {}
 	}
 	c := &Chaos{t: t, stop: make(chan struct{}), done: make(chan struct{})}
-	var links []*link
-	for _, l := range t.links {
-		if l != nil {
-			links = append(links, l)
-		}
-	}
-	go c.run(opts, links)
+	go c.run(opts, t.allLinks())
 	return c
 }
 

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/mpx"
+	"repro/internal/wire"
+)
+
+// MemberHooks connects the transport to a membership layer (see
+// internal/member). Both hooks may be called from transport goroutines
+// (link supervisors, read pumps) and must not block on transport sends
+// to the same peer they were called about.
+type MemberHooks struct {
+	// OnPeerDown fires once per link when its supervisor exhausts the
+	// reconnect budget: peer is considered crashed. In member mode this
+	// REPLACES the transport-wide shutdown a plain resilient mesh
+	// performs on escalation.
+	OnPeerDown func(self, peer cube.NodeID, err error)
+	// OnControl receives a membership control frame (wire.KindJoin,
+	// KindDrain or KindView) from a neighbor. The body is the frame's
+	// decoded payload, freshly copied — the hook may retain it.
+	OnControl func(from cube.NodeID, kind byte, body []byte)
+}
+
+// memberMode reports whether the transport runs an elastic mesh.
+func (t *TCP) memberMode() bool { return t.opt.Member != nil }
+
+// MemberDrops reports how many sends were silently dropped because the
+// destination link was absent, failed or retired (member mode only).
+func (t *TCP) MemberDrops() int64 { return t.memberDrops.Load() }
+
+// dispatchControl hands a membership frame to the OnControl hook.
+func (t *TCP) dispatchControl(from cube.NodeID, kind byte, body []byte) {
+	if t.opt.Member != nil && t.opt.Member.OnControl != nil {
+		t.opt.Member.OnControl(from, kind, body)
+	}
+}
+
+// memberDown reports a supervisor escalation to the membership layer.
+// The report is suppressed when the failed link has already been
+// replaced by a fresh incarnation (a joiner re-filled the rank while
+// the old supervisor was still burning its budget — the rank is alive
+// again and the stale death would poison the view), and fires at most
+// once per link.
+func (t *TCP) memberDown(l *link, err error) {
+	if t.getLink(t.linkIndex(l.self, l.port)) != l {
+		return
+	}
+	if l.downFired.Swap(true) {
+		return
+	}
+	if t.opt.Member.OnPeerDown != nil {
+		t.opt.Member.OnPeerDown(l.self, l.peer, err)
+	}
+}
+
+// retire marks the link of a gracefully departed peer: sends drop
+// silently from now on, and blocked senders wake up.
+func (l *link) retire() {
+	l.mu.Lock()
+	l.retired = true
+	if l.r != nil {
+		l.r.space.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// SendControl transmits one membership control frame from a hosted node
+// to a cube neighbor, best-effort: frames to absent, failed, retired or
+// currently-disconnected links are dropped (the membership flood is
+// idempotent and re-floods on every later change, so loss only delays
+// convergence). Control frames ride outside the replay protocol —
+// written directly to the socket, frame-aligned under the write lock.
+func (t *TCP) SendControl(from, to cube.NodeID, kind byte, body []byte) error {
+	if !t.memberMode() {
+		return errors.New("transport: SendControl outside member mode")
+	}
+	if t.isDown() {
+		return mpx.ErrDown
+	}
+	if int(from) >= len(t.local) || !t.local[from] {
+		return fmt.Errorf("transport: SendControl from node %d, which is not hosted here", from)
+	}
+	if int(to) >= t.c.Nodes() {
+		// A grown view names ranks beyond this endpoint's cube; they are
+		// unreachable from here and the flood covers them via members
+		// that do share an edge.
+		return nil
+	}
+	if t.local[to] {
+		t.dispatchControl(from, kind, append([]byte(nil), body...))
+		return nil
+	}
+	port := t.c.Port(from, to)
+	if port < 0 {
+		return fmt.Errorf("transport: SendControl to node %d, not a neighbor of %d", to, from)
+	}
+	l := t.getLink(t.linkIndex(from, port))
+	if l == nil {
+		t.memberDrops.Add(1)
+		return nil
+	}
+	return l.writeControl(kind, body)
+}
+
+// writeControl encodes and writes one membership frame on the link's
+// current connection, dropping it when the link is failed, retired or
+// between connections.
+func (l *link) writeControl(kind byte, body []byte) error {
+	if l.ver < wire.Version3 {
+		return fmt.Errorf("transport: link %d<->%d negotiated wire version %d, membership frames need %d",
+			l.self, l.peer, l.ver, wire.Version3)
+	}
+	frame := wire.AppendMemberFrame(nil, l.ver, kind, body)
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.mu.Lock()
+	conn, gen := l.conn, l.gen
+	drop := l.err != nil || l.retired || conn == nil || (l.r != nil && !l.r.connected)
+	l.mu.Unlock()
+	if drop {
+		l.t.memberDrops.Add(1)
+		return nil
+	}
+	if _, err := conn.Write(frame); err != nil {
+		// A control write discovering the outage is as good a signal as a
+		// read: wake the supervisor.
+		l.disconnect(gen, err)
+		l.t.memberDrops.Add(1)
+		return nil
+	}
+	l.t.bytesSent.Add(int64(len(frame)))
+	l.t.framesSent.Add(1)
+	return nil
+}
+
+// acceptMemberJoin installs a fresh incarnation of a neighbor rank: the
+// inbound handshake carries RecvSeq 0 and either no link exists (the
+// old one was torn down with the transport that owned it — not possible
+// in-process, but the hole case after our own restart) or the existing
+// link belongs to a dead or drained incarnation. The old link — replay
+// ring, sequence state and all — is abandoned: the joiner is a new
+// process with empty state, so splicing it onto the old relState would
+// replay frames it never saw the predecessors of.
+func (t *TCP) acceptMemberJoin(conn net.Conn, hs wire.Hello, idx int) error {
+	ver := wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version)
+	if ver < wire.Version3 {
+		return fmt.Errorf("transport: joiner %d negotiated wire version %d, member mesh needs %d", hs.From, ver, wire.Version3)
+	}
+	echo := wire.Hello{
+		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
+		Resilient: true,
+		Version:   ver,
+	}
+	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
+		return fmt.Errorf("transport: join echo to node %d: %w", hs.From, err)
+	}
+	conn.SetDeadline(time.Time{})
+	l := t.newLink(hs.To, hs.From, t.c.Port(hs.To, hs.From), conn, false, "", ver)
+	if old := t.setLink(idx, l); old != nil {
+		// Silence the old incarnation: no OnPeerDown (the rank is alive
+		// again — deduping here keeps a slow supervisor's eventual
+		// escalation from poisoning the view) and a sticky error so any
+		// sender still parked on it unblocks.
+		old.downFired.Store(true)
+		old.fail(errors.New("replaced by a fresh incarnation of the peer"))
+		old.mu.Lock()
+		oc := old.conn
+		old.mu.Unlock()
+		if oc != nil && oc != conn {
+			oc.Close()
+		}
+	}
+	t.startLink(l)
+	return nil
+}
+
+// JoinMesh connects a late joiner to an already-running member mesh: a
+// single-attempt parallel dial to every cube neighbor of the (single)
+// hosted rank. peers is indexed by rank like Connect's argument; dead
+// ranks' addresses simply refuse. At least one neighbor must accept —
+// with zero live neighbors the joiner is partitioned and cannot be
+// admitted. After JoinMesh the caller announces itself through the
+// membership layer (AnnounceJoin) and waits for admission.
+func (t *TCP) JoinMesh(peers []string) error {
+	if !t.memberMode() {
+		return errors.New("transport: JoinMesh outside member mode")
+	}
+	if len(t.locals) != 1 {
+		return fmt.Errorf("transport: JoinMesh supports exactly one hosted rank, have %v", t.locals)
+	}
+	if len(peers) != t.c.Nodes() {
+		return fmt.Errorf("transport: JoinMesh wants %d peer addresses, got %d", t.c.Nodes(), len(peers))
+	}
+	self := t.locals[0]
+	deadline := time.Now().Add(t.opt.HandshakeTimeout)
+
+	var (
+		mu    sync.Mutex
+		links []*link
+		errs  []error
+		wg    sync.WaitGroup
+	)
+	for d := 0; d < t.opt.Dim; d++ {
+		peer := t.c.Neighbor(self, d)
+		addr := peers[peer]
+		if addr == "" {
+			continue // a known hole: nothing to dial
+		}
+		wg.Add(1)
+		go func(peer cube.NodeID, port int, addr string) {
+			defer wg.Done()
+			conn, err := dialAddr(addr, time.Until(deadline))
+			if err == nil {
+				var l *link
+				if l, err = t.finishDial(conn, self, peer, port, addr, deadline); err == nil {
+					mu.Lock()
+					links = append(links, l)
+					mu.Unlock()
+					return
+				}
+				conn.Close()
+			}
+			mu.Lock()
+			errs = append(errs, fmt.Errorf("neighbor %d at %s: %w", peer, addr, err))
+			mu.Unlock()
+		}(peer, d, addr)
+	}
+	wg.Wait()
+
+	if len(links) == 0 {
+		t.Close()
+		return fmt.Errorf("transport: joiner %d reached none of its neighbors (%v)", self, errors.Join(errs...))
+	}
+	for _, l := range links {
+		t.setLink(t.linkIndex(l.self, l.port), l)
+	}
+	for _, l := range links {
+		t.startLink(l)
+	}
+	t.resumeOnce.Do(func() {
+		t.wg.Add(1)
+		go t.resumeLoop()
+	})
+	return nil
+}
+
+// Abort closes the transport WITHOUT the BYE announcement: peers see an
+// unannounced connection loss, exactly like a crash. The churn drill
+// uses it to kill ranks without kill -9'ing the process.
+func (t *TCP) Abort() error {
+	t.dirty.Store(true)
+	return t.Close()
+}

@@ -178,6 +178,16 @@ type TCPOptions struct {
 	// not its replay protocol) and is rejected alongside Resilience;
 	// both endpoints of a mesh must configure the same count.
 	Stripes int
+	// Member, when non-nil, puts the transport in member mode: the mesh
+	// is elastic. Link supervisors that exhaust their reconnect budget
+	// report the peer dead through OnPeerDown instead of shutting the
+	// transport down; membership control frames (JOIN/DRAIN/VIEW) are
+	// dispatched to OnControl; sends to dead, drained or never-joined
+	// neighbors drop silently; and joiners are accepted at runtime,
+	// replacing a dead incarnation's link. Requires Resilience.Enabled
+	// (the supervisors are the crash detectors) and wire version >= 3
+	// (membership frames).
+	Member *MemberHooks
 }
 
 // MaxStripes bounds TCPOptions.Stripes (the attach handshake carries
@@ -213,11 +223,22 @@ type TCP struct {
 
 	// links is indexed by int(local)*dim+port; nil when the neighbor is
 	// hosted locally (direct inbox delivery) or the node is not local.
-	links []*link
+	// Guarded by linkMu: in member mode links are replaced at runtime
+	// when a joiner occupies a dead rank's hole, concurrent with sends.
+	linkMu sync.RWMutex
+	links  []*link
 
 	down     chan struct{}
 	downOnce sync.Once
 	wg       sync.WaitGroup
+
+	// dirty forces Close to skip the BYE announcement — Abort uses it to
+	// simulate a crash (peers see an unannounced connection loss).
+	dirty atomic.Bool
+
+	// resumeOnce guards the resume/member accept loop: bootstrap members
+	// start it from Connect, joiners from JoinMesh.
+	resumeOnce sync.Once
 
 	// Health counters (see mpx.TransportStats).
 	crcDropped  atomic.Int64
@@ -228,6 +249,7 @@ type TCP struct {
 	dupsDropped atomic.Int64
 	severed     atomic.Int64
 	replayHW    atomic.Int64
+	memberDrops atomic.Int64 // member mode: sends dropped for absent/failed/retired links
 
 	// Data-plane volume counters.
 	bytesSent        atomic.Int64
@@ -307,11 +329,20 @@ type link struct {
 	// during the handshake, before any frame flows).
 	ver byte
 
-	mu   sync.Mutex // guards conn, gen, the outq, err, r
+	mu   sync.Mutex // guards conn, gen, the outq, err, r, retired
 	conn net.Conn
 	gen  int       // bumped on every (re)install; stale pumps detect replacement
 	err  error     // first escalated failure (*mpx.PeerError), sticky
 	r    *relState // nil on plain links
+
+	// retired marks a link whose peer announced BYE in member mode (a
+	// graceful drain): sends drop silently, the supervisor stays quiet,
+	// and — unlike a sticky err — our own Close stays clean.
+	retired bool
+
+	// downFired dedupes the member-mode OnPeerDown report across the
+	// supervisor escalation and a racing join replacement.
+	downFired atomic.Bool
 
 	// Plain-link output queue (guarded by mu): outSegs is the wire-order
 	// list of byte segments awaiting the next vectored write; outBlks are
@@ -433,6 +464,14 @@ func NewTCP(opts TCPOptions) (*TCP, error) {
 	}
 	if opts.WireVersion < wire.Version1 || opts.WireVersion > wire.MaxVersion {
 		return nil, fmt.Errorf("transport: WireVersion %d outside 1..%d", opts.WireVersion, wire.MaxVersion)
+	}
+	if opts.Member != nil {
+		if !opts.Resilience.Enabled {
+			return nil, errors.New("transport: member mode requires Resilience.Enabled (the link supervisors are the crash detectors)")
+		}
+		if opts.WireVersion < wire.Version3 {
+			return nil, fmt.Errorf("transport: member mode requires wire version >= %d for membership frames, got %d", wire.Version3, opts.WireVersion)
+		}
 	}
 	c := cube.New(opts.Dim)
 	t := &TCP{
@@ -559,10 +598,7 @@ func (t *TCP) Stats() mpx.TransportStats {
 // (zero samples), which callers treat as "keep the defaults".
 func (t *TCP) Profile() mpx.LinkProfile {
 	var agg mpx.LinkEstimator
-	for _, l := range t.links {
-		if l == nil {
-			continue
-		}
+	for _, l := range t.allLinks() {
 		l.est.AddTo(&agg)
 		for _, s := range l.stripes {
 			s.est.AddTo(&agg)
@@ -597,6 +633,37 @@ func (t *TCP) isDown() bool {
 
 // linkIndex locates the link slot for a hosted node's port.
 func (t *TCP) linkIndex(id cube.NodeID, port int) int { return int(id)*t.opt.Dim + port }
+
+// getLink reads a link slot under linkMu (member mode replaces links at
+// runtime; everyone else writes only during Connect).
+func (t *TCP) getLink(idx int) *link {
+	t.linkMu.RLock()
+	l := t.links[idx]
+	t.linkMu.RUnlock()
+	return l
+}
+
+// setLink writes a link slot, returning the link it replaced.
+func (t *TCP) setLink(idx int, l *link) *link {
+	t.linkMu.Lock()
+	old := t.links[idx]
+	t.links[idx] = l
+	t.linkMu.Unlock()
+	return old
+}
+
+// allLinks snapshots the non-nil links.
+func (t *TCP) allLinks() []*link {
+	t.linkMu.RLock()
+	defer t.linkMu.RUnlock()
+	out := make([]*link, 0, len(t.links))
+	for _, l := range t.links {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
 
 // Connect establishes every neighbor link: peers[j] is the listen
 // address of the transport hosting node j (entries for our own locals
@@ -787,7 +854,7 @@ collect:
 	}
 
 	for _, l := range links {
-		t.links[t.linkIndex(l.self, l.port)] = l
+		t.setLink(t.linkIndex(l.self, l.port), l)
 	}
 	// Attach the accepted stripe connections now that t.links resolves
 	// their owner links.
@@ -795,7 +862,7 @@ drain:
 	for {
 		select {
 		case sc := <-stripeCh:
-			owner := t.links[t.linkIndex(sc.to, t.c.Port(sc.to, sc.from))]
+			owner := t.getLink(t.linkIndex(sc.to, t.c.Port(sc.to, sc.from)))
 			if owner == nil {
 				sc.conn.Close()
 				continue
@@ -809,10 +876,12 @@ drain:
 		t.startLink(l)
 	}
 	if t.resilient() {
-		// The listener lives on to accept resumed connections; it ends
-		// when Close closes it.
-		t.wg.Add(1)
-		go t.resumeLoop()
+		// The listener lives on to accept resumed connections (and, in
+		// member mode, joiners); it ends when Close closes it.
+		t.resumeOnce.Do(func() {
+			t.wg.Add(1)
+			go t.resumeLoop()
+		})
 	}
 	return nil
 }
@@ -974,7 +1043,7 @@ func (t *TCP) acceptHandshake(conn net.Conn, hs wire.Hello) (*link, error) {
 	if port < 0 {
 		return nil, fmt.Errorf("transport: handshake from node %d, not a neighbor of %d", hs.From, hs.To)
 	}
-	if t.links[t.linkIndex(hs.To, port)] != nil {
+	if t.getLink(t.linkIndex(hs.To, port)) != nil {
 		return nil, fmt.Errorf("transport: duplicate connection for link %d<->%d", hs.To, hs.From)
 	}
 	ver := wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version)
@@ -1132,7 +1201,25 @@ func (t *TCP) handleResume(conn net.Conn) error {
 	if port < 0 {
 		return fmt.Errorf("transport: resume from node %d, not a neighbor of %d", hs.From, hs.To)
 	}
-	l := t.links[t.linkIndex(hs.To, port)]
+	idx := t.linkIndex(hs.To, port)
+	l := t.getLink(idx)
+	if t.memberMode() {
+		// A fresh incarnation of the peer — a joiner filling the hole of a
+		// crashed or drained rank — dials with RecvSeq 0 and no shared
+		// history. Detect it and replace the link instead of splicing the
+		// joiner onto the dead incarnation's replay state.
+		if hs.RecvSeq == 0 && l == nil {
+			return t.acceptMemberJoin(conn, hs, idx)
+		}
+		if l != nil && hs.RecvSeq == 0 {
+			l.mu.Lock()
+			hasHistory := l.err != nil || l.retired || (l.r != nil && (l.r.recvSeq > 0 || l.r.sendSeq > 0))
+			l.mu.Unlock()
+			if hasHistory {
+				return t.acceptMemberJoin(conn, hs, idx)
+			}
+		}
+	}
 	if l == nil || l.r == nil {
 		return fmt.Errorf("transport: resume for unknown link %d<->%d", hs.To, hs.From)
 	}
@@ -1248,7 +1335,23 @@ func (t *TCP) Send(from cube.NodeID, port int, msg mpx.Message) error {
 	if t.local[to] {
 		return t.deliverLocal(from, to, port, msg, out)
 	}
-	l := t.links[t.linkIndex(from, port)]
+	l := t.getLink(t.linkIndex(from, port))
+	if t.memberMode() {
+		// Elastic meshes route around missing peers: a send into a dead,
+		// drained or never-joined neighbor drops silently — the membership
+		// layer has (or will) put the peer's fate into the view, and
+		// collectives recover by re-pinning the epoch, not by aborting.
+		if l == nil {
+			t.memberDrops.Add(1)
+			return nil
+		}
+		err := l.send(msg, out)
+		if err != nil && !errors.Is(err, mpx.ErrDown) {
+			t.memberDrops.Add(1)
+			return nil
+		}
+		return err
+	}
 	if l == nil {
 		return fmt.Errorf("transport: node %d has no link on port %d (Connect not run?)", from, port)
 	}
@@ -1635,8 +1738,14 @@ func (l *link) deliverStriped(seq uint64, msg mpx.Message) bool {
 func (l *link) sendResilient(msg mpx.Message, out fault.Outcome) error {
 	l.mu.Lock()
 	r := l.r
-	for l.err == nil && !l.t.isDown() && len(r.ring) >= l.t.opt.Resilience.ReplayWindow {
+	for l.err == nil && !l.retired && !l.t.isDown() && len(r.ring) >= l.t.opt.Resilience.ReplayWindow {
 		r.space.Wait()
+	}
+	if l.retired {
+		// The peer drained: drop silently, like sends to an absent member.
+		l.mu.Unlock()
+		l.t.memberDrops.Add(1)
+		return nil
 	}
 	if l.err != nil {
 		err := l.err
@@ -1898,7 +2007,7 @@ func (l *link) fail(err error) error {
 // generations (a pump whose connection was already replaced) no-op.
 func (l *link) disconnect(gen int, cause error) {
 	l.mu.Lock()
-	if l.gen != gen || l.err != nil || l.r == nil || !l.r.connected {
+	if l.gen != gen || l.err != nil || l.retired || l.r == nil || !l.r.connected {
 		l.mu.Unlock()
 		return
 	}
@@ -1940,8 +2049,15 @@ func (l *link) supervise() {
 		}
 		if err := l.reestablish(); err != nil {
 			if !errors.Is(err, errSupervisorDown) {
-				l.fail(err)
-				l.t.Close()
+				ferr := l.fail(err)
+				if l.t.memberMode() {
+					// Elastic mesh: the peer is dead, not the mesh. Report
+					// it to the membership layer and keep serving the
+					// surviving links.
+					l.t.memberDown(l, ferr)
+				} else {
+					l.t.Close()
+				}
 			}
 			return
 		}
@@ -2140,6 +2256,12 @@ func (l *link) readPump(conn net.Conn, gen int) {
 			}
 			continue
 		case errors.Is(err, wire.ErrBye):
+			if l.t.memberMode() {
+				// A member's orderly goodbye (drain): retire the link so
+				// future sends drop silently instead of parking frames in a
+				// replay ring no one will ever ACK.
+				l.retire()
+			}
 			return
 		default:
 			select {
@@ -2221,6 +2343,12 @@ func (l *link) readPump(conn net.Conn, gen int) {
 			continue
 		case wire.KindNack:
 			l.onNack(fr.Seq)
+			continue
+		case wire.KindJoin, wire.KindDrain, wire.KindView:
+			// Membership control frames ride outside the replay protocol:
+			// the view flood is idempotent and loss-tolerant, so they need
+			// no sequencing. Ignored outside member mode.
+			l.t.dispatchControl(l.peer, fr.Kind, fr.Body)
 			continue
 		default:
 			continue
@@ -2348,7 +2476,7 @@ func (t *TCP) PeerError(id cube.NodeID) error {
 		return nil
 	}
 	for d := 0; d < t.opt.Dim; d++ {
-		if l := t.links[t.linkIndex(id, d)]; l != nil {
+		if l := t.getLink(t.linkIndex(id, d)); l != nil {
 			l.mu.Lock()
 			err := l.err
 			l.mu.Unlock()
@@ -2365,10 +2493,7 @@ func (t *TCP) PeerError(id cube.NodeID) error {
 // rank stalled as collateral of a neighbor's dead link still name the
 // dead peer.
 func (t *TCP) FirstPeerError() error {
-	for _, l := range t.links {
-		if l == nil {
-			continue
-		}
+	for _, l := range t.allLinks() {
 		l.mu.Lock()
 		err := l.err
 		l.mu.Unlock()
@@ -2393,11 +2518,14 @@ func (t *TCP) Close() error {
 	t.downOnce.Do(func() {
 		close(t.down)
 		t.ln.Close()
-		dirty := t.FirstPeerError() != nil
-		for _, l := range t.links {
-			if l == nil {
-				continue
-			}
+		dirty := t.dirty.Load()
+		if !dirty && !t.memberMode() {
+			// In member mode a failed link means a PEER died, not us: our
+			// own close is still orderly, and surviving neighbors must see
+			// the BYE so they retire the link instead of escalating.
+			dirty = t.FirstPeerError() != nil
+		}
+		for _, l := range t.allLinks() {
 			for _, s := range l.stripes {
 				s.shutdown(dirty)
 			}

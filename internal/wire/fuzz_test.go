@@ -108,6 +108,16 @@ func FuzzDecodeAny(f *testing.F) {
 	f.Add(AppendNack(nil, 3))
 	f.Add([]byte{Version, KindAck, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(AppendBye(nil))
+	// Membership control seeds: each kind, a demoted one (member kind at
+	// version 2) and a truncated view body.
+	f.Add(AppendMemberFrame(nil, Version3, KindJoin, []byte{1, 2}))
+	f.Add(AppendMemberFrame(nil, Version3, KindDrain, nil))
+	view := AppendMemberFrame(nil, Version3, KindView, bytes.Repeat([]byte{3}, 40))
+	f.Add(view)
+	f.Add(view[:len(view)/2])
+	demoted := append([]byte(nil), view...)
+	demoted[0] = Version2
+	f.Add(demoted)
 	f.Add([]byte{Version, KindSeqData, 2, 0x80})
 	f.Add([]byte{Version2, KindSeqData, 2, 0x80})
 
@@ -136,6 +146,8 @@ func FuzzDecodeAny(f *testing.F) {
 			re = AppendAck(nil, fr.Seq)
 		case KindNack:
 			re = AppendNack(nil, fr.Seq)
+		case KindJoin, KindDrain, KindView:
+			re = AppendMemberFrame(nil, fr.Ver, fr.Kind, fr.Body)
 		default:
 			t.Fatalf("decoder accepted unknown kind %d", fr.Kind)
 		}
@@ -143,26 +155,26 @@ func FuzzDecodeAny(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encode of accepted frame fails to decode: %v", err)
 		}
-		if fr2.Kind != fr.Kind || fr2.Seq != fr.Seq || !msgEqual(fr2.Msg, fr.Msg) || !msgsEqual(fr2.Msgs, fr.Msgs) {
+		if fr2.Kind != fr.Kind || fr2.Seq != fr.Seq || !msgEqual(fr2.Msg, fr.Msg) || !msgsEqual(fr2.Msgs, fr.Msgs) || !bytes.Equal(fr2.Body, fr.Body) {
 			t.Fatalf("round-trip instability:\nfirst  %#v\nsecond %#v", fr, fr2)
 		}
 		sf, serr := NewReader(bytes.NewReader(data)).ReadAny()
 		if serr != nil {
 			t.Fatalf("ReadAny rejects a frame DecodeAny accepted: %v", serr)
 		}
-		if sf.Kind != fr.Kind || sf.Seq != fr.Seq || !msgEqual(sf.Msg, fr.Msg) || !msgsEqual(sf.Msgs, fr.Msgs) {
+		if sf.Kind != fr.Kind || sf.Seq != fr.Seq || !msgEqual(sf.Msg, fr.Msg) || !msgsEqual(sf.Msgs, fr.Msgs) || !bytes.Equal(sf.Body, fr.Body) {
 			t.Fatal("ReadAny and DecodeAny disagree")
 		}
 		// The reusable decoders must agree with the fresh ones.
 		var into Frame
 		if _, n2, err := DecodeAnyInto(&into, nil, data); err != nil || n2 != n ||
-			into.Kind != fr.Kind || into.Seq != fr.Seq || !msgEqual(into.Msg, fr.Msg) || !msgsEqual(into.Msgs, fr.Msgs) {
+			into.Kind != fr.Kind || into.Seq != fr.Seq || !msgEqual(into.Msg, fr.Msg) || !msgsEqual(into.Msgs, fr.Msgs) || !bytes.Equal(into.Body, fr.Body) {
 			t.Fatalf("DecodeAnyInto disagrees with DecodeAny: err=%v", err)
 		}
 		var rinto Frame
 		rr := NewReader(bytes.NewReader(data))
 		if err := rr.ReadAnyInto(&rinto); err != nil ||
-			rinto.Kind != fr.Kind || rinto.Seq != fr.Seq || !msgEqual(rinto.Msg, fr.Msg) || !msgsEqual(rinto.Msgs, fr.Msgs) {
+			rinto.Kind != fr.Kind || rinto.Seq != fr.Seq || !msgEqual(rinto.Msg, fr.Msg) || !msgsEqual(rinto.Msgs, fr.Msgs) || !bytes.Equal(rinto.Body, fr.Body) {
 			t.Fatalf("ReadAnyInto disagrees with DecodeAny: err=%v", err)
 		}
 	})

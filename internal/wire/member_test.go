@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestMemberFrameRoundTrip drives every membership kind through both
+// decoders: the buffer-oriented DecodeAny and the streaming Reader.
+func TestMemberFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xa5}, 300)}
+	for _, kind := range []byte{KindJoin, KindDrain, KindView} {
+		for _, body := range bodies {
+			buf := AppendMemberFrame(nil, Version3, kind, body)
+
+			fr, n, err := DecodeAny(buf)
+			if err != nil {
+				t.Fatalf("DecodeAny kind %d: %v", kind, err)
+			}
+			if n != len(buf) {
+				t.Fatalf("DecodeAny consumed %d of %d bytes", n, len(buf))
+			}
+			if fr.Ver != Version3 || fr.Kind != kind || !bytes.Equal(fr.Body, body) {
+				t.Fatalf("DecodeAny: got ver=%d kind=%d body=%q, want ver=%d kind=%d body=%q",
+					fr.Ver, fr.Kind, fr.Body, Version3, kind, body)
+			}
+
+			rd := NewReader(bufio.NewReader(bytes.NewReader(buf)))
+			got, err := rd.ReadAny()
+			if err != nil {
+				t.Fatalf("ReadAny kind %d: %v", kind, err)
+			}
+			if got.Kind != kind || !bytes.Equal(got.Body, body) {
+				t.Fatalf("ReadAny: got kind=%d body=%q, want kind=%d body=%q", got.Kind, got.Body, kind, body)
+			}
+		}
+	}
+}
+
+// TestMemberFrameBodyIsOwned verifies the decoded Body survives reuse of
+// the input buffer — membership frames are handed to asynchronous hooks,
+// so they must not alias the read buffer.
+func TestMemberFrameBodyIsOwned(t *testing.T) {
+	body := []byte("epoch payload")
+	buf := AppendMemberFrame(nil, Version3, KindView, body)
+	var fr Frame
+	if _, _, err := DecodeAnyInto(&fr, nil, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	if !bytes.Equal(fr.Body, body) {
+		t.Fatalf("Body aliased the input buffer: %q", fr.Body)
+	}
+}
+
+// TestMemberFrameRejectedBelowV3 checks the version gate: membership
+// kinds are a Version3 extension, and a v2 frame claiming one is corrupt.
+func TestMemberFrameRejectedBelowV3(t *testing.T) {
+	buf := AppendMemberFrame(nil, Version3, KindJoin, []byte("hi"))
+	buf[0] = Version2
+	if _, _, err := DecodeAny(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeAny at v2: got %v, want ErrCorrupt", err)
+	}
+	rd := NewReader(bufio.NewReader(bytes.NewReader(buf)))
+	if _, err := rd.ReadAny(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAny at v2: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMemberFrameBitFlipDetected: the CRC covers the membership body.
+func TestMemberFrameBitFlipDetected(t *testing.T) {
+	buf := AppendMemberFrame(nil, Version3, KindDrain, bytes.Repeat([]byte{7}, 64))
+	buf[10] ^= 0x40
+	if _, n, err := DecodeAny(buf); !errors.Is(err, ErrChecksum) || n != len(buf) {
+		t.Fatalf("got n=%d err=%v, want whole-frame ErrChecksum", n, err)
+	}
+}
+
+// TestMemberFrameInMixedStream interleaves membership control frames
+// with v3 data frames on one stream, as a member-mode link would see.
+func TestMemberFrameInMixedStream(t *testing.T) {
+	msg := sampleMessages()[2]
+	var stream []byte
+	stream = AppendMemberFrame(stream, Version3, KindJoin, []byte("j"))
+	stream = AppendFrameV(stream, Version3, msg)
+	stream = AppendMemberFrame(stream, Version3, KindView, []byte("v1"))
+	stream = AppendSeqFrameV(stream, Version3, 9, msg)
+	stream = AppendMemberFrame(stream, Version3, KindDrain, nil)
+
+	rd := NewReader(bufio.NewReader(bytes.NewReader(stream)))
+	wantKinds := []byte{KindJoin, KindData, KindView, KindSeqData, KindDrain}
+	for i, want := range wantKinds {
+		fr, err := rd.ReadAny()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Kind != want {
+			t.Fatalf("frame %d: kind %d, want %d", i, fr.Kind, want)
+		}
+		if want == KindData || want == KindSeqData {
+			if !msgEqual(fr.Msg, msg) {
+				t.Fatalf("frame %d: message mismatch: got %#v want %#v", i, fr.Msg, msg)
+			}
+		}
+	}
+}

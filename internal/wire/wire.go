@@ -49,13 +49,16 @@ import (
 )
 
 // Wire protocol versions. Version1 is the original IEEE-CRC protocol;
-// Version2 switches the frame checksum to CRC-32C and adds KindBatch.
-// The Hello handshake negotiates min(both sides' maximum); Version is
-// the legacy name of Version1, kept for the v1 encoders and tests.
+// Version2 switches the frame checksum to CRC-32C and adds KindBatch;
+// Version3 adds the membership control frames (KindJoin/KindDrain/
+// KindView). The Hello handshake negotiates min(both sides' maximum);
+// Version is the legacy name of Version1, kept for the v1 encoders and
+// tests.
 const (
 	Version1   = 1
 	Version2   = 2
-	MaxVersion = Version2
+	Version3   = 3
+	MaxVersion = Version3
 	Version    = Version1
 )
 
@@ -85,7 +88,25 @@ const (
 	// length is a fixed-width 4-byte little-endian field, so a builder
 	// can seal an open batch by patching the length in place.
 	KindBatch = 5
+	// KindJoin (version 3) announces a node attaching to a live mesh:
+	// the body is the joiner's membership announcement, opaque to the
+	// codec. Data-frame layout (varint length, CRC trailer).
+	KindJoin = 6
+	// KindDrain (version 3) announces a graceful leave: the sender will
+	// stop participating in collectives and close its links with BYE.
+	KindDrain = 7
+	// KindView (version 3) carries an encoded membership view for the
+	// epidemic view-agreement flood. Like the other membership kinds the
+	// body is opaque here; internal/member owns the encoding.
+	KindView = 8
 )
+
+// memberKind reports whether kind is one of the version-3 membership
+// control kinds, which share the data-frame layout but carry an opaque
+// body surfaced as Frame.Body.
+func memberKind(kind byte) bool {
+	return kind == KindJoin || kind == KindDrain || kind == KindView
+}
 
 // MaxBody bounds a frame body, protecting receivers from a corrupted or
 // hostile length prefix asking for gigabytes.
@@ -416,6 +437,25 @@ type Frame struct {
 	Seq  uint64
 	Msg  mpx.Message
 	Msgs []mpx.Message
+	// Body holds the opaque payload of a membership control frame
+	// (KindJoin/KindDrain/KindView). It is a fresh copy owned by the
+	// caller — membership frames are rare control traffic, so the copy
+	// buys hook safety at no hot-path cost.
+	Body []byte
+}
+
+// AppendMemberFrame appends a membership control frame (KindJoin,
+// KindDrain or KindView) to dst. Layout matches the varint data kinds:
+// ver | kind | bodyLen (uvarint) | body | crc32(body). Membership
+// frames exist from Version3 on.
+func AppendMemberFrame(dst []byte, ver, kind byte, body []byte) []byte {
+	if ver < Version3 || !memberKind(kind) {
+		panic(fmt.Sprintf("wire: AppendMemberFrame(ver=%d, kind=%d)", ver, kind))
+	}
+	dst = append(dst, ver, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = append(dst, body...)
+	return binary.LittleEndian.AppendUint32(dst, checksum(ver, body))
 }
 
 // DecodeAny decodes the frame of any kind at the start of buf,
@@ -441,6 +481,7 @@ func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
 	fr.Msg.Tag = 0
 	fr.Msg.Parts = fr.Msg.Parts[:0]
 	fr.Msgs = fr.Msgs[:0]
+	fr.Body = nil
 	arena = arena[:0]
 	if len(buf) < 2 {
 		fr.Kind = 0
@@ -462,6 +503,10 @@ func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
 		fr.Seq = v
 		return arena, 2 + k, nil
 	case KindData, KindSeqData:
+	case KindJoin, KindDrain, KindView:
+		if ver < Version3 {
+			return arena, 0, fmt.Errorf("%w: membership frame at version %d", ErrCorrupt, ver)
+		}
 	case KindBatch:
 		if ver < Version2 {
 			return arena, 0, fmt.Errorf("%w: batch frame at version %d", ErrCorrupt, ver)
@@ -501,6 +546,10 @@ func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
 	body := buf[hdr : hdr+int(blen)]
 	if checksum(ver, body) != binary.LittleEndian.Uint32(buf[hdr+int(blen):]) {
 		return arena, total, ErrChecksum
+	}
+	if memberKind(kind) {
+		fr.Body = append([]byte(nil), body...)
+		return arena, total, nil
 	}
 	if kind == KindSeqData {
 		seq, n, ok := readUvarint(body)
@@ -814,6 +863,7 @@ func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
 	fr.Msg.Tag = 0
 	fr.Msg.Parts = fr.Msg.Parts[:0]
 	fr.Msgs = fr.Msgs[:0]
+	fr.Body = nil
 	if !reuse {
 		fr.Msg.Parts = nil
 		fr.Msgs = nil
@@ -838,6 +888,15 @@ func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
 		fr.Seq = v
 		return nil
 	case KindData, KindSeqData:
+		v, err := r.readUvarint()
+		if err != nil {
+			return fmt.Errorf("%w: bad body length", ErrCorrupt)
+		}
+		blen = v
+	case KindJoin, KindDrain, KindView:
+		if ver < Version3 {
+			return fmt.Errorf("%w: membership frame at version %d", ErrCorrupt, ver)
+		}
 		v, err := r.readUvarint()
 		if err != nil {
 			return fmt.Errorf("%w: bad body length", ErrCorrupt)
@@ -886,6 +945,9 @@ func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
 	}
 	var err error
 	switch kind {
+	case KindJoin, KindDrain, KindView:
+		fr.Body = append([]byte(nil), body...)
+		return nil
 	case KindBatch:
 		if reuse {
 			arena, err = decodeBatch(fr, arena[:0], body)
