@@ -21,7 +21,10 @@
 // Elastic-membership entries (BENCH_8, written by `experiments
 // -bench8`) carry a mode ("clean" or "churn") that becomes the key's
 // axis, goodput as MB/s, and — on the churn rows — the elasticity
-// latencies as detect-ms / repair-ms / join-ms metrics.
+// latencies as detect-ms / repair-ms / join-ms metrics. Online-growth
+// entries (BENCH_9, written by `experiments -bench9`) carry the growth
+// latency as growth-ms plus the goodput rates bracketing the event as
+// pre-/during-/post-MB/s.
 package main
 
 import (
@@ -54,6 +57,13 @@ type entry struct {
 	DetectMillis float64 `json:"detect_ms"`
 	RepairMillis float64 `json:"repair_ms"`
 	JoinMillis   float64 `json:"join_admit_ms"`
+
+	// GrowthMillis distinguishes BENCH_9 rows (online mesh growth):
+	// the growth latency plus the goodput rates bracketing the event.
+	GrowthMillis float64 `json:"growth_ms"`
+	PreMBPerS    float64 `json:"pre_mb_per_s"`
+	DuringMBPerS float64 `json:"during_mb_per_s"`
+	PostMBPerS   float64 `json:"post_mb_per_s"`
 }
 
 func main() {
@@ -74,6 +84,12 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range rec.Benchmarks {
+		if b.GrowthMillis > 0 {
+			fmt.Printf("Benchmark%s/d=%d 1 %.0f ns/op %.3f growth-ms %.2f pre-MB/s %.2f during-MB/s %.2f post-MB/s\n",
+				b.Name, b.Dim, b.WallSeconds*1e9, b.GrowthMillis,
+				b.PreMBPerS, b.DuringMBPerS, b.PostMBPerS)
+			continue
+		}
 		if b.Mode != "" {
 			line := fmt.Sprintf("Benchmark%s/%s/d=%d 1 %.0f ns/op %.2f MB/s",
 				b.Name, b.Mode, b.Dim, b.WallSeconds*1e9, b.MBPerS)

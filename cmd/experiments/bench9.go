@@ -1,0 +1,304 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/cube"
+	"repro/internal/transport"
+)
+
+// bench9Result is one BENCH_9 measurement: the cost of growing a live
+// mesh by a dimension. A d-cube of elastic endpoints runs root-signed
+// broadcast rounds; mid-window a rank beyond the founding 2^d joins,
+// every survivor widens its link set online, and the view cuts over to
+// the (d+1)-cube. growth_ms is the elasticity headline — join request
+// to the FIRST collective completed on the grown cube — and the three
+// goodput rates bracket the re-dimensioning: before the join, during
+// the fixed 250ms bracket that follows it (the dip window), and after.
+type bench9Result struct {
+	Name         string `json:"name"`
+	Dim          int    `json:"dim"` // founding dimension; the mesh grows to dim+1
+	PayloadBytes int    `json:"payload_bytes"`
+
+	WallSeconds     float64 `json:"wall_s"`
+	RoundsCompleted int64   `json:"rounds_completed"`
+	ViewRetries     int64   `json:"view_retries"`
+
+	GrowthMillis  float64 `json:"growth_ms"` // join request -> first collective at d+1
+	PreMBPerS     float64 `json:"pre_mb_per_s"`
+	DuringMBPerS  float64 `json:"during_mb_per_s"`
+	PostMBPerS    float64 `json:"post_mb_per_s"`
+	GoodputDipPct float64 `json:"goodput_dip_pct"` // 1 - during/pre, in percent
+}
+
+type bench9File struct {
+	Date       string         `json:"date"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Note       string         `json:"note"`
+	Benchmarks []bench9Result `json:"benchmarks"`
+}
+
+// runBench9 measures online mesh growth for founding d = 2..maxD.
+func runBench9(path string, maxD int) error {
+	const reps = 3
+	out := bench9File{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Note: fmt.Sprintf("online mesh re-dimensioning: a founding d-cube of Elastic endpoints drives 256 KiB "+
+			"epoch-pinned broadcast rounds with a gather ack; 40%% into the window rank 2^d — a rank the "+
+			"founding cube cannot even address — joins with Dim=d+1. Survivors widen their link sets via "+
+			"the GROW-attach handshake and the KindGrow flood, trees rebuild at the new dimension, and "+
+			"in-flight rounds either complete on the old view or retry after the typed view-change error. "+
+			"growth_ms = join request to the first round completed on the (d+1)-cube. goodput rates "+
+			"bracket the event: pre = before the join, during = the fixed 250ms after it (the dip "+
+			"window), post = the remainder at d+1; goodput_dip_pct = 1 - during/pre. goodput counts "+
+			"payload*(live-1) per completed round. No process restarts. Single-vCPU container, best "+
+			"(lowest growth_ms) of %d repetitions per row.", reps),
+	}
+	for d := 2; d <= maxD; d++ {
+		var best *bench9Result
+		for r := 0; r < reps; r++ {
+			res, err := bench9Measure(d)
+			if err != nil {
+				return fmt.Errorf("bench9 d=%d: %w", d, err)
+			}
+			if best == nil || res.GrowthMillis < best.GrowthMillis {
+				res := res
+				best = &res
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, *best)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func bench9Measure(d int) (bench9Result, error) {
+	const (
+		payloadM = 256 << 10
+		window   = 1500 * time.Millisecond
+		dipSpan  = 250 * time.Millisecond
+	)
+	N := 1 << uint(d)
+	res := bench9Result{Name: "GrowOnline", Dim: d, PayloadBytes: payloadM}
+
+	mk := func(dim int, id cube.NodeID, join bool) (*comm.Elastic, error) {
+		return comm.NewElastic(comm.ElasticOptions{
+			Dim: dim, Self: id, Join: join,
+			Resilience: transport.ResilienceOptions{
+				Enabled:     true,
+				MaxAttempts: 4,
+				Budget:      300 * time.Millisecond,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  30 * time.Millisecond,
+			},
+			HandshakeTimeout: 10 * time.Second,
+		})
+	}
+	eps := make([]*comm.Elastic, N)
+	addrs := make([]string, N)
+	for i := range eps {
+		e, err := mk(d, cube.NodeID(i), false)
+		if err != nil {
+			return res, err
+		}
+		defer e.Close()
+		eps[i] = e
+		addrs[i] = e.Addr()
+	}
+	cerrs := make(chan error, N)
+	for _, e := range eps {
+		go func(e *comm.Elastic) { cerrs <- e.Connect(addrs) }(e)
+	}
+	for range eps {
+		if err := <-cerrs; err != nil {
+			return res, err
+		}
+	}
+
+	// Every root-side round completion lands here with its pinned
+	// dimension; the timeline is post-processed into the pre/during/post
+	// goodput brackets around the join instant.
+	type completion struct {
+		at    time.Time
+		dim   int
+		bytes int64
+	}
+	var (
+		stop    atomic.Bool
+		retries atomic.Int64
+
+		mu      sync.Mutex
+		events  []completion
+		tJoin   time.Time
+		grownAt time.Time
+	)
+	complete := func(dim int, liveBytes int64) {
+		now := time.Now()
+		mu.Lock()
+		events = append(events, completion{now, dim, liveBytes})
+		if dim > d && !tJoin.IsZero() && grownAt.IsZero() {
+			grownAt = now
+		}
+		mu.Unlock()
+	}
+
+	template := make([]byte, payloadM)
+	rootProg := func(s *comm.Session) error {
+		payload := append([]byte(nil), template...)
+		for round := uint32(0); ; round++ {
+			vc, err := s.Pin()
+			if err != nil {
+				return err
+			}
+			stopping := stop.Load()
+			if stopping {
+				payload[0] = 1
+			}
+			binary.BigEndian.PutUint32(payload[1:5], round)
+			if _, err := vc.Bcast(payload); err != nil {
+				if isVCE(err) {
+					retries.Add(1)
+					round--
+					continue
+				}
+				return err
+			}
+			if _, err := vc.Gather(nil); err != nil {
+				if isVCE(err) {
+					retries.Add(1)
+					round--
+					continue
+				}
+				return err
+			}
+			complete(vc.View().Dim, int64(payloadM)*int64(vc.View().LiveCount()-1))
+			if stopping {
+				return nil
+			}
+		}
+	}
+	followerProg := func(s *comm.Session) error {
+		for {
+			vc, err := s.Pin()
+			if err != nil {
+				return err
+			}
+			data, err := vc.Bcast(nil)
+			if err != nil {
+				if isVCE(err) {
+					continue
+				}
+				return err
+			}
+			if len(data) != payloadM {
+				return fmt.Errorf("rank %d: round payload %d bytes, want %d", vc.Rank(), len(data), payloadM)
+			}
+			stopping := data[0] == 1
+			if _, err := vc.Gather(nil); err != nil {
+				if isVCE(err) {
+					continue
+				}
+				return err
+			}
+			if stopping {
+				return nil
+			}
+		}
+	}
+
+	start := time.Now()
+	perrs := make(chan error, N+1)
+	running := 0
+	launch := func(e *comm.Elastic, prog func(*comm.Session) error) {
+		running++
+		go func() { perrs <- e.Run(prog) }()
+	}
+	launch(eps[0], rootProg)
+	for _, e := range eps[1:] {
+		launch(e, followerProg)
+	}
+
+	// 40% in: rank 2^d joins, born at dim d+1, the rest of the grown
+	// cube left as holes. Its only live neighbor is rank 0.
+	time.Sleep(window * 4 / 10)
+	joiner, err := mk(d+1, cube.NodeID(N), true)
+	if err != nil {
+		return res, err
+	}
+	defer joiner.Close()
+	joinAddrs := make([]string, 2*N)
+	copy(joinAddrs, addrs)
+	mu.Lock()
+	tJoin = time.Now()
+	mu.Unlock()
+	if err := joiner.Join(joinAddrs, 10*time.Second); err != nil {
+		return res, fmt.Errorf("grow-join: %w", err)
+	}
+	launch(joiner, followerProg)
+	time.Sleep(window * 6 / 10)
+
+	stop.Store(true)
+	wall := time.Since(start)
+	for i := 0; i < running; i++ {
+		select {
+		case err := <-perrs:
+			if err != nil {
+				return res, err
+			}
+		case <-time.After(30 * time.Second):
+			return res, errors.New("programs still running 30s after the stop round")
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if grownAt.IsZero() {
+		return res, errors.New("no round ever completed on the grown cube")
+	}
+	res.WallSeconds = wall.Seconds()
+	res.RoundsCompleted = int64(len(events))
+	res.ViewRetries = retries.Load()
+	res.GrowthMillis = float64(grownAt.Sub(tJoin).Microseconds()) / 1e3
+	rate := func(from, to time.Time) float64 {
+		span := to.Sub(from).Seconds()
+		if span <= 0 {
+			return 0
+		}
+		var b int64
+		for _, ev := range events {
+			if !ev.at.Before(from) && ev.at.Before(to) {
+				b += ev.bytes
+			}
+		}
+		return float64(b) / 1e6 / span
+	}
+	dipEnd := tJoin.Add(dipSpan)
+	res.PreMBPerS = rate(start, tJoin)
+	res.DuringMBPerS = rate(tJoin, dipEnd)
+	res.PostMBPerS = rate(dipEnd, start.Add(wall))
+	if res.PreMBPerS > 0 {
+		res.GoodputDipPct = (1 - res.DuringMBPerS/res.PreMBPerS) * 100
+	}
+	fmt.Printf("Bench9GrowOnline/d=%d->%d %6.2fs growth=%.1fms  pre=%8.1f during=%8.1f post=%8.1f MB/s dip=%.1f%%  rounds=%d retries=%d\n",
+		res.Dim, res.Dim+1, res.WallSeconds, res.GrowthMillis,
+		res.PreMBPerS, res.DuringMBPerS, res.PostMBPerS, res.GoodputDipPct,
+		res.RoundsCompleted, res.ViewRetries)
+	return res, nil
+}

@@ -53,6 +53,15 @@
 //
 //	go run ./cmd/experiments -bench8 BENCH_8.json
 //	go run ./cmd/experiments -bench8 BENCH_8.json -bench8-max 3   # CI smoke
+//
+// The online-growth suite measures mesh re-dimensioning under load: a
+// rank beyond the founding 2^d joins mid-traffic, every survivor widens
+// its link set online, and the suite records the growth latency (join
+// request to the first collective completed on the (d+1)-cube) plus the
+// goodput dip while the mesh re-dimensions:
+//
+//	go run ./cmd/experiments -bench9 BENCH_9.json
+//	go run ./cmd/experiments -bench9 BENCH_9.json -bench9-max 3   # CI smoke
 package main
 
 import (
@@ -89,6 +98,8 @@ func main() {
 	bench7Max := flag.Int("bench7-max", 8, "largest cube dimension the -bench7 sweep runs (CI smoke uses 4)")
 	bench8 := flag.String("bench8", "", "run the elastic-membership suite (collective goodput on a stable view vs through a crash + hole-join storm, with detection/repair/join latencies) and write its JSON record here")
 	bench8Max := flag.Int("bench8-max", 4, "largest cube dimension the -bench8 sweep runs (CI smoke uses 3)")
+	bench9 := flag.String("bench9", "", "run the online-growth suite (a rank beyond the founding cube joins mid-traffic: growth latency and the goodput dip while the mesh re-dimensions) and write its JSON record here")
+	bench9Max := flag.Int("bench9-max", 4, "largest founding cube dimension the -bench9 sweep runs (CI smoke uses 3)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
@@ -158,6 +169,13 @@ func main() {
 	}
 	if *bench8 != "" {
 		if err := runBench8(*bench8, *bench8Max); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench9 != "" {
+		if err := runBench9(*bench9, *bench9Max); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

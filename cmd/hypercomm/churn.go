@@ -14,7 +14,8 @@
 //
 // Child protocol (stdout): "ADDR <id> <addr>" then, after the PEERS
 // line (or with explicit -peers, immediately), "READY <id> epoch=E";
-// "VIEW <id> epoch=E alive=H drained=H" on every membership change;
+// "VIEW <id> epoch=E dim=D alive=H drained=H" on every membership
+// change;
 // and one final verdict line — "DONE", "CRASHED" or "DRAINED" — with
 // the completed/vchanged counters. The parent aggregates those lines
 // into the drill verdict.
@@ -44,31 +45,40 @@ import (
 
 // ---- round signature ----
 
-// churnSig is the root's round signature: round number, stop flag, and
-// a round-determined filler every receiver verifies byte-for-byte. The
-// signature carries enough identity for followers to deduplicate
-// rounds the root retries after a view change.
-func churnSig(round int, stop bool) []byte {
+// churnSig is the root's round signature: round number, stop flag, the
+// cube dimension the root pinned, and a round-determined filler every
+// receiver verifies byte-for-byte. The signature carries enough
+// identity for followers to deduplicate rounds the root retries after
+// a view change, and the dim stamp turns any mixed-dimension
+// collective — a root and a follower pinned on different cube sizes —
+// into a hard byte mismatch instead of a silent wrong answer.
+func churnSig(round int, stop bool, dim int) []byte {
 	b := make([]byte, 64)
 	binary.BigEndian.PutUint32(b, uint32(round))
 	if stop {
 		b[4] = 1
 	}
-	for i := 5; i < len(b); i++ {
+	b[5] = byte(dim)
+	for i := 6; i < len(b); i++ {
 		b[i] = byte(round*31 + i)
 	}
 	return b
 }
 
-// parseChurnSig validates a received signature byte-for-byte and
-// returns its round number and stop flag.
-func parseChurnSig(data []byte) (round int, stop bool, err error) {
+// parseChurnSig validates a received signature byte-for-byte against
+// the receiver's own pinned dimension and returns its round number and
+// stop flag.
+func parseChurnSig(data []byte, dim int) (round int, stop bool, err error) {
 	if len(data) != 64 {
 		return 0, false, fmt.Errorf("round payload is %d bytes, want 64", len(data))
 	}
 	round = int(binary.BigEndian.Uint32(data))
 	stop = data[4] == 1
-	if want := churnSig(round, stop); !bytes.Equal(data, want) {
+	if int(data[5]) != dim {
+		return 0, false, fmt.Errorf("round %d was signed on a %d-cube but received on a %d-cube — the epoch gate leaked a mixed-dimension collective",
+			round, data[5], dim)
+	}
+	if want := churnSig(round, stop, dim); !bytes.Equal(data, want) {
 		return 0, false, fmt.Errorf("round %d payload corrupted", round)
 	}
 	return round, stop, nil
@@ -101,7 +111,7 @@ func churnRounds(s *comm.Session, st *memberStats, stopNow func() bool) error {
 				graceLeft = 2
 			}
 			stop := graceLeft == 0
-			payload := churnSig(round, stop)
+			payload := churnSig(round, stop, vc.View().Dim)
 			if err := churnRootRound(vc, payload); err != nil {
 				if isViewChangedErr(err) {
 					st.vchanged++
@@ -127,7 +137,7 @@ func churnRounds(s *comm.Session, st *memberStats, stopNow func() bool) error {
 		if err != nil {
 			return err
 		}
-		r, stop, err := parseChurnSig(data)
+		r, stop, err := parseChurnSig(data, vc.View().Dim)
 		if err != nil {
 			return fmt.Errorf("rank %d: %w", vc.Rank(), err)
 		}
@@ -323,7 +333,7 @@ func memberMain(name string, args []string, joinDefault bool, drainDefault time.
 
 	e.Manager().Subscribe(func(v member.View) {
 		alive, drained := viewMasks(v)
-		say("VIEW %d epoch=%d alive=%x drained=%x", *id, v.Epoch(), alive, drained)
+		say("VIEW %d epoch=%d dim=%d alive=%x drained=%x", *id, v.Epoch(), v.Dim, alive, drained)
 	})
 	say("READY %d epoch=%d", *id, e.Manager().Epoch())
 
@@ -343,6 +353,17 @@ func memberMain(name string, args []string, joinDefault bool, drainDefault time.
 				e.Crash()
 			case "DRAIN":
 				leave()
+			case "FLAP":
+				// One transient link flap (the grow drill's churn variant):
+				// the resilient link heals within its budget, so the view
+				// must NOT change — only the epoch gate is being stressed.
+				e.Transport().StartChaos(transport.ChaosOptions{
+					Seed:   int64(*id) + 1,
+					Kinds:  []transport.ChaosKind{transport.ChaosFlap},
+					Hold:   400 * time.Millisecond,
+					Events: 1,
+					Log:    logf,
+				})
 			case "STOP":
 				stopFlag.Store(true)
 			}
@@ -363,8 +384,8 @@ func memberMain(name string, args []string, joinDefault bool, drainDefault time.
 
 	v := e.Manager().View()
 	alive, drained := viewMasks(v)
-	tail := fmt.Sprintf("completed=%d vchanged=%d epoch=%d alive=%x drained=%x",
-		st.completed, st.vchanged, v.Epoch(), alive, drained)
+	tail := fmt.Sprintf("completed=%d vchanged=%d epoch=%d dim=%d alive=%x drained=%x",
+		st.completed, st.vchanged, v.Epoch(), v.Dim, alive, drained)
 	switch {
 	case crashed.Load():
 		say("CRASHED %d %s", *id, tail)
@@ -390,6 +411,7 @@ type finalRec struct {
 	completed int64
 	vchanged  int64
 	epoch     uint64
+	dim       int64
 	alive     uint64
 	drained   uint64
 }
@@ -428,6 +450,8 @@ func parseRec(verb string, fields []string) finalRec {
 			rec.vchanged, _ = strconv.ParseInt(v, 10, 64)
 		case "epoch":
 			rec.epoch, _ = strconv.ParseUint(v, 10, 64)
+		case "dim":
+			rec.dim, _ = strconv.ParseInt(v, 10, 64)
 		case "alive":
 			rec.alive, _ = strconv.ParseUint(v, 16, 64)
 		case "drained":

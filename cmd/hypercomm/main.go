@@ -150,6 +150,8 @@ func main() {
 		err = cmdDrain(os.Args[2:])
 	case "churn":
 		err = cmdChurn(os.Args[2:])
+	case "grow":
+		err = cmdGrow(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -161,7 +163,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos|jobs|member|join|drain|churn> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypercomm <broadcast|scatter|tree|verify|ablate|route|serve|launch|chaos|jobs|member|join|drain|churn|grow> [flags]
 run "hypercomm <subcommand> -h" for flags`)
 }
 

@@ -92,15 +92,15 @@ type ElasticOptions struct {
 // membership manager, and the reactive tree repairer the view
 // collectives route over.
 type Elastic struct {
-	dim  int
 	self cube.NodeID
 	tr   *transport.TCP
 	mgr  *member.Manager
-	re   *fault.Reactive
 
 	mu     sync.Mutex
-	cur    *Comm  // the running Session's communicator; nil between Runs
-	pinned uint64 // epoch the current ViewComm is pinned to; 0 = unpinned
+	dim    int             // current cube dimension; grows with the view
+	re     *fault.Reactive // tree repairer at dim; rebuilt on growth
+	cur    *Comm           // the running Session's communicator; nil between Runs
+	pinned uint64          // epoch the current ViewComm is pinned to; 0 = unpinned
 }
 
 // NewElastic builds one elastic endpoint. The transport listens
@@ -138,9 +138,7 @@ func NewElastic(opt ElasticOptions) (*Elastic, error) {
 	hooks.OnControl = mgr.OnControl
 	e := &Elastic{
 		dim: opt.Dim, self: opt.Self, tr: tr, mgr: mgr,
-		re: fault.NewReactive(opt.Dim, func(root cube.NodeID) fault.ParentFunc {
-			return func(i cube.NodeID) (cube.NodeID, bool) { return sbt.Parent(opt.Dim, i, root) }
-		}),
+		re: newRepairer(opt.Dim),
 	}
 	mgr.Subscribe(e.onView)
 	// Bind the starting view so trees exist before the first change.
@@ -148,12 +146,56 @@ func NewElastic(opt ElasticOptions) (*Elastic, error) {
 	return e, nil
 }
 
-// onView tracks every view change: rebind the tree repairer, and if a
-// collective is pinned to an older epoch, interrupt it. Runs on
-// transport goroutines (read pumps, supervisors) — must not block.
+// newRepairer builds a reactive tree repairer for a dim-cube over SBT
+// base trees.
+func newRepairer(dim int) *fault.Reactive {
+	return fault.NewReactive(dim, func(root cube.NodeID) fault.ParentFunc {
+		return func(i cube.NodeID) (cube.NodeID, bool) { return sbt.Parent(dim, i, root) }
+	})
+}
+
+// reactive snapshots the current tree repairer (swapped on growth).
+func (e *Elastic) reactive() *fault.Reactive {
+	e.mu.Lock()
+	re := e.re
+	e.mu.Unlock()
+	return re
+}
+
+// dimNow snapshots the current cube dimension (grows with the view).
+func (e *Elastic) dimNow() int {
+	e.mu.Lock()
+	d := e.dim
+	e.mu.Unlock()
+	return d
+}
+
+// ensureDim widens the endpoint to a grown view's dimension: the
+// transport re-dimensions its link mesh online (idempotent when a
+// grow-attach handshake or KindGrow flood already widened it) and the
+// tree repairer is rebuilt at the new dimension, so repaired trees span
+// the grown cube. A no-op at or below the current dimension.
+func (e *Elastic) ensureDim(dim int) {
+	e.mu.Lock()
+	if dim > e.dim {
+		e.dim = dim
+		e.re = newRepairer(dim)
+	}
+	e.mu.Unlock()
+	// Outside e.mu: GrowTo takes the transport's own lock.
+	e.tr.GrowTo(dim)
+}
+
+// onView tracks every view change: widen to a grown view's dimension,
+// rebind the tree repairer, and if a collective is pinned to an older
+// epoch, interrupt it. Runs on transport goroutines (read pumps,
+// supervisors) — must not block.
 func (e *Elastic) onView(v member.View) {
 	ep := v.Epoch()
-	e.re.Rebind(ep, v.Live())
+	if v.Dim > e.dimNow() {
+		e.ensureDim(v.Dim)
+	}
+	e.reactive().Rebind(ep, v.Live())
 	e.mu.Lock()
 	c, pinned := e.cur, e.pinned
 	e.mu.Unlock()
@@ -217,7 +259,7 @@ func (e *Elastic) Close() error { return e.tr.Close() }
 func (e *Elastic) Run(program func(s *Session) error) error {
 	m := mpx.NewWithTransport(e.tr, nil)
 	return m.Run(func(nd *mpx.Node) error {
-		c := newComm(nd, e.dim, elasticBase(e.mgr.Epoch()), nil)
+		c := newComm(nd, e.dimNow(), elasticBase(e.mgr.Epoch()), nil)
 		defer c.stop()
 		e.mu.Lock()
 		e.cur = c
@@ -263,11 +305,21 @@ func (s *Session) Pin() (*ViewComm, error) {
 		if !v.Alive(me) {
 			return nil, fmt.Errorf("comm: rank %d is not alive in view %s", me, v)
 		}
+		// A view that outgrew this endpoint re-dimensions it before the
+		// pin: transport links widen online and the repairer is rebuilt
+		// at the new dimension (both idempotent when onView already did
+		// it), then the communicator itself. n and routes are touched
+		// only from the rank's own goroutine — which is the one pinning.
+		if v.Dim > s.c.n {
+			s.e.ensureDim(v.Dim)
+			s.c.n = v.Dim
+			s.c.routes = nil
+		}
 		root, ok := v.LowestLive()
 		if !ok || int(root) >= s.c.Size() {
-			return nil, fmt.Errorf("comm: view %s has no live root inside the %d-cube", v, s.e.dim)
+			return nil, fmt.Errorf("comm: view %s has no live root inside the %d-cube", v, s.c.n)
 		}
-		s.e.re.Rebind(ep, v.Live())
+		s.e.reactive().Rebind(ep, v.Live())
 		s.e.mu.Lock()
 		s.e.pinned = ep
 		s.e.mu.Unlock()
@@ -315,9 +367,12 @@ func (s *Session) RetryOnViewChange(attempts int, fn func(vc *ViewComm) error) e
 // collectives run over the repaired spanning tree of the view's live
 // ranks, rooted at the lowest live rank. A view change in flight makes
 // them fail with a *member.ViewChangedError instead of blocking on
-// ranks that moved on. Ranks the view grew beyond the original cube are
-// outside the transport mesh and do not participate (attaching them is
-// a mesh restart, tracked in the roadmap).
+// ranks that moved on. Ranks the view grew beyond the founding cube
+// participate like any other once they grow-attach to the transport
+// mesh: pinning a grown view re-dimensions the endpoint online (links
+// widen, trees rebuild at the new dimension) with no restart — until a
+// joiner's attach reaches this endpoint, sends toward it drop silently
+// and the repaired tree simply routes around the hole.
 type ViewComm struct {
 	s     *Session
 	view  member.View
@@ -344,9 +399,10 @@ func (v *ViewComm) Size() int { return v.s.c.Size() }
 // tree resolves the repaired tree for the pinned epoch, translating a
 // stale-epoch refusal into the typed view-change error.
 func (v *ViewComm) tree(op string) (*fault.Tree, error) {
-	t, err := v.s.e.re.Tree(v.epoch, v.root)
+	re := v.s.e.reactive()
+	t, err := re.Tree(v.epoch, v.root)
 	if err != nil {
-		if cur := v.s.e.re.Epoch(); cur != v.epoch {
+		if cur := re.Epoch(); cur != v.epoch {
 			return nil, &member.ViewChangedError{Epoch: cur, Op: op}
 		}
 		return nil, err

@@ -336,6 +336,99 @@ func TestElasticChurn(t *testing.T) {
 	}
 }
 
+// TestElasticGrow is the in-process growth drill: a 2-cube runs
+// root-signed collective rounds while rank 4 — beyond the founding
+// four — grow-attaches into the live mesh. Every surviving endpoint
+// must re-dimension online (no process restarted), and the run ends
+// with byte-exact rounds on the 3-cube in which the grown rank's echo
+// is verified by the root like any founder's.
+func TestElasticGrow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second growth budgets")
+	}
+	const dim = 2
+	eps, addrs := elasticMesh(t, dim)
+	var st drillStats
+	var growDone atomic.Bool
+
+	done := make(chan error, 5)
+	run := func(e *Elastic, prog func(*Session) error) {
+		go func() { done <- e.Run(prog) }()
+	}
+	run(eps[0], func(s *Session) error {
+		return drillRoot(s, &st, growDone.Load)
+	})
+	for _, r := range []int{1, 2, 3} {
+		run(eps[r], func(s *Session) error { return drillFollower(s, &st) })
+	}
+
+	// Phase 1: clean rounds on the founding 2-cube.
+	waitCount(t, &st.completed, 2, "pre-growth rounds")
+
+	// Phase 2: rank 4 joins mid-traffic. It is born at dim 3 and dials
+	// its only live neighbor (rank 0) through the grow-attach handshake;
+	// the survivors widen their link sets online.
+	joiner := startElastic(t, dim+1, 4, true)
+	joinAddrs := make([]string, 1<<uint(dim+1))
+	copy(joinAddrs, addrs)
+	if err := joiner.Join(joinAddrs, 20*time.Second); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	run(joiner, func(s *Session) error { return drillFollower(s, &st) })
+
+	// Every surviving endpoint must reach dim 3 — the epoch-gated
+	// cutover means the view (and hence the pinned sessions) flip as a
+	// unit, so rounds completing below all include rank 4's echo.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, e := range eps {
+		for e.dimNow() < dim+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d never re-dimensioned (dim %d)", e.Rank(), e.dimNow())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 3: verified rounds on the grown cube. drillRoot byte-checks
+	// every live rank's gather echo, which now includes rank 4.
+	pre := st.completed.Load()
+	waitCount(t, &st.completed, pre+3, "post-growth rounds")
+
+	// Phase 4: stop and collect.
+	growDone.Store(true)
+	for finished := 0; finished < 5; finished++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("program exited: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("programs still running (%d/5 done)", finished)
+		}
+	}
+
+	v := eps[0].Manager().View()
+	if v.Dim != dim+1 {
+		t.Fatalf("final view %s, want a %d-cube", v, dim+1)
+	}
+	for r := 0; r <= 4; r++ {
+		if !v.Alive(cube.NodeID(r)) {
+			t.Fatalf("final view %s, want ranks 0..4 alive", v)
+		}
+	}
+	var grown, accepted int64
+	for _, e := range eps {
+		grown += e.tr.GrowEvents()
+		accepted += e.tr.GrowAccepts()
+	}
+	if grown != int64(len(eps)) {
+		t.Fatalf("survivors recorded %d grow events, want %d (one each)", grown, len(eps))
+	}
+	if accepted == 0 {
+		t.Fatal("no survivor accepted a grow-attach handshake")
+	}
+}
+
 // isExpectedChurnExit accepts the ways a killed or drained rank's
 // program legitimately ends: transport shutdown underneath it, or its
 // own rank leaving the view.

@@ -163,6 +163,17 @@ func (m *Manager) OnControl(from cube.NodeID, kind byte, body []byte) {
 		m.handleJoin(cube.NodeID(r))
 	case wire.KindDrain:
 		m.handleDrain(from)
+	case wire.KindAttach:
+		// Transport-level announcement from a joiner that grow-attached:
+		// same admission as a join request (the address rides along for
+		// logs; routing uses the already-established link).
+		r, addr, err := wire.DecodeAttach(body)
+		if err != nil {
+			m.logf("member %d: malformed attach from %d: %v", m.cfg.Self, from, err)
+			return
+		}
+		m.logf("member %d: rank %d attached from %s", m.cfg.Self, r, addr)
+		m.handleJoin(r)
 	case wire.KindView:
 		v, err := DecodeView(body)
 		if err != nil {

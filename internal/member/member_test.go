@@ -50,6 +50,55 @@ func TestViewMergeSemilattice(t *testing.T) {
 
 // TestViewBumpAndTiebreak: every event strictly increases the epoch, and
 // at equal version the higher status wins the merge in both directions.
+// TestViewGrowMergeCommutes checks the property the online growth path
+// leans on: growing a view a dimension commutes with merging — it does
+// not matter whether a rank widens before or after it folds in a
+// peer's flood, so growth racing the view epidemic cannot fork the
+// semilattice. Grow adds bottom elements (holes at version 0), which
+// is exactly why it commutes.
+func TestViewGrowMergeCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	randomView := func(dim int) View {
+		v := Empty(dim)
+		for i := range v.Ver {
+			v.Ver[i] = uint32(rng.Intn(4))
+			v.Stat[i] = Status(rng.Intn(3))
+		}
+		return v
+	}
+	grow := func(v View) View {
+		g := v.Clone()
+		if err := g.Grow(); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	merge := func(a, b View) View {
+		c := a.Clone()
+		if _, err := c.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomView(3), randomView(3)
+		// Same-dim peers: grow(a) ⊔ b == grow(a ⊔ b).
+		if !merge(grow(a), b).Equal(grow(merge(a, b))) {
+			t.Fatalf("grow does not commute with merge:\n%s\n%s", a, b)
+		}
+		// Mixed dims: an already-grown peer view forces the same result
+		// whether the local rank grew first or the merge grew it.
+		wide := randomView(4)
+		if !merge(grow(a), wide).Equal(merge(a, wide)) {
+			t.Fatalf("pre-growing changes a widening merge:\n%s\n%s", a, wide)
+		}
+		// Growth never moves the epoch — only the join's Bump does.
+		if grow(a).Epoch() != a.Epoch() {
+			t.Fatalf("grow changed epoch: %d -> %d", a.Epoch(), grow(a).Epoch())
+		}
+	}
+}
+
 func TestViewBumpAndTiebreak(t *testing.T) {
 	v := Bootstrap(2)
 	e0 := v.Epoch()

@@ -162,6 +162,18 @@ type TransportStats struct {
 	// ACK instead of being written as their own control frame.
 	AcksBatched int64
 
+	// Elastic-membership counters (member-mode socket backends).
+	// MemberDrops counts sends silently dropped because the destination
+	// link was absent, failed, retired, or beyond the endpoint's current
+	// cube; GrowEvents counts online dimension widenings applied;
+	// GrowAccepts counts grow-attach handshakes accepted from
+	// larger-cube joiners; AttachesReceived counts KindAttach
+	// announcements received.
+	MemberDrops      int64
+	GrowEvents       int64
+	GrowAccepts      int64
+	AttachesReceived int64
+
 	// PayloadByJob breaks PayloadDelivered down per job key (see
 	// svc.JobKey) on transports configured with a JobClassifier; nil
 	// when no classifier is installed.
@@ -193,6 +205,10 @@ func (s *TransportStats) Add(o TransportStats) {
 	s.FramesReceived += o.FramesReceived
 	s.PayloadDelivered += o.PayloadDelivered
 	s.AcksBatched += o.AcksBatched
+	s.MemberDrops += o.MemberDrops
+	s.GrowEvents += o.GrowEvents
+	s.GrowAccepts += o.GrowAccepts
+	s.AttachesReceived += o.AttachesReceived
 	if len(o.PayloadByJob) > 0 {
 		if s.PayloadByJob == nil {
 			s.PayloadByJob = make(map[int]int64, len(o.PayloadByJob))

@@ -23,8 +23,11 @@ type MemberHooks struct {
 	// performs on escalation.
 	OnPeerDown func(self, peer cube.NodeID, err error)
 	// OnControl receives a membership control frame (wire.KindJoin,
-	// KindDrain or KindView) from a neighbor. The body is the frame's
-	// decoded payload, freshly copied — the hook may retain it.
+	// KindDrain, KindView or KindAttach) from a neighbor. The hook may
+	// retain body but must not mutate it: frames off the wire arrive
+	// freshly decoded, while loopback dispatch (SendControl between two
+	// ranks hosted on one endpoint) shares the caller's buffer — see the
+	// ownership rule on SendControl.
 	OnControl func(from cube.NodeID, kind byte, body []byte)
 }
 
@@ -34,6 +37,18 @@ func (t *TCP) memberMode() bool { return t.opt.Member != nil }
 // MemberDrops reports how many sends were silently dropped because the
 // destination link was absent, failed or retired (member mode only).
 func (t *TCP) MemberDrops() int64 { return t.memberDrops.Load() }
+
+// GrowEvents reports how many times this endpoint widened its mesh
+// dimension online (member mode only).
+func (t *TCP) GrowEvents() int64 { return t.growEvents.Load() }
+
+// GrowAccepts reports how many grow-attach handshakes — hellos from a
+// larger cube — this endpoint accepted (member mode only).
+func (t *TCP) GrowAccepts() int64 { return t.growAccepts.Load() }
+
+// AttachesReceived reports how many KindAttach announcements arrived
+// from joiners (member mode only).
+func (t *TCP) AttachesReceived() int64 { return t.attachesRecv.Load() }
 
 // dispatchControl hands a membership frame to the OnControl hook.
 func (t *TCP) dispatchControl(from cube.NodeID, kind byte, body []byte) {
@@ -49,7 +64,7 @@ func (t *TCP) dispatchControl(from cube.NodeID, kind byte, body []byte) {
 // again and the stale death would poison the view), and fires at most
 // once per link.
 func (t *TCP) memberDown(l *link, err error) {
-	if t.getLink(t.linkIndex(l.self, l.port)) != l {
+	if t.linkAt(l.self, l.port) != l {
 		return
 	}
 	if l.downFired.Swap(true) {
@@ -77,6 +92,12 @@ func (l *link) retire() {
 // idempotent and re-floods on every later change, so loss only delays
 // convergence). Control frames ride outside the replay protocol —
 // written directly to the socket, frame-aligned under the write lock.
+//
+// Ownership: the transport never retains body, but the loopback path
+// (to hosted on this same endpoint) hands it to the OnControl hook
+// without copying. The caller must therefore not mutate body after the
+// call, and the hook must not mutate it either — the same immutability
+// the remote path gets for free by encoding body into a fresh frame.
 func (t *TCP) SendControl(from, to cube.NodeID, kind byte, body []byte) error {
 	if !t.memberMode() {
 		return errors.New("transport: SendControl outside member mode")
@@ -84,24 +105,32 @@ func (t *TCP) SendControl(from, to cube.NodeID, kind byte, body []byte) error {
 	if t.isDown() {
 		return mpx.ErrDown
 	}
-	if int(from) >= len(t.local) || !t.local[from] {
+	t.linkMu.RLock()
+	c := t.c
+	hosted := int(from) < len(t.local) && t.local[from]
+	inCube := int(to) < c.Nodes()
+	localTo := inCube && t.local[to]
+	t.linkMu.RUnlock()
+	if !hosted {
 		return fmt.Errorf("transport: SendControl from node %d, which is not hosted here", from)
 	}
-	if int(to) >= t.c.Nodes() {
-		// A grown view names ranks beyond this endpoint's cube; they are
-		// unreachable from here and the flood covers them via members
-		// that do share an edge.
+	if !inCube {
+		// The view can name ranks beyond this endpoint's cube — a growth
+		// event whose attach has not reached us yet. They are unreachable
+		// from here and the flood covers them via members that do share
+		// an edge; counted so drills can watch the gap close.
+		t.memberDrops.Add(1)
 		return nil
 	}
-	if t.local[to] {
-		t.dispatchControl(from, kind, append([]byte(nil), body...))
+	if localTo {
+		t.dispatchControl(from, kind, body)
 		return nil
 	}
-	port := t.c.Port(from, to)
+	port := c.Port(from, to)
 	if port < 0 {
 		return fmt.Errorf("transport: SendControl to node %d, not a neighbor of %d", to, from)
 	}
-	l := t.getLink(t.linkIndex(from, port))
+	l := t.linkAt(from, port)
 	if l == nil {
 		t.memberDrops.Add(1)
 		return nil
@@ -116,6 +145,13 @@ func (l *link) writeControl(kind byte, body []byte) error {
 	if l.ver < wire.Version3 {
 		return fmt.Errorf("transport: link %d<->%d negotiated wire version %d, membership frames need %d",
 			l.self, l.peer, l.ver, wire.Version3)
+	}
+	if (kind == wire.KindGrow || kind == wire.KindAttach) && l.ver < wire.Version4 {
+		// Growth frames are a v4 extension; a v3 peer would reject the
+		// whole stream as corrupt. Drop instead — the peer keeps working
+		// on the dimension its links were built at.
+		l.t.memberDrops.Add(1)
+		return nil
 	}
 	frame := wire.AppendMemberFrame(nil, l.ver, kind, body)
 	l.wmu.Lock()
@@ -148,13 +184,17 @@ func (l *link) writeControl(kind byte, body []byte) error {
 // ring, sequence state and all — is abandoned: the joiner is a new
 // process with empty state, so splicing it onto the old relState would
 // replay frames it never saw the predecessors of.
-func (t *TCP) acceptMemberJoin(conn net.Conn, hs wire.Hello, idx int) error {
+func (t *TCP) acceptMemberJoin(conn net.Conn, hs wire.Hello, port int) error {
 	ver := wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version)
 	if ver < wire.Version3 {
 		return fmt.Errorf("transport: joiner %d negotiated wire version %d, member mesh needs %d", hs.From, ver, wire.Version3)
 	}
+	// Echo the dimension the joiner spoke: after a grow-attach our own
+	// dimension already matches it, and the link itself is
+	// dimension-agnostic (its port is the index of the bit the endpoints
+	// differ in, which growth never changes).
 	echo := wire.Hello{
-		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
+		Handshake: wire.Handshake{Dim: hs.Dim, From: hs.To, To: hs.From},
 		Resilient: true,
 		Version:   ver,
 	}
@@ -162,8 +202,8 @@ func (t *TCP) acceptMemberJoin(conn net.Conn, hs wire.Hello, idx int) error {
 		return fmt.Errorf("transport: join echo to node %d: %w", hs.From, err)
 	}
 	conn.SetDeadline(time.Time{})
-	l := t.newLink(hs.To, hs.From, t.c.Port(hs.To, hs.From), conn, false, "", ver)
-	if old := t.setLink(idx, l); old != nil {
+	l := t.newLink(hs.To, hs.From, port, conn, false, "", ver)
+	if old := t.setLinkAt(hs.To, port, l); old != nil {
 		// Silence the old incarnation: no OnPeerDown (the rank is alive
 		// again — deduping here keeps a slow supervisor's eventual
 		// escalation from poisoning the view) and a sticky error so any
@@ -239,7 +279,7 @@ func (t *TCP) JoinMesh(peers []string) error {
 		return fmt.Errorf("transport: joiner %d reached none of its neighbors (%v)", self, errors.Join(errs...))
 	}
 	for _, l := range links {
-		t.setLink(t.linkIndex(l.self, l.port), l)
+		t.setLinkAt(l.self, l.port, l)
 	}
 	for _, l := range links {
 		t.startLink(l)
@@ -248,7 +288,70 @@ func (t *TCP) JoinMesh(peers []string) error {
 		t.wg.Add(1)
 		go t.resumeLoop()
 	})
+	// Transport-level announcement: tell each reached neighbor which
+	// rank attached and where it listens. Idempotent with the KindJoin
+	// announce the membership layer sends next — this one additionally
+	// covers joiners beyond the founding cube, whose accepting survivors
+	// just widened their mesh for us. v3 links never carry it (nor could
+	// a v3 survivor have accepted a grow-attach).
+	attach := wire.EncodeAttach(self, t.self)
+	for _, l := range links {
+		if l.ver >= wire.Version4 {
+			l.writeControl(wire.KindAttach, attach)
+		}
+	}
 	return nil
+}
+
+// GrowTo widens the mesh to newDim online. The cube, the links table
+// (whose stride is the dimension), the local mask and the inbox table
+// are all swapped in one linkMu critical section, so a concurrent send
+// observes either the old or the new topology, never a mix. Existing
+// links carry over untouched — a link's port is the index of the bit
+// its endpoints differ in, which growth never changes — so in-flight
+// traffic, replay rings and resume state survive. The new dimension's
+// slots start empty and fill as joiners grow-attach (and the holes
+// drop sends silently, like any absent member). Returns whether the
+// mesh actually widened: growth to the current or a smaller dimension
+// is an idempotent no-op, and dimensions beyond cube.MaxDim are
+// refused. Member mode only.
+func (t *TCP) GrowTo(newDim int) bool {
+	if !t.memberMode() || newDim > cube.MaxDim {
+		return false
+	}
+	t.linkMu.Lock()
+	defer t.linkMu.Unlock()
+	oldDim := t.opt.Dim
+	if newDim <= oldDim {
+		return false
+	}
+	c := cube.New(newDim)
+	links := make([]*link, c.Nodes()*newDim)
+	for id := 0; id < len(t.local); id++ {
+		copy(links[id*newDim:id*newDim+oldDim], t.links[id*oldDim:(id+1)*oldDim])
+	}
+	local := make([]bool, c.Nodes())
+	copy(local, t.local)
+	inbox := make([]chan mpx.Envelope, c.Nodes())
+	copy(inbox, t.inbox)
+	t.c, t.links, t.local, t.inbox = c, links, local, inbox
+	t.opt.Dim = newDim
+	t.growEvents.Add(1)
+	return true
+}
+
+// floodGrow announces a widening to every connected v4 neighbor link,
+// so the event reaches survivors the joiner did not dial. Receivers
+// re-flood only when the frame actually widened them (readPump), which
+// terminates the flood. v3 links are skipped: those peers cannot decode
+// growth frames and keep operating on the old dimension.
+func (t *TCP) floodGrow(newDim int) {
+	body := wire.EncodeGrow(newDim)
+	for _, l := range t.allLinks() {
+		if l.ver >= wire.Version4 {
+			l.writeControl(wire.KindGrow, body)
+		}
+	}
 }
 
 // Abort closes the transport WITHOUT the BYE announcement: peers see an

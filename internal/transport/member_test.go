@@ -260,20 +260,119 @@ func asPeerError(err error, target **mpx.PeerError) bool {
 	return ok
 }
 
-// TestMemberGrowByJoin: a joiner one rank beyond the cube cannot attach
-// to this transport's links (the survivors' cube has no port for it),
-// but the membership layer still grows the view — the transport layer
-// for grown cubes is a mesh restart, which is out of scope here. This
-// test pins the SendControl behavior: floods to out-of-cube ranks are
-// dropped, not errors.
-func TestMemberControlToOutOfCubeRankDrops(t *testing.T) {
+// TestMemberControlToUnattachedRankDrops pins the drop semantics that
+// remain after online growth: a control frame toward a rank the view
+// may name but that has not attached to this endpoint's mesh yet — out
+// of the current cube entirely, or inside it with no link — vanishes
+// silently (nil error) and is counted, never an error. The flood
+// reaches such ranks through members that do share an edge once they
+// attach.
+func TestMemberControlToUnattachedRankDrops(t *testing.T) {
 	testleak.Check(t)
 	ranks, _ := memberMesh(t, 1)
+	before := ranks[0].tr.MemberDrops()
 	if err := ranks[0].tr.SendControl(0, 5, wire.KindView, nil); err != nil {
 		t.Fatalf("SendControl to out-of-cube rank: %v", err)
+	}
+	if ranks[0].tr.MemberDrops() != before+1 {
+		t.Fatal("out-of-cube control drop not counted")
 	}
 	e := &member.ViewChangedError{Epoch: 3, Op: "bcast"}
 	if e.Error() == "" {
 		t.Fatal("empty error string")
+	}
+}
+
+// waitGrown polls until the rank's transport reaches dim (growth is
+// asynchronous: grow-attach on the accepting survivor, KindGrow flood
+// on the others).
+func waitGrown(t *testing.T, r *memberRank, dim int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for r.tr.Cube().Dim() < dim {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("rank %d stuck at dim %d, want %d", r.tr.Locals()[0], r.tr.Cube().Dim(), dim)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMemberGrowAttach: a joiner one rank beyond the founding cube
+// grow-attaches to the live mesh. The accepting survivor widens its
+// link set online, the KindGrow flood re-dimensions every other
+// survivor, the view admits the new rank, and data flows both ways over
+// the new dimension's link — no process restarted. Ranks the grown view
+// names but that never attached stay silent drops.
+func TestMemberGrowAttach(t *testing.T) {
+	testleak.Check(t)
+	const dim = 2
+	ranks, peers := memberMesh(t, dim)
+	e0 := ranks[0].mgr.Epoch()
+
+	// Rank 4 = 2^dim: the first rank of the (dim+1)-cube's upper half.
+	// Its only live neighbor in the grown cube is rank 0.
+	joiner := newMemberRank(t, dim+1, 1<<dim, true)
+	joinPeers := make([]string, 1<<uint(dim+1))
+	copy(joinPeers, peers)
+	if err := joiner.tr.JoinMesh(joinPeers); err != nil {
+		t.Fatalf("JoinMesh: %v", err)
+	}
+	joiner.mgr.AnnounceJoin()
+	if !joiner.mgr.WaitAlive(15 * time.Second) {
+		t.Fatal("grown joiner never admitted")
+	}
+
+	// The grow-attach widened the accepting survivor synchronously; the
+	// flood reaches the rest asynchronously.
+	for _, r := range ranks {
+		waitGrown(t, r, dim+1)
+	}
+	if ranks[0].tr.GrowAccepts() == 0 {
+		t.Fatal("accepting survivor counted no grow-attach")
+	}
+	var grew int64
+	for _, r := range ranks {
+		grew += r.tr.GrowEvents()
+	}
+	if grew != int64(len(ranks)) {
+		t.Fatalf("got %d grow events across %d survivors, want one each", grew, len(ranks))
+	}
+
+	// Every survivor admits rank 4 into a dim+1 view.
+	for i, r := range ranks {
+		if !r.mgr.WaitEpochAbove(e0, 15*time.Second) {
+			t.Fatalf("rank %d never saw the growth", i)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			v := r.mgr.View()
+			if v.Dim == dim+1 && v.Alive(1<<dim) {
+				break
+			}
+			if !time.Now().Before(deadline) {
+				t.Fatalf("rank %d: view %s, want a %d-cube with rank %d alive", i, v, dim+1, 1<<dim)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Data crosses the new dimension's link in both directions.
+	if err := ping(joiner, 0, 31); err != nil {
+		t.Fatalf("joiner send: %v", err)
+	}
+	expectPing(t, ranks[0], 31)
+	if err := ping(ranks[0], 1<<dim, 32); err != nil {
+		t.Fatalf("send to grown rank: %v", err)
+	}
+	expectPing(t, joiner, 32)
+
+	// Rank 5 is inside the grown cube but never attached: sends toward
+	// it drop silently and are counted.
+	before := joiner.tr.MemberDrops()
+	if err := ping(joiner, (1<<dim)|1, 33); err != nil {
+		t.Fatalf("send to unattached rank should drop silently, got %v", err)
+	}
+	if joiner.tr.MemberDrops() != before+1 {
+		t.Fatal("drop toward unattached rank not counted")
 	}
 }

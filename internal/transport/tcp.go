@@ -225,6 +225,13 @@ type TCP struct {
 	// hosted locally (direct inbox delivery) or the node is not local.
 	// Guarded by linkMu: in member mode links are replaced at runtime
 	// when a joiner occupies a dead rank's hole, concurrent with sends.
+	//
+	// linkMu also guards the topology itself: GrowTo re-dimensions the
+	// mesh online, swapping c, opt.Dim, local, inbox and the links table
+	// (whose stride is the dimension) in one critical section. Runtime
+	// paths must read those fields through topo/dim/linkAt/setLinkAt
+	// rather than directly; bootstrap paths (NewTCP, Connect, JoinMesh)
+	// run before the endpoint is attached and may read them bare.
 	linkMu sync.RWMutex
 	links  []*link
 
@@ -250,6 +257,9 @@ type TCP struct {
 	severed     atomic.Int64
 	replayHW    atomic.Int64
 	memberDrops atomic.Int64 // member mode: sends dropped for absent/failed/retired links
+	growEvents   atomic.Int64 // member mode: dimension widenings applied by GrowTo
+	growAccepts  atomic.Int64 // member mode: grow-attach handshakes accepted from larger-cube joiners
+	attachesRecv atomic.Int64 // member mode: KindAttach announcements received from joiners
 
 	// Data-plane volume counters.
 	bytesSent        atomic.Int64
@@ -546,14 +556,25 @@ func dialAddr(addr string, timeout time.Duration) (net.Conn, error) {
 	return net.DialTimeout(network, address, timeout)
 }
 
-// Cube returns the topology.
-func (t *TCP) Cube() *cube.Cube { return t.c }
+// Cube returns the topology. In member mode the cube can be swapped for
+// a larger one at runtime (GrowTo); callers get a consistent snapshot.
+func (t *TCP) Cube() *cube.Cube {
+	t.linkMu.RLock()
+	c := t.c
+	t.linkMu.RUnlock()
+	return c
+}
 
 // Locals returns the hosted nodes, ascending.
 func (t *TCP) Locals() []cube.NodeID { return t.locals }
 
 // Inbox returns the receive channel of a hosted node.
-func (t *TCP) Inbox(id cube.NodeID) <-chan mpx.Envelope { return t.inbox[id] }
+func (t *TCP) Inbox(id cube.NodeID) <-chan mpx.Envelope {
+	t.linkMu.RLock()
+	ch := t.inbox[id]
+	t.linkMu.RUnlock()
+	return ch
+}
 
 // Done is closed when the transport shuts down.
 func (t *TCP) Done() <-chan struct{} { return t.down }
@@ -579,6 +600,10 @@ func (t *TCP) Stats() mpx.TransportStats {
 		FramesReceived:   t.framesRecv.Load(),
 		PayloadDelivered: t.payloadDelivered.Load(),
 		AcksBatched:      t.acksBatched.Load(),
+		MemberDrops:      t.memberDrops.Load(),
+		GrowEvents:       t.growEvents.Load(),
+		GrowAccepts:      t.growAccepts.Load(),
+		AttachesReceived: t.attachesRecv.Load(),
 	}
 	if t.opt.Classifier != nil {
 		t.jobMu.Lock()
@@ -631,7 +656,10 @@ func (t *TCP) isDown() bool {
 	}
 }
 
-// linkIndex locates the link slot for a hosted node's port.
+// linkIndex locates the link slot for a hosted node's port. The stride
+// is the dimension, so the index is only meaningful against the links
+// table of the same dimension — runtime paths use linkAt/setLinkAt,
+// which compute it under linkMu.
 func (t *TCP) linkIndex(id cube.NodeID, port int) int { return int(id)*t.opt.Dim + port }
 
 // getLink reads a link slot under linkMu (member mode replaces links at
@@ -646,6 +674,56 @@ func (t *TCP) getLink(idx int) *link {
 // setLink writes a link slot, returning the link it replaced.
 func (t *TCP) setLink(idx int, l *link) *link {
 	t.linkMu.Lock()
+	old := t.links[idx]
+	t.links[idx] = l
+	t.linkMu.Unlock()
+	return old
+}
+
+// topo snapshots the cube and dimension. GrowTo swaps both under
+// linkMu; runtime paths must not read t.c or t.opt.Dim bare.
+func (t *TCP) topo() (*cube.Cube, int) {
+	t.linkMu.RLock()
+	c, dim := t.c, t.opt.Dim
+	t.linkMu.RUnlock()
+	return c, dim
+}
+
+// dim snapshots the current dimension.
+func (t *TCP) dim() int {
+	t.linkMu.RLock()
+	d := t.opt.Dim
+	t.linkMu.RUnlock()
+	return d
+}
+
+// hosted reports whether a node lives on this endpoint (lock-safe: the
+// local mask is re-sliced by GrowTo).
+func (t *TCP) hosted(id cube.NodeID) bool {
+	t.linkMu.RLock()
+	ok := int(id) < len(t.local) && t.local[id]
+	t.linkMu.RUnlock()
+	return ok
+}
+
+// linkAt reads the link slot of a hosted node's port, computing the
+// index under linkMu so it stays consistent with the table's current
+// dimension. Ports beyond the current dimension read as nil.
+func (t *TCP) linkAt(id cube.NodeID, port int) *link {
+	t.linkMu.RLock()
+	var l *link
+	if port >= 0 && port < t.opt.Dim {
+		l = t.links[int(id)*t.opt.Dim+port]
+	}
+	t.linkMu.RUnlock()
+	return l
+}
+
+// setLinkAt writes the link slot of a hosted node's port, returning the
+// link it replaced. Like linkAt, the index is computed under linkMu.
+func (t *TCP) setLinkAt(id cube.NodeID, port int, l *link) *link {
+	t.linkMu.Lock()
+	idx := int(id)*t.opt.Dim + port
 	old := t.links[idx]
 	t.links[idx] = l
 	t.linkMu.Unlock()
@@ -1191,32 +1269,56 @@ func (t *TCP) handleResume(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	if !hs.Resilient || hs.Dim != t.opt.Dim {
+	if !hs.Resilient {
 		return fmt.Errorf("transport: bad resume handshake from peer %d", hs.From)
 	}
-	if int(hs.To) >= t.c.Nodes() || !t.local[hs.To] {
+	ver := wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version)
+	if hs.Dim > t.dim() {
+		// Grow-attach: the peer speaks a larger cube — a joiner beyond
+		// our founding 2^d, or a survivor that widened before us. Only
+		// member meshes re-dimension, and only at wire v4.
+		if !t.memberMode() || ver < wire.Version4 {
+			return fmt.Errorf("transport: bad resume handshake from peer %d", hs.From)
+		}
+		if t.GrowTo(hs.Dim) {
+			t.floodGrow(hs.Dim)
+		}
+		if t.dim() < hs.Dim {
+			return fmt.Errorf("transport: cannot grow to a %d-cube for peer %d", hs.Dim, hs.From)
+		}
+		t.growAccepts.Add(1)
+	} else if hs.Dim < t.dim() && !t.memberMode() {
+		return fmt.Errorf("transport: bad resume handshake from peer %d", hs.From)
+	}
+	// A member-mode peer below our dimension lags a growth event (its
+	// link was down when the KindGrow flood went out). Proceed anyway:
+	// existing links keep their port geometry at any dimension. A v4
+	// peer learns the grown dimension from the echo and widens on its
+	// side; a v3 peer keeps interoperating at the dimension it was
+	// built at and simply never sees the new ports.
+	c, _ := t.topo()
+	if int(hs.To) >= c.Nodes() || !t.hosted(hs.To) {
 		return fmt.Errorf("transport: resume for node %d, which is not hosted here", hs.To)
 	}
-	port := t.c.Port(hs.To, hs.From)
+	port := c.Port(hs.To, hs.From)
 	if port < 0 {
 		return fmt.Errorf("transport: resume from node %d, not a neighbor of %d", hs.From, hs.To)
 	}
-	idx := t.linkIndex(hs.To, port)
-	l := t.getLink(idx)
+	l := t.linkAt(hs.To, port)
 	if t.memberMode() {
 		// A fresh incarnation of the peer — a joiner filling the hole of a
 		// crashed or drained rank — dials with RecvSeq 0 and no shared
 		// history. Detect it and replace the link instead of splicing the
 		// joiner onto the dead incarnation's replay state.
 		if hs.RecvSeq == 0 && l == nil {
-			return t.acceptMemberJoin(conn, hs, idx)
+			return t.acceptMemberJoin(conn, hs, port)
 		}
 		if l != nil && hs.RecvSeq == 0 {
 			l.mu.Lock()
 			hasHistory := l.err != nil || l.retired || (l.r != nil && (l.r.recvSeq > 0 || l.r.sendSeq > 0))
 			l.mu.Unlock()
 			if hasHistory {
-				return t.acceptMemberJoin(conn, hs, idx)
+				return t.acceptMemberJoin(conn, hs, port)
 			}
 		}
 	}
@@ -1230,13 +1332,20 @@ func (t *TCP) handleResume(conn net.Conn) error {
 	if failed {
 		return fmt.Errorf("transport: resume for escalated link %d<->%d", hs.To, hs.From)
 	}
+	// v4 peers are told the current dimension (a lagging dialer grows on
+	// seeing a larger echo); v3 peers get their own dimension back and
+	// keep working on the old cube.
+	echoDim := t.dim()
+	if ver < wire.Version4 {
+		echoDim = hs.Dim
+	}
 	echo := wire.Hello{
-		Handshake: wire.Handshake{Dim: t.opt.Dim, From: hs.To, To: hs.From},
+		Handshake: wire.Handshake{Dim: echoDim, From: hs.To, To: hs.From},
 		Resilient: true,
 		RecvSeq:   recv,
 		// Same caps on both sides as the original handshake, so the resume
 		// renegotiates to the same version the link already runs at.
-		Version: wire.NegotiateVersion(byte(t.opt.WireVersion), hs.Version),
+		Version: ver,
 	}
 	if _, err := conn.Write(wire.AppendHello(nil, echo)); err != nil {
 		return err
@@ -1315,10 +1424,38 @@ func (t *TCP) Send(from cube.NodeID, port int, msg mpx.Message) error {
 		return mpx.ErrDown
 	default:
 	}
-	if int(from) >= len(t.local) || !t.local[from] {
+	// One topology snapshot: in member mode GrowTo re-dimensions the
+	// mesh concurrently with sends, so the cube, the local mask and the
+	// link slot must all come from the same critical section.
+	t.linkMu.RLock()
+	c, dim := t.c, t.opt.Dim
+	hosted := int(from) < len(t.local) && t.local[from]
+	portOK := port >= 0 && port < dim
+	var to cube.NodeID
+	var localTo bool
+	var l *link
+	if hosted && portOK {
+		to = c.Neighbor(from, port)
+		localTo = t.local[to]
+		if !localTo {
+			l = t.links[int(from)*dim+port]
+		}
+	}
+	t.linkMu.RUnlock()
+	if !hosted {
 		return fmt.Errorf("transport: node %d is not hosted by this endpoint", from)
 	}
-	to := t.c.Neighbor(from, port)
+	if !portOK {
+		// A collective layer that learned of a grown view before this
+		// endpoint widened its links can address a port the mesh does
+		// not have yet; in member mode that is a gap to route around,
+		// like any other missing neighbor.
+		if t.memberMode() {
+			t.memberDrops.Add(1)
+			return nil
+		}
+		return fmt.Errorf("transport: node %d has no port %d in a %d-cube", from, port, dim)
+	}
 	var out fault.Outcome
 	if inj := t.opt.Injector; inj != nil {
 		if inj.NodeDead(from) || inj.NodeDead(to) || inj.LinkDead(from, to) {
@@ -1332,10 +1469,9 @@ func (t *TCP) Send(from cube.NodeID, port int, msg mpx.Message) error {
 			time.Sleep(out.Delay)
 		}
 	}
-	if t.local[to] {
+	if localTo {
 		return t.deliverLocal(from, to, port, msg, out)
 	}
-	l := t.getLink(t.linkIndex(from, port))
 	if t.memberMode() {
 		// Elastic meshes route around missing peers: a send into a dead,
 		// drained or never-joined neighbor drops silently — the membership
@@ -1368,13 +1504,16 @@ func (t *TCP) deliverLocal(from, to cube.NodeID, port int, msg mpx.Message, out 
 	if out.Duplicate {
 		copies = 2
 	}
+	t.linkMu.RLock()
+	inbox := t.inbox[to]
+	t.linkMu.RUnlock()
 	for i := 0; i < copies; i++ {
 		send := msg
 		if i > 0 {
 			send.Parts = append([]mpx.Part(nil), msg.Parts...)
 		}
 		select {
-		case t.inbox[to] <- mpx.Envelope{Message: send, Port: port, From: from}:
+		case inbox <- mpx.Envelope{Message: send, Port: port, From: from}:
 			t.payloadDelivered.Add(int64(payloadLen(send)))
 			if t.opt.Classifier != nil {
 				t.countJob(send)
@@ -2187,7 +2326,7 @@ func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error
 	recv := l.r.recvSeq
 	l.mu.Unlock()
 	hello := wire.Hello{
-		Handshake: wire.Handshake{Dim: l.t.opt.Dim, From: l.self, To: l.peer},
+		Handshake: wire.Handshake{Dim: l.t.dim(), From: l.self, To: l.peer},
 		Resilient: true,
 		RecvSeq:   recv,
 		Version:   byte(l.t.opt.WireVersion),
@@ -2199,7 +2338,16 @@ func (l *link) resumeHandshake(conn net.Conn, deadline time.Time) (uint64, error
 	if err != nil {
 		return 0, fmt.Errorf("resume handshake reply: %w", err)
 	}
-	if !echo.Resilient || echo.Dim != l.t.opt.Dim || echo.From != l.peer || echo.To != l.self {
+	if echo.Resilient && echo.From == l.peer && echo.To == l.self &&
+		echo.Dim > l.t.dim() && l.t.memberMode() && l.ver >= wire.Version4 {
+		// The peer grew while this link was down: its echo carries the
+		// mesh's new dimension. Widen before resuming — the link itself
+		// is dimension-agnostic (its port never changes).
+		if l.t.GrowTo(echo.Dim) {
+			l.t.floodGrow(echo.Dim)
+		}
+	}
+	if !echo.Resilient || echo.Dim != l.t.dim() || echo.From != l.peer || echo.To != l.self {
 		return 0, fmt.Errorf("resume handshake: peer answered as node %d of a %d-cube (resilient=%v)",
 			echo.From, echo.Dim, echo.Resilient)
 	}
@@ -2350,6 +2498,24 @@ func (l *link) readPump(conn net.Conn, gen int) {
 			// no sequencing. Ignored outside member mode.
 			l.t.dispatchControl(l.peer, fr.Kind, fr.Body)
 			continue
+		case wire.KindGrow:
+			// A neighbor widened the mesh: grow to match and re-flood so
+			// the event reaches every survivor (the flood terminates
+			// because GrowTo is idempotent — only an actual widening
+			// propagates). Ignored outside member mode.
+			if dim, err := wire.DecodeGrow(fr.Body); err == nil && l.t.memberMode() {
+				if l.t.GrowTo(dim) {
+					l.t.floodGrow(dim)
+				}
+			}
+			continue
+		case wire.KindAttach:
+			// A joiner's transport-level announcement after a grow-attach.
+			// The membership layer admits the rank into the view (the
+			// frame is idempotent with the KindJoin announce that follows).
+			l.t.attachesRecv.Add(1)
+			l.t.dispatchControl(l.peer, fr.Kind, fr.Body)
+			continue
 		default:
 			continue
 		}
@@ -2363,8 +2529,11 @@ func (l *link) readPump(conn net.Conn, gen int) {
 // crediting its payload to the goodput counter. Returns false when the
 // transport shut down instead.
 func (l *link) deliver(msg mpx.Message) bool {
+	l.t.linkMu.RLock()
+	inbox := l.t.inbox[l.self]
+	l.t.linkMu.RUnlock()
 	select {
-	case l.t.inbox[l.self] <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
+	case inbox <- mpx.Envelope{Message: msg, Port: l.port, From: l.peer}:
 		l.t.payloadDelivered.Add(int64(payloadLen(msg)))
 		if l.t.opt.Classifier != nil {
 			l.t.countJob(msg)
@@ -2472,11 +2641,11 @@ func (l *link) onNack(from uint64) {
 // PeerError reports the first connection-level failure recorded on one
 // of node id's links (implements mpx.PeerErrorer).
 func (t *TCP) PeerError(id cube.NodeID) error {
-	if int(id) >= len(t.local) || !t.local[id] {
+	if !t.hosted(id) {
 		return nil
 	}
-	for d := 0; d < t.opt.Dim; d++ {
-		if l := t.getLink(t.linkIndex(id, d)); l != nil {
+	for d := 0; d < t.dim(); d++ {
+		if l := t.linkAt(id, d); l != nil {
 			l.mu.Lock()
 			err := l.err
 			l.mu.Unlock()

@@ -118,6 +118,15 @@ func FuzzDecodeAny(f *testing.F) {
 	demoted := append([]byte(nil), view...)
 	demoted[0] = Version2
 	f.Add(demoted)
+	// Growth control seeds: a grow, an attach, and a demoted grow (v4
+	// kind at version 3).
+	f.Add(AppendMemberFrame(nil, Version4, KindGrow, EncodeGrow(4)))
+	attach := AppendMemberFrame(nil, Version4, KindAttach, EncodeAttach(9, "127.0.0.1:9999"))
+	f.Add(attach)
+	f.Add(attach[:len(attach)/2])
+	demotedGrow := AppendMemberFrame(nil, Version4, KindGrow, EncodeGrow(3))
+	demotedGrow[0] = Version3
+	f.Add(demotedGrow)
 	f.Add([]byte{Version, KindSeqData, 2, 0x80})
 	f.Add([]byte{Version2, KindSeqData, 2, 0x80})
 
@@ -146,7 +155,7 @@ func FuzzDecodeAny(f *testing.F) {
 			re = AppendAck(nil, fr.Seq)
 		case KindNack:
 			re = AppendNack(nil, fr.Seq)
-		case KindJoin, KindDrain, KindView:
+		case KindJoin, KindDrain, KindView, KindGrow, KindAttach:
 			re = AppendMemberFrame(nil, fr.Ver, fr.Kind, fr.Body)
 		default:
 			t.Fatalf("decoder accepted unknown kind %d", fr.Kind)
@@ -266,6 +275,57 @@ func FuzzReadHello(f *testing.F) {
 		}
 		if h2 != h {
 			t.Fatalf("hello round-trip instability: %+v vs %+v", h, h2)
+		}
+	})
+}
+
+// FuzzDecodeGrow throws arbitrary bytes at the KindGrow body decoder:
+// it must never panic, and any dimension it accepts must re-encode to
+// bytes it decodes back identically.
+func FuzzDecodeGrow(f *testing.F) {
+	f.Add(EncodeGrow(3))
+	f.Add(EncodeGrow(20))
+	f.Add(EncodeGrow(1 << 20))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{3, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		dim, err := DecodeGrow(body)
+		if err != nil {
+			return
+		}
+		if dim < 1 || dim > cube.MaxDim {
+			t.Fatalf("accepted out-of-range dimension %d", dim)
+		}
+		d2, err := DecodeGrow(EncodeGrow(dim))
+		if err != nil || d2 != dim {
+			t.Fatalf("grow round trip: dim %d -> %d, err %v", dim, d2, err)
+		}
+	})
+}
+
+// FuzzDecodeAttach throws arbitrary bytes at the KindAttach body
+// decoder: it must never panic, accepted bodies must stay inside the
+// rank and address bounds, and accepted (rank, addr) pairs must
+// round-trip exactly.
+func FuzzDecodeAttach(f *testing.F) {
+	f.Add(EncodeAttach(4, "127.0.0.1:12345"))
+	f.Add(EncodeAttach(0, ""))
+	f.Add(EncodeAttach(1<<20, "/tmp/hypercomm-1234/rank8.sock"))
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{5, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rank, addr, err := DecodeAttach(body)
+		if err != nil {
+			return
+		}
+		if uint64(rank) >= 1<<uint(cube.MaxDim) || len(addr) > MaxAttachAddr {
+			t.Fatalf("accepted out-of-bounds attach: rank %d, %d addr bytes", rank, len(addr))
+		}
+		r2, a2, err := DecodeAttach(EncodeAttach(rank, addr))
+		if err != nil || r2 != rank || a2 != addr {
+			t.Fatalf("attach round trip: (%d, %q) -> (%d, %q), err %v", rank, addr, r2, a2, err)
 		}
 	})
 }

@@ -71,6 +71,52 @@ func TestMemberFrameRejectedBelowV3(t *testing.T) {
 	}
 }
 
+// TestGrowFrameRoundTrip drives the version-4 growth kinds through
+// both decoders with their real body codecs.
+func TestGrowFrameRoundTrip(t *testing.T) {
+	growBody := EncodeGrow(4)
+	attachBody := EncodeAttach(11, "127.0.0.1:40123")
+	for _, tc := range []struct {
+		kind byte
+		body []byte
+	}{{KindGrow, growBody}, {KindAttach, attachBody}} {
+		buf := AppendMemberFrame(nil, Version4, tc.kind, tc.body)
+		fr, n, err := DecodeAny(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("DecodeAny kind %d: n=%d err=%v", tc.kind, n, err)
+		}
+		if fr.Ver != Version4 || fr.Kind != tc.kind || !bytes.Equal(fr.Body, tc.body) {
+			t.Fatalf("DecodeAny: got ver=%d kind=%d body=%q", fr.Ver, fr.Kind, fr.Body)
+		}
+		rd := NewReader(bufio.NewReader(bytes.NewReader(buf)))
+		got, err := rd.ReadAny()
+		if err != nil || got.Kind != tc.kind || !bytes.Equal(got.Body, tc.body) {
+			t.Fatalf("ReadAny kind %d: %v", tc.kind, err)
+		}
+	}
+	if d, err := DecodeGrow(growBody); err != nil || d != 4 {
+		t.Fatalf("DecodeGrow: %d, %v", d, err)
+	}
+	if r, a, err := DecodeAttach(attachBody); err != nil || r != 11 || a != "127.0.0.1:40123" {
+		t.Fatalf("DecodeAttach: %d, %q, %v", r, a, err)
+	}
+}
+
+// TestGrowFrameRejectedBelowV4: growth kinds are a Version4 extension —
+// a v3 peer must reject them as corrupt, which is why the transport
+// never sends them on links negotiated below v4.
+func TestGrowFrameRejectedBelowV4(t *testing.T) {
+	buf := AppendMemberFrame(nil, Version4, KindGrow, EncodeGrow(3))
+	buf[0] = Version3
+	if _, _, err := DecodeAny(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeAny at v3: got %v, want ErrCorrupt", err)
+	}
+	rd := NewReader(bufio.NewReader(bytes.NewReader(buf)))
+	if _, err := rd.ReadAny(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadAny at v3: got %v, want ErrCorrupt", err)
+	}
+}
+
 // TestMemberFrameBitFlipDetected: the CRC covers the membership body.
 func TestMemberFrameBitFlipDetected(t *testing.T) {
 	buf := AppendMemberFrame(nil, Version3, KindDrain, bytes.Repeat([]byte{7}, 64))

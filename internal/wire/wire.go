@@ -51,14 +51,16 @@ import (
 // Wire protocol versions. Version1 is the original IEEE-CRC protocol;
 // Version2 switches the frame checksum to CRC-32C and adds KindBatch;
 // Version3 adds the membership control frames (KindJoin/KindDrain/
-// KindView). The Hello handshake negotiates min(both sides' maximum);
-// Version is the legacy name of Version1, kept for the v1 encoders and
-// tests.
+// KindView); Version4 adds the online-growth control frames
+// (KindGrow/KindAttach). The Hello handshake negotiates min(both
+// sides' maximum); Version is the legacy name of Version1, kept for
+// the v1 encoders and tests.
 const (
 	Version1   = 1
 	Version2   = 2
 	Version3   = 3
-	MaxVersion = Version3
+	Version4   = 4
+	MaxVersion = Version4
 	Version    = Version1
 )
 
@@ -99,6 +101,18 @@ const (
 	// epidemic view-agreement flood. Like the other membership kinds the
 	// body is opaque here; internal/member owns the encoding.
 	KindView = 8
+	// KindGrow (version 4) floods a mesh re-dimensioning event: the body
+	// (EncodeGrow) names the new cube dimension every surviving endpoint
+	// must widen its link tables to. Idempotent — a receiver already at
+	// (or past) the dimension drops it.
+	KindGrow = 9
+	// KindAttach (version 4) is a grown joiner's transport-level
+	// announcement on each link it established: the body (EncodeAttach)
+	// carries the joiner's rank and listen address, so survivors can
+	// admit the rank into the membership view and later joiners can find
+	// it. Data-frame layout (varint length, CRC trailer), like the
+	// membership kinds.
+	KindAttach = 10
 )
 
 // memberKind reports whether kind is one of the version-3 membership
@@ -106,6 +120,13 @@ const (
 // body surfaced as Frame.Body.
 func memberKind(kind byte) bool {
 	return kind == KindJoin || kind == KindDrain || kind == KindView
+}
+
+// growKind reports whether kind is one of the version-4 growth control
+// kinds. They share the membership kinds' frame layout and Body
+// surfacing but need a v4 link.
+func growKind(kind byte) bool {
+	return kind == KindGrow || kind == KindAttach
 }
 
 // MaxBody bounds a frame body, protecting receivers from a corrupted or
@@ -437,25 +458,89 @@ type Frame struct {
 	Seq  uint64
 	Msg  mpx.Message
 	Msgs []mpx.Message
-	// Body holds the opaque payload of a membership control frame
-	// (KindJoin/KindDrain/KindView). It is a fresh copy owned by the
-	// caller — membership frames are rare control traffic, so the copy
-	// buys hook safety at no hot-path cost.
+	// Body holds the opaque payload of a membership or growth control
+	// frame (KindJoin/KindDrain/KindView/KindGrow/KindAttach). It is a
+	// fresh copy owned by the caller — these are rare control traffic,
+	// so the copy buys hook safety at no hot-path cost.
 	Body []byte
 }
 
-// AppendMemberFrame appends a membership control frame (KindJoin,
-// KindDrain or KindView) to dst. Layout matches the varint data kinds:
-// ver | kind | bodyLen (uvarint) | body | crc32(body). Membership
-// frames exist from Version3 on.
+// AppendMemberFrame appends a membership or growth control frame
+// (KindJoin, KindDrain, KindView, KindGrow or KindAttach) to dst.
+// Layout matches the varint data kinds: ver | kind | bodyLen (uvarint)
+// | body | crc32(body). Membership frames exist from Version3 on,
+// growth frames from Version4.
 func AppendMemberFrame(dst []byte, ver, kind byte, body []byte) []byte {
-	if ver < Version3 || !memberKind(kind) {
+	bad := ver < Version3 || !(memberKind(kind) || growKind(kind))
+	if !bad && growKind(kind) && ver < Version4 {
+		bad = true
+	}
+	if bad {
 		panic(fmt.Sprintf("wire: AppendMemberFrame(ver=%d, kind=%d)", ver, kind))
 	}
 	dst = append(dst, ver, kind)
 	dst = binary.AppendUvarint(dst, uint64(len(body)))
 	dst = append(dst, body...)
 	return binary.LittleEndian.AppendUint32(dst, checksum(ver, body))
+}
+
+// MaxAttachAddr bounds the address carried by a KindAttach body — far
+// above any host:port or unix socket path, low enough that a corrupt
+// length cannot ask for a huge allocation.
+const MaxAttachAddr = 1024
+
+// EncodeGrow builds the KindGrow body: the new cube dimension as a
+// uvarint.
+func EncodeGrow(dim int) []byte {
+	return binary.AppendUvarint(nil, uint64(dim))
+}
+
+// DecodeGrow inverts EncodeGrow, validating the dimension range.
+func DecodeGrow(body []byte) (int, error) {
+	d, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad grow dimension", ErrCorrupt)
+	}
+	if len(body) != n {
+		return 0, fmt.Errorf("%w: %d trailing bytes after grow body", ErrCorrupt, len(body)-n)
+	}
+	if d == 0 || d > uint64(cube.MaxDim) {
+		return 0, fmt.Errorf("%w: grow dimension %d out of range 1..%d", ErrCorrupt, d, cube.MaxDim)
+	}
+	return int(d), nil
+}
+
+// EncodeAttach builds the KindAttach body: the attaching rank as a
+// uvarint followed by its listen address length (uvarint) and bytes.
+func EncodeAttach(rank cube.NodeID, addr string) []byte {
+	body := binary.AppendUvarint(nil, uint64(rank))
+	body = binary.AppendUvarint(body, uint64(len(addr)))
+	return append(body, addr...)
+}
+
+// DecodeAttach inverts EncodeAttach, validating rank and address
+// bounds.
+func DecodeAttach(body []byte) (cube.NodeID, string, error) {
+	r, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("%w: bad attach rank", ErrCorrupt)
+	}
+	if r >= 1<<uint(cube.MaxDim) {
+		return 0, "", fmt.Errorf("%w: attach rank %d out of range", ErrCorrupt, r)
+	}
+	body = body[n:]
+	alen, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("%w: bad attach address length", ErrCorrupt)
+	}
+	if alen > MaxAttachAddr {
+		return 0, "", fmt.Errorf("%w: attach address of %d bytes exceeds limit %d", ErrCorrupt, alen, MaxAttachAddr)
+	}
+	body = body[n:]
+	if uint64(len(body)) != alen {
+		return 0, "", fmt.Errorf("%w: attach address truncated (%d of %d bytes)", ErrCorrupt, len(body), alen)
+	}
+	return cube.NodeID(r), string(body), nil
 }
 
 // DecodeAny decodes the frame of any kind at the start of buf,
@@ -507,6 +592,10 @@ func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
 		if ver < Version3 {
 			return arena, 0, fmt.Errorf("%w: membership frame at version %d", ErrCorrupt, ver)
 		}
+	case KindGrow, KindAttach:
+		if ver < Version4 {
+			return arena, 0, fmt.Errorf("%w: growth frame at version %d", ErrCorrupt, ver)
+		}
 	case KindBatch:
 		if ver < Version2 {
 			return arena, 0, fmt.Errorf("%w: batch frame at version %d", ErrCorrupt, ver)
@@ -547,7 +636,7 @@ func DecodeAnyInto(fr *Frame, arena []byte, buf []byte) ([]byte, int, error) {
 	if checksum(ver, body) != binary.LittleEndian.Uint32(buf[hdr+int(blen):]) {
 		return arena, total, ErrChecksum
 	}
-	if memberKind(kind) {
+	if memberKind(kind) || growKind(kind) {
 		fr.Body = append([]byte(nil), body...)
 		return arena, total, nil
 	}
@@ -902,6 +991,15 @@ func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
 			return fmt.Errorf("%w: bad body length", ErrCorrupt)
 		}
 		blen = v
+	case KindGrow, KindAttach:
+		if ver < Version4 {
+			return fmt.Errorf("%w: growth frame at version %d", ErrCorrupt, ver)
+		}
+		v, err := r.readUvarint()
+		if err != nil {
+			return fmt.Errorf("%w: bad body length", ErrCorrupt)
+		}
+		blen = v
 	case KindBatch:
 		if ver < Version2 {
 			return fmt.Errorf("%w: batch frame at version %d", ErrCorrupt, ver)
@@ -945,7 +1043,7 @@ func (r *Reader) readAnyInto(fr *Frame, arena []byte) error {
 	}
 	var err error
 	switch kind {
-	case KindJoin, KindDrain, KindView:
+	case KindJoin, KindDrain, KindView, KindGrow, KindAttach:
 		fr.Body = append([]byte(nil), body...)
 		return nil
 	case KindBatch:

@@ -203,7 +203,7 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	}
 
 	bad := AppendHandshake(nil, h)
-	bad[4] = Version + 3
+	bad[4] = MaxVersion + 1
 	if _, err := ReadHandshake(bytes.NewReader(bad)); !errors.Is(err, ErrVersion) {
 		t.Fatalf("version flip: %v, want ErrVersion", err)
 	}
