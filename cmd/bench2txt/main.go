@@ -24,7 +24,12 @@
 // latencies as detect-ms / repair-ms / join-ms metrics. Online-growth
 // entries (BENCH_9, written by `experiments -bench9`) carry the growth
 // latency as growth-ms plus the goodput rates bracketing the event as
-// pre-/during-/post-MB/s.
+// pre-/during-/post-MB/s. Multi-source scheduling entries (BENCH_10,
+// written by `experiments -bench10`) carry agg_mb_per_s — aggregate
+// all-to-all goodput summed over all 2^d concurrent sources — plus a
+// scheduled flag that becomes a /sched=on|off axis, so benchstat lines
+// up the conflict-free schedule against the naive launch per
+// transport × dimension.
 package main
 
 import (
@@ -64,6 +69,12 @@ type entry struct {
 	PreMBPerS    float64 `json:"pre_mb_per_s"`
 	DuringMBPerS float64 `json:"during_mb_per_s"`
 	PostMBPerS   float64 `json:"post_mb_per_s"`
+
+	// Scheduled + AggMBPerS distinguish BENCH_10 rows (multi-source
+	// scheduling); a pointer like Autotune, because absence and "off"
+	// must key differently.
+	Scheduled *bool   `json:"scheduled"`
+	AggMBPerS float64 `json:"agg_mb_per_s"`
 }
 
 func main() {
@@ -98,6 +109,19 @@ func main() {
 					b.DetectMillis, b.RepairMillis, b.JoinMillis)
 			}
 			fmt.Println(line)
+			continue
+		}
+		if b.Scheduled != nil {
+			axis := "/sched=off"
+			if *b.Scheduled {
+				axis = "/sched=on"
+			}
+			wall := b.SteadySeconds
+			if wall <= 0 {
+				wall = b.WallSeconds
+			}
+			fmt.Printf("Benchmark%s/%s%s/d=%d 1 %.0f ns/op %.2f agg-MB/s %.2f MB/s\n",
+				b.Name, b.Transport, axis, b.Dim, wall*1e9, b.AggMBPerS, b.MBPerS)
 			continue
 		}
 		if b.JobsPerS > 0 {

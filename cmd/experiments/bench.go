@@ -42,6 +42,8 @@ var seedBaseline = map[string]float64{
 type benchFile struct {
 	Date       string        `json:"date"`
 	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"gomaxprocs"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	Benchmarks []benchResult `json:"benchmarks"`
@@ -104,10 +106,12 @@ func runBench(path string) error {
 	}
 
 	out := benchFile{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 	}
 	for _, s := range specs {
 		r, err := measure(s)

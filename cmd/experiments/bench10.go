@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/sched"
+)
+
+// bench10Result is one BENCH_10 measurement: aggregate all-to-all
+// goodput — every one of the 2^d ranks is a source at once — on one
+// backend, with the contention-aware multi-source schedule on or off.
+// agg_mb_per_s is job arithmetic over ALL sources' delivered payload
+// (N·(N−1)·m bytes per round); mb_per_s is the transport's own
+// delivered-payload counter on socket rows (relay hops included).
+type bench10Result struct {
+	Name          string `json:"name"`
+	Transport     string `json:"transport"` // "inproc", "tcp" or "uds"
+	Scheduled     bool   `json:"scheduled"`
+	Dim           int    `json:"dim"`
+	Rounds        int    `json:"rounds"`
+	BytesPerRound int64  `json:"bytes_per_round"`
+
+	SetupSeconds  float64 `json:"setup_s"`
+	SteadySeconds float64 `json:"steady_s"`
+	WallSeconds   float64 `json:"wall_s"`
+	AggMBPerS     float64 `json:"agg_mb_per_s"`
+	MBPerS        float64 `json:"mb_per_s"`
+
+	// SchedSteps is the conflict-free plan's slot count on scheduled
+	// rows (the Jung & Sakho-style lower bound the greedy packing hits).
+	SchedSteps int `json:"sched_steps,omitempty"`
+}
+
+type bench10File struct {
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Note       string          `json:"note"`
+	Benchmarks []bench10Result `json:"benchmarks"`
+}
+
+// runBench10 measures the contention-aware multi-source scheduler: a
+// full all-to-all personalized exchange (every rank sources a
+// translated BST simultaneously) with the per-step link-conflict-free
+// schedule on vs the naive forward-on-arrival launch, on the
+// in-process, loopback-TCP and Unix-domain-socket backends, d = 4..maxD.
+func runBench10(path string, maxD int) error {
+	const (
+		rounds = 6
+		pairM  = 512 // bytes per (source, destination) pair
+		warmup = 2
+		reps   = 3 // best-of, against single-vCPU scheduler noise
+	)
+	out := bench10File{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note: fmt.Sprintf("contention-aware multi-source scheduling: full all-to-all personalized "+
+			"exchange, %d bytes per (source,destination) pair, so one round moves N*(N-1)*%d "+
+			"payload bytes across all 2^d concurrent sources; %d timed rounds per row after %d "+
+			"warm-up rounds. scheduled=true walks sched.MultiSourcePlan's slot table (at most one "+
+			"canonical edge per cube dimension per slot, so by XOR-translation symmetry no step "+
+			"puts two transfers on one directed link; causal gating, no barriers). scheduled=false "+
+			"is the naive forward-on-arrival launch of the same trees — same edges, tags and "+
+			"bytes, different send order. agg_mb_per_s = N*(N-1)*%d*rounds over the steady "+
+			"window (aggregate goodput, all sources summed); mb_per_s is the transport "+
+			"PayloadDelivered counter on socket rows. In the idealized per-link-busy simulator "+
+			"both orders reach the same makespan (the greedy executor serializes each link's "+
+			"queue optimally); the schedule's measurable win on real transports is that nothing "+
+			"queues — colliding sends otherwise contend for socket buffers and wire turns. "+
+			"Single-vCPU container: each row keeps the best of %d repetitions, interleaved "+
+			"across the transport x mode grid so compared rows sample the same host conditions.",
+			pairM, pairM, rounds, warmup, pairM, reps),
+	}
+	for d := 4; d <= maxD; d++ {
+		best := map[string]*bench10Result{}
+		for r := 0; r < reps; r++ {
+			for _, tr := range []string{"inproc", "tcp", "uds"} {
+				for _, scheduled := range []bool{false, true} {
+					res, err := bench10Measure(tr, d, rounds, warmup, pairM, scheduled)
+					if err != nil {
+						return err
+					}
+					key := fmt.Sprintf("%s/%v", tr, scheduled)
+					if b, ok := best[key]; !ok || res.AggMBPerS > b.AggMBPerS {
+						res := res
+						best[key] = &res
+					}
+				}
+			}
+		}
+		for _, tr := range []string{"inproc", "tcp", "uds"} {
+			for _, scheduled := range []bool{false, true} {
+				out.Benchmarks = append(out.Benchmarks, *best[fmt.Sprintf("%s/%v", tr, scheduled)])
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// allToAllJob runs `rounds` full personalized exchanges of m bytes per
+// (source, destination) pair, verifying the stamped (source, dest)
+// origin of every arriving packet. Outbound buffers are built and
+// stamped once per rank and never mutated afterwards — payloads travel
+// by reference on the in-process backend, so a per-round restamp would
+// race with receivers still draining the previous round (the seq-tagged
+// protocol already keeps rounds from cross-delivering).
+func allToAllJob(rounds, m int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		N := c.Size()
+		me := int(c.Rank())
+		outbound := make([][]byte, N)
+		for j := range outbound {
+			outbound[j] = make([]byte, m)
+			outbound[j][0], outbound[j][1] = byte(me), byte(j)
+		}
+		for r := 0; r < rounds; r++ {
+			got, err := c.AllToAll(outbound)
+			if err != nil {
+				return fmt.Errorf("round %d: %w", r, err)
+			}
+			for i, pkt := range got {
+				if len(pkt) != m || pkt[0] != byte(i) || pkt[1] != byte(me) {
+					return fmt.Errorf("round %d: packet from %d corrupt (len %d, stamp %v)",
+						r, i, len(pkt), pkt[:2])
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func bench10Measure(transport string, d, rounds, warmup, pairM int, scheduled bool) (bench10Result, error) {
+	N := 1 << uint(d)
+	bytesPerRound := int64(N) * int64(N-1) * int64(pairM)
+
+	// The warm rounds also select the mode per rank: SetAllNodeSchedule
+	// must run on the rank's own goroutine, and doing it here keeps the
+	// inproc backend (which never sees TCPRunOptions) on the same path
+	// as the socket ones, where RunTCPWith already applied NaiveAllNode.
+	warm := func(c *comm.Comm) error {
+		c.SetAllNodeSchedule(scheduled)
+		return allToAllJob(warmup, pairM)(c)
+	}
+	job := allToAllJob(rounds, pairM)
+
+	spec := meshSpec{transport: transport, dim: d, opt: comm.TCPRunOptions{NaiveAllNode: !scheduled}}
+	m, err := measureMesh(spec, rounds, bytesPerRound, warm, job)
+	if err != nil {
+		return bench10Result{}, fmt.Errorf("bench10 %s sched=%v d=%d: %w", transport, scheduled, d, err)
+	}
+	res := bench10Result{
+		Name: "AllToAll", Transport: transport, Scheduled: scheduled, Dim: d, Rounds: rounds,
+		BytesPerRound: bytesPerRound,
+		SetupSeconds:  m.SetupSeconds, SteadySeconds: m.SteadySeconds, WallSeconds: m.WallSeconds,
+		AggMBPerS: m.CollectiveMBPerS, MBPerS: m.MBPerS,
+	}
+	if scheduled {
+		res.SchedSteps = sched.MultiSourcePlan(d).Steps
+	}
+	if m.HaveStats && m.Stats.PayloadDelivered < bytesPerRound*int64(rounds) {
+		return res, fmt.Errorf("bench10 %s sched=%v d=%d: transport observed %d delivered payload bytes, "+
+			"claim needs at least %d", transport, scheduled, d, m.Stats.PayloadDelivered, bytesPerRound*int64(rounds))
+	}
+	fmt.Printf("Bench10AllToAll/%s/sched=%v/d=%d setup %7.3fs steady %7.3fs %10.1f agg-MB/s (steps=%d)\n",
+		transport, scheduled, d, res.SetupSeconds, res.SteadySeconds, res.AggMBPerS, res.SchedSteps)
+	return res, nil
+}

@@ -34,6 +34,8 @@ type bench3Result struct {
 type bench3File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -58,10 +60,12 @@ func runBench3(path string) error {
 		scatterPP = 1 << 10  // scatter payload bytes per rank
 	)
 	out := bench3File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("delivered-payload goodput, %d rounds per job; mb_per_s over the "+
 			"barrier-bracketed steady window, mesh dial reported as setup_s; "+
 			"tcp = one loopback endpoint per node, wire-framed + CRC", rounds),

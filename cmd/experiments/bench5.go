@@ -43,6 +43,8 @@ type bench5Result struct {
 type bench5File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -63,10 +65,12 @@ func runBench5(path string, maxD int) error {
 		scatterPP = 1 << 10
 	)
 	out := bench5File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("wire fast path (v2 frames, writev, batching); same jobs as BENCH_3.json, "+
 			"%d rounds per job. mb_per_s = payload delivered over the steady-state window: for tcp "+
 			"rows from the transport's PayloadDelivered counter (relay hops included), for inproc "+

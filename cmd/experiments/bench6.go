@@ -30,11 +30,11 @@ import (
 // fails if any tenant's share is incomplete and records the min/max
 // mean-latency spread for the benchstat gate to watch.
 type bench6Result struct {
-	Name       string  `json:"name"`
-	Transport  string  `json:"transport"`
-	Dim        int     `json:"dim"`
-	Jobs       int     `json:"jobs"`
-	Tenants    int     `json:"tenants"`
+	Name        string  `json:"name"`
+	Transport   string  `json:"transport"`
+	Dim         int     `json:"dim"`
+	Jobs        int     `json:"jobs"`
+	Tenants     int     `json:"tenants"`
 	OfferedPerS float64 `json:"offered_per_s"`
 
 	JobsPerS float64 `json:"jobs_per_s"`
@@ -56,6 +56,8 @@ type bench6Result struct {
 type bench6File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -73,10 +75,12 @@ func runBench6(path string, maxD int) error {
 		seed    = 1986
 	)
 	out := bench6File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("collective-as-a-service under open-loop Poisson load: %d mixed jobs "+
 			"(bcast/scatter/allreduce, roots sweeping the cube, 64..646B payloads) from %d tenants "+
 			"offered at %.0f jobs/s to one shared mesh. Latency is completion minus *scheduled* "+

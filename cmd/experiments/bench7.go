@@ -42,6 +42,8 @@ type bench7Result struct {
 type bench7File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -61,10 +63,12 @@ func runBench7(path string, maxD int) error {
 		reps   = 5 // best-of, against single-vCPU scheduler noise
 	)
 	out := bench7File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("self-tuning data plane: %d MiB MSBT broadcast, %d rounds per row after "+
 			"%d untimed warm-up rounds (the estimator needs mpx.ProfileMinSamples timed flushes "+
 			"before the tuner engages). autotune=false rows send one chunk per tree (legacy); "+

@@ -46,6 +46,8 @@ type bench8Result struct {
 type bench8File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -60,10 +62,12 @@ type bench8File struct {
 func runBench8(path string, maxD int) error {
 	const reps = 3
 	out := bench8File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("elastic membership under churn: every rank an Elastic endpoint (member-mode "+
 			"sockets, membership manager, reactive tree repair), root driving 256 KiB epoch-pinned "+
 			"broadcast rounds with a gather ack. clean = stable full view for the whole window. "+

@@ -43,6 +43,8 @@ type bench9Result struct {
 type bench9File struct {
 	Date       string         `json:"date"`
 	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
 	GOOS       string         `json:"goos"`
 	GOARCH     string         `json:"goarch"`
 	Note       string         `json:"note"`
@@ -53,10 +55,12 @@ type bench9File struct {
 func runBench9(path string, maxD int) error {
 	const reps = 3
 	out := bench9File{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		Note: fmt.Sprintf("online mesh re-dimensioning: a founding d-cube of Elastic endpoints drives 256 KiB "+
 			"epoch-pinned broadcast rounds with a gather ack; 40%% into the window rank 2^d — a rank the "+
 			"founding cube cannot even address — joins with Dim=d+1. Survivors widen their link sets via "+

@@ -62,6 +62,15 @@
 //
 //	go run ./cmd/experiments -bench9 BENCH_9.json
 //	go run ./cmd/experiments -bench9 BENCH_9.json -bench9-max 3   # CI smoke
+//
+// The multi-source scheduling suite measures aggregate all-to-all
+// goodput — all 2^d ranks sourcing personalized exchanges at once —
+// with the per-step link-conflict-free schedule on versus the naive
+// forward-on-arrival launch, across the in-process, loopback-TCP and
+// Unix-domain-socket backends:
+//
+//	go run ./cmd/experiments -bench10 BENCH_10.json
+//	go run ./cmd/experiments -bench10 BENCH_10.json -bench10-max 4   # CI smoke
 package main
 
 import (
@@ -100,6 +109,8 @@ func main() {
 	bench8Max := flag.Int("bench8-max", 4, "largest cube dimension the -bench8 sweep runs (CI smoke uses 3)")
 	bench9 := flag.String("bench9", "", "run the online-growth suite (a rank beyond the founding cube joins mid-traffic: growth latency and the goodput dip while the mesh re-dimensions) and write its JSON record here")
 	bench9Max := flag.Int("bench9-max", 4, "largest founding cube dimension the -bench9 sweep runs (CI smoke uses 3)")
+	bench10 := flag.String("bench10", "", "run the multi-source scheduling suite (aggregate all-to-all goodput, conflict-free schedule vs naive launch, inproc vs TCP vs UDS) and write its JSON record here")
+	bench10Max := flag.Int("bench10-max", 8, "largest cube dimension the -bench10 sweep runs (CI smoke uses 4)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
@@ -155,6 +166,13 @@ func main() {
 	}
 	if *bench6 != "" {
 		if err := runBench6(*bench6, *bench6Max); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench10 != "" {
+		if err := runBench10(*bench10, *bench10Max); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -43,6 +43,7 @@ func cmdServe(args []string) error {
 	peersS := fs.String("peers", "", "comma-separated listen addresses of all 2^n nodes in node order (empty = stdio handshake: print ADDR, read PEERS)")
 	transportS := fs.String("transport", "auto", "socket family for the cube links: tcp, uds, or auto (uds when peers arrive over the stdio handshake — a same-host deployment — tcp with an explicit -peers list)")
 	autotune := fs.Bool("autotune", false, "model-driven packet sizing: collectives split payloads at the online B_opt from the link-cost fit")
+	naiveAllNode := fs.Bool("naive-allnode", false, "run the all-node collectives with the naive forward-on-arrival launch instead of the contention-aware multi-source schedule (A/B baseline)")
 	stripes := fs.Int("stripes", 0, "parallel connections per link for striped bulk sends (0/1 = single connection; incompatible with -resilient)")
 	m := fs.Int("m", 4096, "broadcast payload size in bytes")
 	rounds := fs.Int("rounds", 1, "workload repetitions (each: msbt broadcast + bst scatter/gather + barrier)")
@@ -146,7 +147,7 @@ func cmdServe(args []string) error {
 	if *jobs > 0 {
 		runErr = serveJobs(machine, *n, *id, *jobs, *tenants, *jobsSeed)
 	} else {
-		runErr = comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline, *autotune))
+		runErr = comm.RunOn(machine, serveProgram(*m, *rounds, *runFor, *deadline, *autotune, *naiveAllNode))
 	}
 	if agent != nil {
 		agent.Stop()
@@ -221,12 +222,13 @@ func serveJobs(machine *mpx.Machine, n, id, jobs, tenants int, seed int64) error
 // continue/stop flag each round, so all ranks agree on the round count
 // without shared memory. The timed mode is what keeps collectives in
 // flight while a chaos agent or an external kill disturbs the links.
-func serveProgram(mbytes, rounds int, runFor, deadline time.Duration, autotune bool) func(c *comm.Comm) error {
+func serveProgram(mbytes, rounds int, runFor, deadline time.Duration, autotune, naiveAllNode bool) func(c *comm.Comm) error {
 	return func(c *comm.Comm) error {
 		if deadline > 0 {
 			c.SetDeadline(deadline)
 		}
 		c.SetAutotune(autotune)
+		c.SetAllNodeSchedule(!naiveAllNode)
 		done := 0
 		if runFor > 0 {
 			start := time.Now()
@@ -255,7 +257,7 @@ func serveProgram(mbytes, rounds int, runFor, deadline time.Duration, autotune b
 				done++
 			}
 		}
-		fmt.Printf("OK %d: %d round(s) of msbt broadcast (%dB) + bst scatter/gather verified\n", c.Rank(), done, mbytes)
+		fmt.Printf("OK %d: %d round(s) of msbt broadcast (%dB) + bst scatter/gather + all-to-all verified\n", c.Rank(), done, mbytes)
 		return nil
 	}
 }
@@ -263,9 +265,11 @@ func serveProgram(mbytes, rounds int, runFor, deadline time.Duration, autotune b
 // workloadRound is one round of the workload every serve process runs:
 // an MSBT broadcast (payload chunked down the n edge-disjoint ERSBTs),
 // a BST scatter, a gather round-trip proving every rank's payload back
-// at the root, and a closing barrier. All expected values are derived
-// deterministically from the rank, so each process verifies its own
-// deliveries with no shared memory.
+// at the root, a full all-to-all personalized exchange (all 2^n
+// sources at once — the multi-source scheduled path unless
+// -naive-allnode), and a closing barrier. All expected values are
+// derived deterministically from the rank, so each process verifies
+// its own deliveries with no shared memory.
 func workloadRound(c *comm.Comm, mbytes int) error {
 	const root = cube.NodeID(0)
 	data := make([]byte, mbytes)
@@ -307,6 +311,20 @@ func workloadRound(c *comm.Comm, mbytes int) error {
 			if !bytes.Equal(all[i], personal[i]) {
 				return fmt.Errorf("gather slot %d wrong at the root", i)
 			}
+		}
+	}
+
+	outbound := make([][]byte, c.Size())
+	for j := range outbound {
+		outbound[j] = []byte(fmt.Sprintf("a2a-%d-%d", c.Rank(), j))
+	}
+	pairs, err := c.AllToAll(outbound)
+	if err != nil {
+		return err
+	}
+	for i, pkt := range pairs {
+		if want := fmt.Sprintf("a2a-%d-%d", i, c.Rank()); string(pkt) != want {
+			return fmt.Errorf("rank %d got all-to-all packet %q from %d, want %q", c.Rank(), pkt, i, want)
 		}
 	}
 	return c.Barrier()
@@ -404,6 +422,7 @@ func cmdLaunch(args []string) error {
 	m := fs.Int("m", 4096, "broadcast payload size in bytes")
 	transportS := fs.String("transport", "auto", "socket family the children link over: tcp, uds, or auto (same-host launch = uds)")
 	autotune := fs.Bool("autotune", false, "enable model-driven packet sizing inside the children")
+	naiveAllNode := fs.Bool("naive-allnode", false, "run the children's all-node collectives with the naive launch instead of the multi-source schedule")
 	stripes := fs.Int("stripes", 0, "parallel connections per link inside the children (0/1 = single connection)")
 	fs.Parse(args)
 
@@ -413,6 +432,9 @@ func cmdLaunch(args []string) error {
 			"-transport", *transportS}
 		if *autotune {
 			a = append(a, "-autotune")
+		}
+		if *naiveAllNode {
+			a = append(a, "-naive-allnode")
 		}
 		if *stripes > 1 {
 			a = append(a, "-stripes", fmt.Sprint(*stripes))
@@ -464,7 +486,7 @@ func cmdLaunch(args []string) error {
 	if family == "auto" {
 		family = "uds"
 	}
-	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter (transport %s)\n", N, family)
+	fmt.Printf("launch: %d processes, every rank verified msbt broadcast + bst scatter + all-to-all (transport %s)\n", N, family)
 	return nil
 }
 

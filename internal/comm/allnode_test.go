@@ -17,14 +17,15 @@ import (
 // layer must keep every collective correct, and the (generous) deadline
 // must never fire on a self-healing mesh: a trip means a fault leaked
 // past the replay protocol as a silent hang.
-func allNodeSoak(t *testing.T, network string) {
+func allNodeSoak(t *testing.T, network string, naive bool) {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("chaos soak skipped in -short mode")
 	}
 	var events atomic.Int64
 	opt := TCPRunOptions{
-		Network: network,
+		Network:      network,
+		NaiveAllNode: naive,
 		Resilience: transport.ResilienceOptions{
 			Enabled:     true,
 			MaxAttempts: 50,
@@ -123,13 +124,21 @@ func allNodeSoak(t *testing.T, network string) {
 	}
 }
 
-// TestChaosAllNodeCollectivesTCP: the all-node soak over loopback TCP.
-func TestChaosAllNodeCollectivesTCP(t *testing.T) { allNodeSoak(t, "tcp") }
+// TestChaosAllNodeCollectivesTCP: the all-node soak over loopback TCP,
+// with the contention-aware schedule (the default) driving the
+// all-node collectives.
+func TestChaosAllNodeCollectivesTCP(t *testing.T) { allNodeSoak(t, "tcp", false) }
 
 // TestChaosAllNodeCollectivesUDS: the same soak over Unix-domain
 // sockets — the same framing minus the TCP/IP stack, so a fault class
 // that only reproduces on one family shows up as a split verdict.
-func TestChaosAllNodeCollectivesUDS(t *testing.T) { allNodeSoak(t, "unix") }
+func TestChaosAllNodeCollectivesUDS(t *testing.T) { allNodeSoak(t, "unix", false) }
+
+// TestChaosAllNodeNaiveTCP soaks the naive forward-on-arrival launch
+// under the same chaos: the A/B baseline must stay just as correct
+// under faults, or a bench comparison against it would be comparing a
+// working path to a broken one.
+func TestChaosAllNodeNaiveTCP(t *testing.T) { allNodeSoak(t, "tcp", true) }
 
 // TestDeadlineFiresOnSilentAllNodeCollective parks three ranks in
 // AllGather's any-root receive while rank 0 stays silent: the armed

@@ -71,6 +71,27 @@ type Comm struct {
 	// rank's own goroutine, like seq.
 	routes []*rootRoute
 
+	// naiveAllNode disables the contention-aware multi-source schedule
+	// for the all-node collectives (see SetAllNodeSchedule); the
+	// zero value keeps scheduling ON. Touched only from the rank's own
+	// goroutine, like seq.
+	naiveAllNode bool
+
+	// AllReduce's dimension-exchange send buffers, double-buffered by
+	// call parity (arCalls&1). A sent buffer is held by reference by
+	// in-flight envelopes (in-process delivery) and pending writev
+	// queues (sockets), and a neighbor may lag a whole collective
+	// behind, so same-call or next-call reuse would corrupt its unread
+	// inbox. Two calls is provably enough distance: before call k+2
+	// touches parity-k buffers, this rank has completed call k+1, which
+	// required every neighbor to finish call k — consuming every
+	// parity-k envelope this rank sent. arAcc is the private
+	// accumulator seed per parity, never sent. Touched only from the
+	// rank's own goroutine, like seq.
+	arCalls int
+	arBufs  [2][][]byte
+	arAcc   [2][]byte
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	mailbox   map[int][]mpx.Envelope // tag -> queued envelopes
@@ -228,6 +249,10 @@ type TCPRunOptions struct {
 	// Autotune enables model-driven packet sizing on every rank's
 	// communicator (Comm.SetAutotune) before the program runs.
 	Autotune bool
+	// NaiveAllNode disables the contention-aware multi-source schedule
+	// on every rank (Comm.SetAllNodeSchedule(false)) — the free-for-all
+	// A/B baseline for the all-node collectives.
+	NaiveAllNode bool
 }
 
 // RunTCP is Run with every cube link carried over a loopback TCP
@@ -304,12 +329,13 @@ func RunTCPWith(n int, opt TCPRunOptions, program func(c *Comm) error) error {
 		}
 	}
 	run := program
-	if opt.Deadline > 0 || opt.Autotune {
+	if opt.Deadline > 0 || opt.Autotune || opt.NaiveAllNode {
 		run = func(c *Comm) error {
 			if opt.Deadline > 0 {
 				c.SetDeadline(opt.Deadline)
 			}
 			c.SetAutotune(opt.Autotune)
+			c.SetAllNodeSchedule(!opt.NaiveAllNode)
 			return program(c)
 		}
 	}
@@ -838,11 +864,31 @@ func (c *Comm) Reduce(root cube.NodeID, mine []byte, op func(a, b []byte) []byte
 // AllReduce folds every rank's contribution and returns the result on
 // every rank, by dimension exchange in log N full-duplex steps. op must
 // be associative and commutative.
+//
+// The exchange is inherently link-conflict-free — step d uses every
+// directed dim-d link exactly once, so all 2^d "sources" already run
+// disjoint and the multi-source schedule has nothing to reorder. Its
+// hot-path cost was allocation instead: the send must not alias the
+// accumulator (in-process envelopes and socket writev queues hold sent
+// buffers by reference, and op mutates its first argument), and the old
+// code paid a fresh payload-sized snapshot per step. The snapshots now
+// come from the communicator's parity-alternating buffer sets (see the
+// arBufs field), so a warm call's dimension loop allocates no payload
+// buffers at all — only the returned result is fresh.
 func (c *Comm) AllReduce(mine []byte, op func(a, b []byte) []byte) ([]byte, error) {
 	defer c.next()
-	acc := append([]byte(nil), mine...)
+	parity := c.arCalls & 1
+	c.arCalls++
+	set := c.arBufs[parity]
+	if len(set) < c.n {
+		set = make([][]byte, c.n)
+		c.arBufs[parity] = set
+	}
+	acc := append(c.arAcc[parity][:0], mine...)
+	c.arAcc[parity] = acc // keep grown capacity even if op rebinds acc
 	for d := 0; d < c.n; d++ {
-		snap := append([]byte(nil), acc...)
+		snap := append(set[d][:0], acc...)
+		set[d] = snap
 		c.nd.Send(d, mpx.Message{Tag: c.tagFor(d), Parts: []mpx.Part{{Dest: c.Rank(), Data: snap}}})
 		env, err := c.recvTag(c.tagFor(d))
 		if err != nil {
@@ -850,7 +896,9 @@ func (c *Comm) AllReduce(mine []byte, op func(a, b []byte) []byte) ([]byte, erro
 		}
 		acc = op(acc, env.Parts[0].Data)
 	}
-	return acc, nil
+	// The result must outlive the pooled buffers: acc usually IS
+	// arAcc[parity] (op folding in place), which call k+2 will overwrite.
+	return append([]byte(nil), acc...), nil
 }
 
 // Scan returns the inclusive prefix combine(x_0, ..., x_rank) on every
@@ -886,7 +934,14 @@ func (c *Comm) Barrier() error {
 
 // AllGather returns every rank's payload on every rank, running N
 // concurrent balanced-spanning-tree broadcasts (one rooted at each rank).
+// By default the N trees' sends follow the contention-aware multi-source
+// schedule (see multisched.go); SetAllNodeSchedule(false) restores the
+// naive forward-on-arrival launch below. Both orders send the same tree
+// edges with the same tags, so mixed meshes interoperate byte-exactly.
 func (c *Comm) AllGather(mine []byte) ([][]byte, error) {
+	if !c.naiveAllNode {
+		return c.allGatherScheduled(mine)
+	}
 	defer c.next()
 	me := c.Rank()
 	out := make([][]byte, c.Size())
@@ -957,7 +1012,13 @@ func (c *Comm) recvTagAnyRoot() (mpx.Envelope, error) {
 
 // AllToAll delivers mine[d] to rank d for every pair, over N concurrent
 // balanced-tree scatters. Returns got[r] = payload received from rank r.
+// Like AllGather, the default send order is the conflict-free
+// multi-source schedule; SetAllNodeSchedule(false) restores the naive
+// launch below.
 func (c *Comm) AllToAll(mine [][]byte) ([][]byte, error) {
+	if !c.naiveAllNode {
+		return c.allToAllScheduled(mine)
+	}
 	defer c.next()
 	me := c.Rank()
 	if len(mine) != c.Size() {
